@@ -1,0 +1,75 @@
+// Extension bench (future work in the paper's one-step setting): recursive
+// multi-step forecasting. For each horizon h, predictions for steps
+// t+1..t+h are produced by feeding the model its own outputs; the table
+// reports the ER at each horizon on the NYC bike hurricane test days.
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+#include "core/rollout.h"
+#include "stats/metrics.h"
+
+using namespace ealgap;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  TrainConfig train;
+  train.epochs = static_cast<int>(flags.GetInt("epochs", 15));
+  train.learning_rate = static_cast<float>(flags.GetDouble("lr", 2e-3));
+  train.seed = flags.GetInt("seed", 7);
+  const int max_horizon = static_cast<int>(flags.GetInt("horizon", 6));
+
+  data::PeriodConfig config = data::MakePeriodConfig(
+      data::City::kNycBike, data::Period::kWeather, train.seed,
+      flags.GetDouble("scale", 1.5));
+  auto prepared = core::PrepareData(config);
+  if (!prepared.ok()) {
+    std::cerr << prepared.status().ToString() << "\n";
+    return 1;
+  }
+
+  TablePrinter table(
+      "Extension — recursive multi-step forecast ER by horizon "
+      "(NYC bike, hurricane test days)",
+      {"scheme", "h=1", "h=2", "h=3", "h=6"});
+  const std::vector<int> horizons = {1, 2, 3, 6};
+  for (const std::string& scheme : {std::string("GRU"), std::string("EALGAP")}) {
+    auto model = core::MakeForecaster(scheme, *prepared);
+    if (!model.ok() ||
+        !(*model)->Fit(prepared->dataset, prepared->split, train).ok()) {
+      std::cerr << scheme << " training failed\n";
+      return 1;
+    }
+    // Roll out from every 12th test step to bound runtime.
+    std::vector<std::vector<double>> pred_h(max_horizon), truth_h(max_horizon);
+    const auto& series = prepared->dataset.series();
+    for (int64_t s = prepared->split.test_begin;
+         s + max_horizon <= prepared->split.test_end; s += 12) {
+      auto rollout =
+          core::RolloutForecast(**model, prepared->dataset, s, max_horizon);
+      if (!rollout.ok()) {
+        std::cerr << rollout.status().ToString() << "\n";
+        return 1;
+      }
+      for (int h = 0; h < max_horizon; ++h) {
+        for (int r = 0; r < series.num_regions; ++r) {
+          pred_h[h].push_back((*rollout)[h][r]);
+          truth_h[h].push_back(series.At(r, s + h));
+        }
+      }
+    }
+    std::vector<std::string> row = {scheme};
+    for (int h : horizons) {
+      if (h > max_horizon) break;
+      row.push_back(
+          TablePrinter::Num(stats::ErrorRate(pred_h[h - 1], truth_h[h - 1])));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected: errors grow with horizon; EALGAP degrades more "
+               "slowly thanks to the matched-statistics anchor.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension bench: sensitivity to the number of regions. The paper fixes
+// 20 (NYC) / 18 (Chicago); this sweep reports clustering quality (mean
+// silhouette) and EALGAP accuracy across region counts.
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "cluster/silhouette.h"
+#include "core/experiment.h"
+
+using namespace ealgap;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  TrainConfig train;
+  train.epochs = static_cast<int>(flags.GetInt("epochs", 12));
+  train.learning_rate = static_cast<float>(flags.GetDouble("lr", 2e-3));
+  train.seed = flags.GetInt("seed", 7);
+
+  TablePrinter table(
+      "Extension — region-count sensitivity (NYC bike, hurricane)",
+      {"regions", "silhouette", "ER", "MSLE"});
+  for (int k : {10, 15, 20, 25, 30}) {
+    data::PeriodConfig config = data::MakePeriodConfig(
+        data::City::kNycBike, data::Period::kWeather, train.seed,
+        flags.GetDouble("scale", 1.5));
+    config.partition.num_regions = k;
+    auto prepared = core::PrepareData(config);
+    if (!prepared.ok()) {
+      std::cerr << prepared.status().ToString() << "\n";
+      return 1;
+    }
+    std::vector<cluster::Point2> points;
+    for (const auto& s : prepared->stations) {
+      points.push_back({s.lon, s.lat});
+    }
+    auto silhouette = cluster::MeanSilhouette(
+        points, prepared->partition.station_region);
+    auto result = core::RunScheme("EALGAP", *prepared, train);
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    table.AddRow({std::to_string(k),
+                  TablePrinter::Num(silhouette.ok() ? *silhouette : -1, 3),
+                  TablePrinter::Num(result->metrics.er),
+                  TablePrinter::Num(result->metrics.msle)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 10: the k-means region partition of the bike stations,
+// reported as region centers/sizes plus how well the partition recovers the
+// generator's ground-truth regions.
+
+#include <iostream>
+#include <map>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+
+using namespace ealgap;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  data::PeriodConfig config = data::MakePeriodConfig(
+      data::City::kNycBike, data::Period::kNormal, flags.GetInt("seed", 7),
+      flags.GetDouble("scale", 1.0));
+  auto city = data::GenerateCity(config.generator);
+  if (!city.ok()) {
+    std::cerr << city.status().ToString() << "\n";
+    return 1;
+  }
+  auto partition = data::PartitionStations(city->stations, config.partition);
+  if (!partition.ok()) {
+    std::cerr << partition.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Fig. 10 — k-means partition of " << city->stations.size()
+            << " stations into " << partition->num_regions << " regions\n\n";
+  TablePrinter table("", {"region", "stations", "center_lon", "center_lat"});
+  std::vector<int> sizes(partition->num_regions, 0);
+  for (int r : partition->station_region) ++sizes[r];
+  for (int r = 0; r < partition->num_regions; ++r) {
+    table.AddRow({std::to_string(r), std::to_string(sizes[r]),
+                  TablePrinter::Num(partition->region_centers[r].x, 4),
+                  TablePrinter::Num(partition->region_centers[r].y, 4)});
+  }
+  table.Print(std::cout);
+
+  // Cluster purity vs the generator's ground-truth regions.
+  std::map<int, std::map<int, int>> confusion;
+  for (size_t s = 0; s < city->stations.size(); ++s) {
+    ++confusion[partition->station_region[s]][city->true_region[s]];
+  }
+  int majority = 0;
+  for (const auto& [cluster, truths] : confusion) {
+    int best = 0;
+    for (const auto& [truth, count] : truths) best = std::max(best, count);
+    majority += best;
+  }
+  std::cout << "\npartition purity vs generative regions: "
+            << TablePrinter::Num(
+                   100.0 * majority / double(city->stations.size()), 1)
+            << "%\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Fig. 13: predicted vs ground-truth bike pick-up series over
+// the ten test days for (a) the normal period, (b) the hurricane period,
+// and (c) the Christmas period (NYC bike data). One line per test step:
+//   <period> <timestamp> <ground_truth> <prediction>
+// for the busiest region (the paper plots a single region's series).
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+
+using namespace ealgap;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  TrainConfig train;
+  train.epochs = static_cast<int>(flags.GetInt("epochs", 15));
+  train.learning_rate = static_cast<float>(flags.GetDouble("lr", 2e-3));
+  train.patience = 4;
+  train.seed = flags.GetInt("seed", 7);
+  const int64_t limit = flags.GetInt("limit", 96);
+
+  for (data::Period period : data::AllPeriods()) {
+    data::PeriodConfig config = data::MakePeriodConfig(
+        data::City::kNycBike, period, train.seed, flags.GetDouble("scale", 1.5));
+    auto prepared = core::PrepareData(config);
+    if (!prepared.ok()) {
+      std::cerr << prepared.status().ToString() << "\n";
+      return 1;
+    }
+    auto model = core::MakeForecaster("EALGAP", *prepared);
+    if (!model.ok() ||
+        !(*model)->Fit(prepared->dataset, prepared->split, train).ok()) {
+      std::cerr << "training failed for " << config.label << "\n";
+      return 1;
+    }
+    // Busiest region over the test range.
+    const auto& series = prepared->dataset.series();
+    std::vector<double> volume(series.num_regions, 0.0);
+    for (int64_t s = prepared->split.test_begin; s < prepared->split.test_end;
+         ++s) {
+      for (int r = 0; r < series.num_regions; ++r) volume[r] += series.At(r, s);
+    }
+    const int busiest = static_cast<int>(std::distance(
+        volume.begin(), std::max_element(volume.begin(), volume.end())));
+    std::cout << "# Fig. 13 (" << config.label << ") — region " << busiest
+              << ", first " << limit << " test steps\n";
+    std::cout << "period timestamp truth prediction\n";
+    int64_t printed = 0;
+    double err = 0.0, tot = 0.0;
+    for (int64_t s = prepared->split.test_begin; s < prepared->split.test_end;
+         ++s) {
+      auto pred = (*model)->Predict(prepared->dataset, s);
+      if (!pred.ok()) {
+        std::cerr << pred.status().ToString() << "\n";
+        return 1;
+      }
+      const double truth = series.At(busiest, s);
+      err += std::abs(truth - (*pred)[busiest]);
+      tot += truth;
+      if (printed++ < limit) {
+        std::cout << config.label << " " << FormatDate(series.DateOfStep(s))
+                  << "T" << series.HourOfStep(s) << " "
+                  << TablePrinter::Num(truth, 0) << " "
+                  << TablePrinter::Num((*pred)[busiest], 1) << "\n";
+      }
+    }
+    std::cout << "# region ER over full test range: "
+              << TablePrinter::Num(err / std::max(tot, 1.0)) << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks of the substrate hot paths: tensor ops,
+// autograd round trips, cell forwards, distribution fits, and clustering.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/rnn_cells.h"
+#include "stats/distribution.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace ealgap;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({20, 5, 1}, rng);
+  Tensor b = Tensor::Randn({20, 1, 5}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::BMatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({state.range(0), 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::SoftmaxLastDim(a));
+  }
+}
+BENCHMARK(BM_SoftmaxLastDim)->Arg(64)->Arg(512);
+
+void BM_GruCellForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::GruCell cell(5, 16, rng);
+  NoGradGuard no_grad;
+  Var x = Var::Leaf(Tensor::Randn({20, 5}, rng));
+  Var h = nn::ZeroState(20, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Forward(x, h));
+  }
+}
+BENCHMARK(BM_GruCellForward);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Linear fc1(32, 64, rng), fc2(64, 1, rng);
+  Tensor x = Tensor::Randn({64, 32}, rng);
+  Tensor y = Tensor::Randn({64, 1}, rng);
+  for (auto _ : state) {
+    fc1.ZeroGrad();
+    fc2.ZeroGrad();
+    Var pred = fc2.Forward(Relu(fc1.Forward(Var::Leaf(x))));
+    Var d = Sub(pred, Var::Leaf(y));
+    Var loss = MeanAll(Mul(d, d));
+    Backward(loss);
+    benchmark::DoNotOptimize(loss.value().data());
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_ExponentialRowwisePdf(benchmark::State& state) {
+  Rng rng(1);
+  Tensor x = Tensor::Rand({20, 5}, rng, 0.f, 100.f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::RowwisePdf(x, stats::DistributionFamily::kExponential));
+  }
+}
+BENCHMARK(BM_ExponentialRowwisePdf);
+
+void BM_KMeansStations(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<cluster::Point2> pts;
+  for (int i = 0; i < 347; ++i) {
+    pts.push_back({rng.Uniform(-74.1, -73.9), rng.Uniform(40.6, 40.9)});
+  }
+  for (auto _ : state) {
+    auto result = cluster::KMeans(pts, 20);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeansStations);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces the Sec. VI-B training-cost comparison: average wall-clock
+// time of one optimization step for each deep scheme (the paper reports
+// per-step-per-epoch averages on its GPU desktop; here the substrate is a
+// single CPU core, so magnitudes differ but the ordering is comparable).
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace ealgap;
+
+// One small shared experiment (8 regions, 60 days) so each benchmark run
+// stays in milliseconds.
+const core::PreparedData& SmallData() {
+  static core::PreparedData* data = [] {
+    data::PeriodConfig config = data::MakePeriodConfig(
+        data::City::kNycBike, data::Period::kWeather, /*seed=*/7,
+        /*scale=*/0.6);
+    config.generator.num_stations = 60;
+    config.generator.num_regions = 8;
+    config.generator.num_days = 60;
+    config.partition.num_regions = 8;
+    auto prepared = core::PrepareData(config);
+    EALGAP_CHECK(prepared.ok()) << prepared.status().ToString();
+    return new core::PreparedData(std::move(prepared).value());
+  }();
+  return *data;
+}
+
+void BM_TrainStep(benchmark::State& state, const char* scheme) {
+  const core::PreparedData& data = SmallData();
+  TrainConfig train;
+  train.epochs = 1;
+  train.patience = 1;
+  double step_ms = 0.0;
+  for (auto _ : state) {
+    auto result = core::RunScheme(scheme, data, train);
+    EALGAP_CHECK(result.ok()) << result.status().ToString();
+    step_ms = result->train_step_ms;
+    benchmark::DoNotOptimize(result->metrics.er);
+  }
+  state.counters["opt_step_ms"] = step_ms;
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_TrainStep, gru, "GRU")->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, lstm, "LSTM")->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, rnn, "RNN")->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, st_norm, "ST-Norm")->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, st_resnet, "ST-ResNet")->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, evl, "EVL")->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, chat, "CHAT")->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, ealgap, "EALGAP")->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

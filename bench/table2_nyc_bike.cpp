@@ -1,0 +1,7 @@
+// Reproduces Table 2: prediction results on the nyc_bike dataset.
+#include "bench/table_common.h"
+
+int main(int argc, char** argv) {
+  return ealgap::bench::RunTableBench(ealgap::data::City::kNycBike,
+                                      "Table 2", argc, argv);
+}

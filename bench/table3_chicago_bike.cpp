@@ -1,0 +1,7 @@
+// Reproduces Table 3: prediction results on the chicago_bike dataset.
+#include "bench/table_common.h"
+
+int main(int argc, char** argv) {
+  return ealgap::bench::RunTableBench(ealgap::data::City::kChicagoBike,
+                                      "Table 3", argc, argv);
+}

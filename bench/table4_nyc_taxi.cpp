@@ -1,0 +1,7 @@
+// Reproduces Table 4: prediction results on the nyc_taxi dataset.
+#include "bench/table_common.h"
+
+int main(int argc, char** argv) {
+  return ealgap::bench::RunTableBench(ealgap::data::City::kNycTaxi,
+                                      "Table 4", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Reproduces Table 5: prediction results on the chicago_taxi dataset.
+#include "bench/table_common.h"
+
+int main(int argc, char** argv) {
+  return ealgap::bench::RunTableBench(ealgap::data::City::kChicagoTaxi,
+                                      "Table 5", argc, argv);
+}

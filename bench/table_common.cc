@@ -1,0 +1,91 @@
+#include "bench/table_common.h"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+
+namespace ealgap {
+namespace bench {
+
+namespace {
+
+std::vector<std::string> SplitSchemes(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int RunTableBench(data::City city, const char* table_name, int argc,
+                  char** argv) {
+  Flags flags(argc, argv);
+  const bool full = flags.GetBool("full");
+
+  core::ExperimentOptions options;
+  options.seed = flags.GetInt("seed", 7);
+  options.data_scale = flags.GetDouble("scale", full ? 3.0 : 1.5);
+  options.train.epochs = static_cast<int>(flags.GetInt("epochs", full ? 50 : 15));
+  options.train.learning_rate =
+      static_cast<float>(flags.GetDouble("lr", 2e-3));
+  options.train.patience = static_cast<int>(flags.GetInt("patience", full ? 10 : 4));
+  options.verbose = flags.GetBool("verbose");
+  if (flags.Has("schemes")) {
+    options.schemes = SplitSchemes(flags.GetString("schemes"));
+  }
+
+  // Columns: Scheme, then ER/MSLE/R2 per period.
+  std::vector<std::string> columns = {"Scheme"};
+  std::vector<core::PeriodResult> periods;
+  for (data::Period period : data::AllPeriods()) {
+    data::PeriodConfig config =
+        data::MakePeriodConfig(city, period, options.seed, options.data_scale);
+    columns.push_back(config.label + ":ER");
+    columns.push_back(config.label + ":MSLE");
+    columns.push_back(config.label + ":R2");
+    auto result = core::RunPeriod(config, options);
+    if (!result.ok()) {
+      std::cerr << "period " << config.label << " failed: "
+                << result.status().ToString() << "\n";
+      return 1;
+    }
+    periods.push_back(std::move(result).value());
+  }
+
+  TablePrinter table(std::string(table_name) + " — prediction results (" +
+                         data::CityName(city) + ", synthetic reproduction)",
+                     columns);
+  for (size_t s = 0; s < options.schemes.size(); ++s) {
+    std::vector<std::string> row = {options.schemes[s]};
+    for (const core::PeriodResult& p : periods) {
+      const auto& m = p.rows[s].metrics;
+      row.push_back(TablePrinter::Num(m.er));
+      row.push_back(TablePrinter::Num(m.msle));
+      row.push_back(TablePrinter::Num(m.r2));
+    }
+    table.AddRow(std::move(row));
+  }
+  if (flags.GetBool("csv")) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+    std::cout << "\nPer-scheme training time (mean ms per optimization step):\n";
+    for (size_t s = 0; s < options.schemes.size(); ++s) {
+      double ms = 0;
+      for (const auto& p : periods) ms += p.rows[s].train_step_ms;
+      std::cout << "  " << options.schemes[s] << ": "
+                << TablePrinter::Num(ms / periods.size(), 3) << " ms\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ealgap

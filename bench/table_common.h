@@ -1,0 +1,21 @@
+#ifndef EALGAP_BENCH_TABLE_COMMON_H_
+#define EALGAP_BENCH_TABLE_COMMON_H_
+
+#include "data/dataset_configs.h"
+
+namespace ealgap {
+namespace bench {
+
+/// Shared driver for the Table II-V binaries: runs every scheme over the
+/// city's three test periods and prints the paper-style table.
+///
+/// Flags: --epochs N  --lr F  --scale F  --seed N  --schemes a,b,c
+///        --full (paper-leaning effort: more epochs, more data)
+///        --csv  (machine-readable output)
+int RunTableBench(data::City city, const char* table_name, int argc,
+                  char** argv);
+
+}  // namespace bench
+}  // namespace ealgap
+
+#endif  // EALGAP_BENCH_TABLE_COMMON_H_

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-shot reproduction driver: configure, build, test, and regenerate every
+# table/figure of the paper into test_output.txt / bench_output.txt.
+#
+# Usage: scripts/repro.sh [--full]
+#   --full  paper-leaning effort (longer training, larger synthetic volumes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXTRA=""
+if [[ "${1:-}" == "--full" ]]; then
+  EXTRA="--full"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+(for b in build/bench/*; do
+  [[ -x "$b" && -f "$b" ]] || continue
+  echo "===== $b ====="
+  "$b" ${EXTRA}
+  echo
+done) 2>&1 | tee bench_output.txt
+
+echo "Done: see test_output.txt and bench_output.txt"

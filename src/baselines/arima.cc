@@ -1,0 +1,203 @@
+#include "baselines/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ealgap {
+
+std::vector<double> SolveLeastSquares(const std::vector<double>& a,
+                                      int64_t rows, int64_t cols,
+                                      const std::vector<double>& b) {
+  EALGAP_CHECK_EQ(static_cast<int64_t>(a.size()), rows * cols);
+  EALGAP_CHECK_EQ(static_cast<int64_t>(b.size()), rows);
+  // Normal equations: (A^T A + ridge) x = A^T b. The tiny ridge keeps
+  // nearly-collinear lag matrices (constant series) solvable.
+  std::vector<double> ata(cols * cols, 0.0), atb(cols, 0.0);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t i = 0; i < cols; ++i) {
+      const double ai = a[r * cols + i];
+      atb[i] += ai * b[r];
+      for (int64_t j = i; j < cols; ++j) {
+        ata[i * cols + j] += ai * a[r * cols + j];
+      }
+    }
+  }
+  double trace = 0.0;
+  for (int64_t i = 0; i < cols; ++i) trace += ata[i * cols + i];
+  const double ridge = 1e-6 * std::max(trace / cols, 1.0);
+  for (int64_t i = 0; i < cols; ++i) {
+    ata[i * cols + i] += ridge;
+    for (int64_t j = 0; j < i; ++j) ata[i * cols + j] = ata[j * cols + i];
+  }
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> x = atb;
+  for (int64_t k = 0; k < cols; ++k) {
+    int64_t pivot = k;
+    for (int64_t i = k + 1; i < cols; ++i) {
+      if (std::fabs(ata[i * cols + k]) > std::fabs(ata[pivot * cols + k])) {
+        pivot = i;
+      }
+    }
+    if (pivot != k) {
+      for (int64_t j = 0; j < cols; ++j) {
+        std::swap(ata[k * cols + j], ata[pivot * cols + j]);
+      }
+      std::swap(x[k], x[pivot]);
+    }
+    const double diag = ata[k * cols + k];
+    if (std::fabs(diag) < 1e-14) continue;
+    for (int64_t i = k + 1; i < cols; ++i) {
+      const double factor = ata[i * cols + k] / diag;
+      if (factor == 0.0) continue;
+      for (int64_t j = k; j < cols; ++j) {
+        ata[i * cols + j] -= factor * ata[k * cols + j];
+      }
+      x[i] -= factor * x[k];
+    }
+  }
+  for (int64_t k = cols - 1; k >= 0; --k) {
+    double s = x[k];
+    for (int64_t j = k + 1; j < cols; ++j) s -= ata[k * cols + j] * x[j];
+    const double diag = ata[k * cols + k];
+    x[k] = std::fabs(diag) < 1e-14 ? 0.0 : s / diag;
+  }
+  return x;
+}
+
+namespace {
+
+// d-th order differencing.
+std::vector<double> Difference(const std::vector<double>& y, int d) {
+  std::vector<double> out = y;
+  for (int k = 0; k < d; ++k) {
+    for (size_t i = out.size() - 1; i >= 1; --i) out[i] -= out[i - 1];
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+ArimaForecaster::ArimaForecaster(ArimaOptions options) : options_(options) {}
+
+Status ArimaForecaster::Fit(const data::SlidingWindowDataset& dataset,
+                            const data::StepRanges& split,
+                            const TrainConfig& config) {
+  (void)config;
+  const auto& series = dataset.series();
+  const int n = series.num_regions;
+  const int64_t total = series.total_steps();
+  const int p = options_.p, q = options_.q, d = options_.d;
+  const int long_p = std::max(options_.long_ar, p + q + 1);
+  if (split.train_end - d <= long_p + q + 8) {
+    return Status::FailedPrecondition("series too short for ARIMA orders");
+  }
+
+  models_.assign(n, {});
+  forecasts_.assign(n, std::vector<double>(total, 0.0));
+
+  for (int r = 0; r < n; ++r) {
+    // Training series in count space.
+    std::vector<double> y_train(split.train_end);
+    for (int64_t s = 0; s < split.train_end; ++s) {
+      y_train[s] = series.At(r, s);
+    }
+    std::vector<double> w = Difference(y_train, d);
+    const int64_t m = static_cast<int64_t>(w.size());
+
+    // Stage 1: long AR by OLS to obtain residual proxies.
+    std::vector<double> e(m, 0.0);
+    {
+      const int64_t rows = m - long_p;
+      std::vector<double> a(rows * (long_p + 1));
+      std::vector<double> b(rows);
+      for (int64_t t = 0; t < rows; ++t) {
+        a[t * (long_p + 1)] = 1.0;
+        for (int j = 0; j < long_p; ++j) {
+          a[t * (long_p + 1) + 1 + j] = w[long_p + t - 1 - j];
+        }
+        b[t] = w[long_p + t];
+      }
+      std::vector<double> coef =
+          SolveLeastSquares(a, rows, long_p + 1, b);
+      for (int64_t t = long_p; t < m; ++t) {
+        double pred = coef[0];
+        for (int j = 0; j < long_p; ++j) pred += coef[1 + j] * w[t - 1 - j];
+        e[t] = w[t] - pred;
+      }
+    }
+
+    // Stage 2: OLS of w_t on [1, w lags, e lags].
+    RegionModel model;
+    {
+      const int64_t start = long_p + q;
+      const int64_t rows = m - start;
+      const int64_t cols = 1 + p + q;
+      std::vector<double> a(rows * cols);
+      std::vector<double> b(rows);
+      for (int64_t t = 0; t < rows; ++t) {
+        const int64_t ti = start + t;
+        a[t * cols] = 1.0;
+        for (int j = 0; j < p; ++j) a[t * cols + 1 + j] = w[ti - 1 - j];
+        for (int j = 0; j < q; ++j) a[t * cols + 1 + p + j] = e[ti - 1 - j];
+        b[t] = w[ti];
+      }
+      std::vector<double> coef = SolveLeastSquares(a, rows, cols, b);
+      model.intercept = coef[0];
+      model.ar.assign(coef.begin() + 1, coef.begin() + 1 + p);
+      model.ma.assign(coef.begin() + 1 + p, coef.end());
+    }
+    models_[r] = model;
+
+    // Materialize honest one-step-ahead forecasts over the full series:
+    // walk forward, updating the MA residuals with realized errors.
+    std::vector<double> y_full(total);
+    for (int64_t s = 0; s < total; ++s) y_full[s] = series.At(r, s);
+    // Guard rail against unstable coefficient estimates: forecasts may not
+    // leave [0, 3x the largest training value].
+    double y_cap = 1.0;
+    for (int64_t s = 0; s < split.train_end; ++s) {
+      y_cap = std::max(y_cap, y_full[s]);
+    }
+    y_cap *= 3.0;
+    std::vector<double> w_full = Difference(y_full, d);
+    const int64_t mf = static_cast<int64_t>(w_full.size());
+    std::vector<double> e_full(mf, 0.0);
+    for (int64_t t = 0; t < mf; ++t) {
+      double pred_w = model.intercept;
+      for (int j = 0; j < p; ++j) {
+        if (t - 1 - j >= 0) pred_w += model.ar[j] * w_full[t - 1 - j];
+      }
+      for (int j = 0; j < q; ++j) {
+        if (t - 1 - j >= 0) pred_w += model.ma[j] * e_full[t - 1 - j];
+      }
+      e_full[t] = std::clamp(w_full[t] - pred_w, -y_cap, y_cap);
+      // Undifference: forecast of y_t adds back the last observed levels.
+      double pred_y = pred_w;
+      if (d >= 1) {
+        const int64_t yt = t + d;  // index into y_full
+        pred_y += y_full[yt - 1];
+        if (d >= 2) pred_y += y_full[yt - 1] - y_full[yt - 2];
+      }
+      forecasts_[r][t + d] = std::clamp(pred_y, 0.0, y_cap);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ArimaForecaster::Predict(
+    const data::SlidingWindowDataset& dataset, int64_t target_step) {
+  if (!fitted_) return Status::FailedPrecondition("Predict before Fit");
+  const int n = dataset.series().num_regions;
+  if (target_step < 0 || target_step >= dataset.series().total_steps()) {
+    return Status::OutOfRange("target step out of range");
+  }
+  std::vector<double> out(n);
+  for (int r = 0; r < n; ++r) out[r] = forecasts_[r][target_step];
+  return out;
+}
+
+}  // namespace ealgap

@@ -1,0 +1,63 @@
+#ifndef EALGAP_BASELINES_ARIMA_H_
+#define EALGAP_BASELINES_ARIMA_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/forecaster.h"
+
+namespace ealgap {
+
+struct ArimaOptions {
+  int p = 3;        ///< AR order
+  int d = 0;        ///< differencing order
+  int q = 2;        ///< MA order
+  int long_ar = 12; ///< stage-1 AR order of the Hannan-Rissanen estimator
+};
+
+/// Per-region non-seasonal ARIMA(p,d,q), the paper's classical baseline.
+///
+/// Coefficients are estimated with the two-stage Hannan-Rissanen procedure
+/// (long-AR residual proxy, then OLS on lags and lagged residuals). After
+/// Fit, one-step-ahead forecasts for the *entire* series are materialized by
+/// walking forward through the data — each forecast uses only information
+/// up to its own time step, so validation/test predictions are honest.
+class ArimaForecaster : public Forecaster {
+ public:
+  explicit ArimaForecaster(ArimaOptions options = {});
+
+  std::string name() const override { return "ARIMA"; }
+
+  Status Fit(const data::SlidingWindowDataset& dataset,
+             const data::StepRanges& split,
+             const TrainConfig& config) override;
+
+  Result<std::vector<double>> Predict(const data::SlidingWindowDataset& dataset,
+                                      int64_t target_step) override;
+
+  /// Fitted coefficients of one region: intercept, ar[0..p), ma[0..q).
+  struct RegionModel {
+    double intercept = 0.0;
+    std::vector<double> ar;
+    std::vector<double> ma;
+  };
+  const std::vector<RegionModel>& models() const { return models_; }
+
+ private:
+  ArimaOptions options_;
+  bool fitted_ = false;
+  std::vector<RegionModel> models_;
+  /// One-step-ahead forecasts, shape (regions x total_steps), in count
+  /// space (clamped at 0).
+  std::vector<std::vector<double>> forecasts_;
+};
+
+/// Solves min ||A x - b||_2 by normal equations with partial-pivot Gaussian
+/// elimination. `a` is row-major (rows x cols). Exposed for testing.
+std::vector<double> SolveLeastSquares(const std::vector<double>& a,
+                                      int64_t rows, int64_t cols,
+                                      const std::vector<double>& b);
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_ARIMA_H_

@@ -1,0 +1,111 @@
+#include "baselines/chat.h"
+
+#include "common/logging.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+
+struct ChatForecaster::Net : nn::Module {
+  Net(const ChatOptions& opts, Rng& rng)
+      : step_proj(1, opts.embed_dim, rng),
+        temporal_score(opts.embed_dim, 1, rng),
+        spatial_score(opts.embed_dim, 1, rng),
+        hour_embed(24, opts.context_dim, rng, /*has_bias=*/false),
+        dow_embed(7, opts.context_dim, rng, /*has_bias=*/false),
+        fuse1(3 * opts.embed_dim + 2 * opts.context_dim, 32, rng),
+        fuse2(32, 1, rng),
+        dim(opts.embed_dim) {
+    RegisterModule("step_proj", &step_proj);
+    RegisterModule("temporal_score", &temporal_score);
+    RegisterModule("spatial_score", &spatial_score);
+    RegisterModule("hour_embed", &hour_embed);
+    RegisterModule("dow_embed", &dow_embed);
+    RegisterModule("fuse1", &fuse1);
+    RegisterModule("fuse2", &fuse2);
+  }
+
+  // One sample: x (N, L) scaled, hour/dow one-hots describing the LAST
+  // OBSERVED step (the context of the observation window; the original
+  // CHAT's contextual aspect describes its inputs, not the target).
+  // Returns (N, 1).
+  Var ForwardSample(const Var& x, const Var& hour_onehot,
+                    const Var& dow_onehot) const {
+    const int64_t n = x.value().dim(0);
+    const int64_t l = x.value().dim(1);
+    // Temporal attention over each region's history.
+    Var u = Tanh(step_proj.Forward(Reshape(x, {n * l, 1})));  // (N*L, d)
+    Var scores = temporal_score.Forward(u);                   // (N*L, 1)
+    Var alpha = SoftmaxLastDim(Reshape(scores, {n, l}));      // (N, L)
+    Var u3 = Reshape(u, {n, l, dim});
+    Var summary = SumAxis(Mul(u3, Reshape(alpha, {n, l, 1})), 1,
+                          /*keepdim=*/false);  // (N, d)
+    // Spatial attention over region summaries.
+    Var sscore = spatial_score.Forward(summary);              // (N, 1)
+    Var beta = SoftmaxLastDim(Reshape(sscore, {1, n}));       // (1, N)
+    Var city = MatMul(beta, summary);                         // (1, d)
+    Var city_b = Add(Mul(summary, Var::Leaf(Tensor::Zeros({n, dim}))),
+                     city);  // broadcast city to (N, d)
+    // Context embeddings, broadcast across regions.
+    Var ctx_h = hour_embed.Forward(hour_onehot);  // (1, c)
+    Var ctx_d = dow_embed.Forward(dow_onehot);    // (1, c)
+    const int64_t c = ctx_d.value().dim(1);
+    Var zeros_nc = Var::Leaf(Tensor::Zeros({n, c}));
+    Var ctx_hb = Add(zeros_nc, ctx_h);
+    Var ctx_db = Add(zeros_nc, ctx_d);
+    // Cross-interaction fusion.
+    Var cross = Mul(summary, city_b);
+    Var features = Concat({summary, city_b, cross, ctx_hb, ctx_db}, 1);
+    return fuse2.Forward(Relu(fuse1.Forward(features)));  // (N, 1)
+  }
+
+  nn::Linear step_proj, temporal_score, spatial_score;
+  nn::Linear hour_embed, dow_embed;
+  nn::Linear fuse1, fuse2;
+  int64_t dim;
+};
+
+ChatForecaster::ChatForecaster(ChatOptions options) : options_(options) {}
+
+ChatForecaster::~ChatForecaster() = default;
+
+nn::Module* ChatForecaster::module() { return net_.get(); }
+
+void ChatForecaster::Initialize(const data::SlidingWindowDataset& dataset,
+                                const data::StepRanges& split,
+                                const TrainConfig& config) {
+  Tensor train_slice =
+      ops::Slice(dataset.series().counts, 1, 0, split.train_end);
+  scaler_.Fit(train_slice);
+  Rng rng(config.seed);
+  net_ = std::make_unique<Net>(options_, rng);
+}
+
+Var ChatForecaster::ForwardBatch(
+    const std::vector<data::WindowSample>& batch) {
+  const auto& series = current_dataset()->series();
+  std::vector<Var> outs;
+  outs.reserve(batch.size());
+  for (const data::WindowSample& sample : batch) {
+    Var x = Var::Leaf(scaler_.Transform(sample.x));
+    const int64_t last_observed = sample.target_step - 1;
+    Tensor hour = Tensor::Zeros({1, 24});
+    hour.data()[series.HourOfStep(last_observed)] = 1.f;
+    Tensor dow = Tensor::Zeros({1, 7});
+    dow.data()[DayOfWeek(series.DateOfStep(last_observed))] = 1.f;
+    Var out = net_->ForwardSample(x, Var::Leaf(std::move(hour)),
+                                  Var::Leaf(std::move(dow)));  // (N, 1)
+    outs.push_back(TransposeLast2(out));                       // (1, N)
+  }
+  return Concat(outs, 0);  // (B, N)
+}
+
+Tensor ChatForecaster::ScaleTargets(const Tensor& targets) const {
+  return scaler_.Transform(targets);
+}
+
+Tensor ChatForecaster::InverseScale(const Tensor& predictions) const {
+  return scaler_.Inverse(predictions);
+}
+
+}  // namespace ealgap

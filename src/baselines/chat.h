@@ -1,0 +1,50 @@
+#ifndef EALGAP_BASELINES_CHAT_H_
+#define EALGAP_BASELINES_CHAT_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/neural.h"
+#include "data/scaler.h"
+
+namespace ealgap {
+
+struct ChatOptions {
+  int64_t embed_dim = 16;   ///< attention feature width
+  int64_t context_dim = 8;  ///< hour/day-of-week embedding width
+};
+
+/// CHAT baseline (Huang et al., IJCAI'21): Cross-interaction Hierarchical
+/// ATtention. Three aspects are modeled and fused:
+///  * temporal — MLP attention over the L history steps of each region,
+///  * spatial  — attention over the regions' temporal summaries,
+///  * contextual — a day-of-week embedding (the original's contextual
+///    aspect carried semantic/anomaly features, not a clock on the target).
+/// Their cross-interactions (including elementwise products) feed the
+/// prediction head.
+class ChatForecaster : public NeuralForecaster {
+ public:
+  explicit ChatForecaster(ChatOptions options = {});
+  ~ChatForecaster() override;
+
+  std::string name() const override { return "CHAT"; }
+
+ protected:
+  void Initialize(const data::SlidingWindowDataset& dataset,
+                  const data::StepRanges& split,
+                  const TrainConfig& config) override;
+  Var ForwardBatch(const std::vector<data::WindowSample>& batch) override;
+  Tensor ScaleTargets(const Tensor& targets) const override;
+  Tensor InverseScale(const Tensor& predictions) const override;
+  nn::Module* module() override;
+
+ private:
+  struct Net;
+  ChatOptions options_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<Net> net_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_CHAT_H_

@@ -1,0 +1,34 @@
+#include "baselines/evl.h"
+
+#include "stats/descriptive.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+
+EvlForecaster::EvlForecaster(EvlOptions options, int64_t hidden_size)
+    : RecurrentForecaster(RecurrentKind::kGru, hidden_size),
+      options_(options) {}
+
+void EvlForecaster::Initialize(const data::SlidingWindowDataset& dataset,
+                               const data::StepRanges& split,
+                               const TrainConfig& config) {
+  RecurrentForecaster::Initialize(dataset, split, config);
+  // Thresholds in *scaled* space, from the training slice.
+  Tensor train_slice =
+      ops::Slice(dataset.series().counts, 1, 0, split.train_end);
+  Tensor scaled = scaler_.Transform(train_slice);
+  std::vector<double> values(scaled.data(), scaled.data() + scaled.numel());
+  loss_config_.high_threshold =
+      static_cast<float>(stats::Quantile(values, options_.high_quantile));
+  loss_config_.low_threshold =
+      static_cast<float>(stats::Quantile(values, options_.low_quantile));
+  loss_config_.beta = options_.beta;
+  loss_config_.gamma = options_.gamma;
+}
+
+Var EvlForecaster::ComputeLoss(const Var& predictions,
+                               const Tensor& scaled_targets) {
+  return nn::EvlLoss(predictions, Var::Leaf(scaled_targets), loss_config_);
+}
+
+}  // namespace ealgap

@@ -1,0 +1,42 @@
+#ifndef EALGAP_BASELINES_EVL_H_
+#define EALGAP_BASELINES_EVL_H_
+
+#include <string>
+
+#include "baselines/recurrent.h"
+#include "nn/loss.h"
+
+namespace ealgap {
+
+struct EvlOptions {
+  double high_quantile = 0.95;  ///< training quantile defining "high"
+  double low_quantile = 0.05;   ///< training quantile defining "low"
+  float beta = 1.f;
+  float gamma = 1.f;
+};
+
+/// EVL baseline (Ding et al., KDD'19): the GRU forecaster trained with the
+/// extreme-value loss. Targets are classified high/normal/low by thresholds
+/// taken from training-data quantiles, and extreme samples' errors are
+/// up-weighted by the EVT-motivated factor (see nn::EvlLoss).
+class EvlForecaster : public RecurrentForecaster {
+ public:
+  explicit EvlForecaster(EvlOptions options = {}, int64_t hidden_size = 16);
+
+  std::string name() const override { return "EVL"; }
+
+ protected:
+  void Initialize(const data::SlidingWindowDataset& dataset,
+                  const data::StepRanges& split,
+                  const TrainConfig& config) override;
+  Var ComputeLoss(const Var& predictions,
+                  const Tensor& scaled_targets) override;
+
+ private:
+  EvlOptions options_;
+  nn::EvlConfig loss_config_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_EVL_H_

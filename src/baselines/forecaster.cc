@@ -1,0 +1,22 @@
+#include "baselines/forecaster.h"
+
+namespace ealgap {
+
+Status Forecaster::PredictRange(const data::SlidingWindowDataset& dataset,
+                                int64_t begin, int64_t end,
+                                std::vector<double>* predictions,
+                                std::vector<double>* truths) {
+  for (int64_t step : dataset.TargetSteps(begin, end)) {
+    EALGAP_ASSIGN_OR_RETURN(std::vector<double> pred,
+                            Predict(dataset, step));
+    const data::WindowSample sample = dataset.MakeSample(step);
+    const float* t = sample.target.data();
+    for (size_t r = 0; r < pred.size(); ++r) {
+      predictions->push_back(pred[r]);
+      truths->push_back(t[r]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ealgap

@@ -1,0 +1,53 @@
+#ifndef EALGAP_BASELINES_FORECASTER_H_
+#define EALGAP_BASELINES_FORECASTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace ealgap {
+
+/// Training hyper-parameters shared by every learned forecaster.
+struct TrainConfig {
+  int epochs = 30;
+  float learning_rate = 2e-4f;  // the paper's 0.0002
+  int batch_size = 16;          // samples per step (each sample = N regions)
+  int patience = 6;             // early-stop epochs without val improvement
+  float grad_clip = 5.f;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Common interface of EALGAP and all baselines: fit on the chronological
+/// training range, then produce the next-step citywide prediction for any
+/// target step.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Scheme name as it appears in the paper's tables ("GRU", "ST-Norm", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on `split.train_*` using `split.val_*` for early stopping.
+  virtual Status Fit(const data::SlidingWindowDataset& dataset,
+                     const data::StepRanges& split,
+                     const TrainConfig& config) = 0;
+
+  /// Predicts X[:, target_step] (one value per region). Requires Fit().
+  virtual Result<std::vector<double>> Predict(
+      const data::SlidingWindowDataset& dataset, int64_t target_step) = 0;
+
+  /// Convenience: predictions and truths flattened over [begin, end),
+  /// ready for stats::ComputeMetrics.
+  Status PredictRange(const data::SlidingWindowDataset& dataset,
+                      int64_t begin, int64_t end,
+                      std::vector<double>* predictions,
+                      std::vector<double>* truths);
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_FORECASTER_H_

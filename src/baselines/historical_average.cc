@@ -1,0 +1,36 @@
+#include "baselines/historical_average.h"
+
+namespace ealgap {
+
+Status HistoricalAverageForecaster::Fit(
+    const data::SlidingWindowDataset& dataset, const data::StepRanges& split,
+    const TrainConfig& config) {
+  (void)dataset;
+  (void)split;
+  (void)config;
+  return Status::OK();
+}
+
+Result<std::vector<double>> HistoricalAverageForecaster::Predict(
+    const data::SlidingWindowDataset& dataset, int64_t target_step) {
+  const auto& series = dataset.series();
+  if (target_step < 0 || target_step >= series.total_steps()) {
+    return Status::OutOfRange("target step out of range");
+  }
+  const int64_t day = series.steps_per_day;
+  const bool weekend = series.IsWeekendStep(target_step);
+  std::vector<double> out(series.num_regions, 0.0);
+  int found = 0;
+  for (int64_t back = target_step - day; back >= 0 && found < history_;
+       back -= day) {
+    if (series.IsWeekendStep(back) != weekend) continue;
+    for (int r = 0; r < series.num_regions; ++r) out[r] += series.At(r, back);
+    ++found;
+  }
+  if (found > 0) {
+    for (double& v : out) v /= found;
+  }
+  return out;
+}
+
+}  // namespace ealgap

@@ -1,0 +1,34 @@
+#ifndef EALGAP_BASELINES_HISTORICAL_AVERAGE_H_
+#define EALGAP_BASELINES_HISTORICAL_AVERAGE_H_
+
+#include <string>
+
+#include "baselines/forecaster.h"
+
+namespace ealgap {
+
+/// Training-free sanity baseline: predicts the average of the `history`
+/// previous values at the same time of day on the same day type
+/// (weekday/weekend). Not part of the paper's tables; used in tests,
+/// examples, and the extended benches as a floor.
+class HistoricalAverageForecaster : public Forecaster {
+ public:
+  explicit HistoricalAverageForecaster(int history = 4)
+      : history_(history) {}
+
+  std::string name() const override { return "HA"; }
+
+  Status Fit(const data::SlidingWindowDataset& dataset,
+             const data::StepRanges& split,
+             const TrainConfig& config) override;
+
+  Result<std::vector<double>> Predict(const data::SlidingWindowDataset& dataset,
+                                      int64_t target_step) override;
+
+ private:
+  int history_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_HISTORICAL_AVERAGE_H_

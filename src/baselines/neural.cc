@@ -1,0 +1,168 @@
+#include "baselines/neural.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+
+namespace ealgap {
+
+namespace {
+
+std::vector<data::WindowSample> MakeBatch(
+    const data::SlidingWindowDataset& dataset,
+    const std::vector<int64_t>& steps, size_t begin, size_t end) {
+  std::vector<data::WindowSample> batch;
+  batch.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    batch.push_back(dataset.MakeSample(steps[i]));
+  }
+  return batch;
+}
+
+}  // namespace
+
+Var NeuralForecaster::ComputeLoss(const Var& predictions,
+                                  const Tensor& scaled_targets) {
+  return nn::MseLoss(predictions, Var::Leaf(scaled_targets));
+}
+
+Tensor NeuralForecaster::StackTargets(
+    const std::vector<data::WindowSample>& batch) const {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  const int64_t n = batch[0].target.numel();
+  Tensor out({b, n});
+  float* p = out.data();
+  for (int64_t i = 0; i < b; ++i) {
+    std::copy(batch[i].target.data(), batch[i].target.data() + n, p + i * n);
+  }
+  return out;
+}
+
+double NeuralForecaster::EvaluateLoss(const data::SlidingWindowDataset& dataset,
+                                      const std::vector<int64_t>& steps,
+                                      int batch_size) {
+  NoGradGuard no_grad;
+  double total = 0.0;
+  int64_t count = 0;
+  for (size_t i = 0; i < steps.size(); i += batch_size) {
+    const size_t end = std::min(steps.size(), i + batch_size);
+    auto batch = MakeBatch(dataset, steps, i, end);
+    Var pred = ForwardBatch(batch);
+    Tensor scaled = ScaleTargets(StackTargets(batch));
+    Var loss = ComputeLoss(pred, scaled);
+    total += loss.value().data()[0] * static_cast<double>(end - i);
+    count += static_cast<int64_t>(end - i);
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+Status NeuralForecaster::Fit(const data::SlidingWindowDataset& dataset,
+                             const data::StepRanges& split,
+                             const TrainConfig& config) {
+  current_dataset_ = &dataset;
+  Initialize(dataset, split, config);
+  fitted_ = true;
+
+  std::vector<int64_t> train_steps =
+      dataset.TargetSteps(split.train_begin, split.train_end);
+  std::vector<int64_t> val_steps =
+      dataset.TargetSteps(split.val_begin, split.val_end);
+  if (train_steps.empty()) {
+    return Status::FailedPrecondition("no training steps");
+  }
+
+  std::vector<Var> params = module()->Parameters();
+  nn::Adam optimizer(params, config.learning_rate);
+  Rng rng(config.seed);
+
+  // The scratch checkpoint name must be unique per process AND per Fit
+  // call: concurrent processes (ctest, benches) and sequential schemes in
+  // one binary must never share it.
+  static std::atomic<uint64_t> fit_counter{0};
+  const std::string best_path =
+      "/tmp/ealgap_best_" + std::to_string(::getpid()) + "_" +
+      std::to_string(fit_counter.fetch_add(1)) + ".ckpt";
+  best_val_loss_ = 1e300;
+  int bad_epochs = 0;
+  double total_step_ms = 0.0;
+  int64_t total_steps = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(train_steps);
+    double train_loss = 0.0;
+    int64_t batches = 0;
+    for (size_t i = 0; i < train_steps.size();
+         i += static_cast<size_t>(config.batch_size)) {
+      const size_t end =
+          std::min(train_steps.size(), i + config.batch_size);
+      auto batch = MakeBatch(dataset, train_steps, i, end);
+      const auto t0 = std::chrono::steady_clock::now();
+      module()->ZeroGrad();
+      Var pred = ForwardBatch(batch);
+      Tensor scaled = ScaleTargets(StackTargets(batch));
+      Var loss = ComputeLoss(pred, scaled);
+      // Divergence guard: a non-finite loss poisons every parameter, so
+      // the batch is skipped instead of stepped.
+      if (!std::isfinite(loss.value().data()[0])) continue;
+      Backward(loss);
+      const float norm = nn::ClipGradNorm(params, config.grad_clip);
+      if (!std::isfinite(norm)) continue;
+      optimizer.Step();
+      const auto t1 = std::chrono::steady_clock::now();
+      total_step_ms +=
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      ++total_steps;
+      train_loss += loss.value().data()[0];
+      ++batches;
+    }
+    const double val_loss =
+        val_steps.empty() ? train_loss / std::max<int64_t>(batches, 1)
+                          : EvaluateLoss(dataset, val_steps, config.batch_size);
+    if (config.verbose) {
+      EALGAP_LOG(Info) << name() << " epoch " << epoch << " train "
+                       << train_loss / std::max<int64_t>(batches, 1) << " val "
+                       << val_loss;
+    }
+    if (val_loss < best_val_loss_ - 1e-9) {
+      best_val_loss_ = val_loss;
+      bad_epochs = 0;
+      EALGAP_RETURN_IF_ERROR(nn::SaveParameters(*module(), best_path));
+    } else if (++bad_epochs > config.patience) {
+      break;
+    }
+  }
+  mean_step_ms_ = total_steps > 0 ? total_step_ms / total_steps : 0.0;
+  // Restore the best-validation parameters.
+  if (best_val_loss_ < 1e300) {
+    EALGAP_RETURN_IF_ERROR(nn::LoadParameters(*module(), best_path));
+    std::remove(best_path.c_str());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> NeuralForecaster::Predict(
+    const data::SlidingWindowDataset& dataset, int64_t target_step) {
+  if (!fitted_) return Status::FailedPrecondition("Predict before Fit");
+  current_dataset_ = &dataset;
+  NoGradGuard no_grad;
+  std::vector<data::WindowSample> batch = {dataset.MakeSample(target_step)};
+  Var pred = ForwardBatch(batch);
+  Tensor counts = InverseScale(pred.value());
+  const float* p = counts.data();
+  std::vector<double> out(counts.numel());
+  for (int64_t i = 0; i < counts.numel(); ++i) {
+    out[i] = std::max(0.0, static_cast<double>(p[i]));
+  }
+  return out;
+}
+
+}  // namespace ealgap

@@ -1,0 +1,74 @@
+#ifndef EALGAP_BASELINES_NEURAL_H_
+#define EALGAP_BASELINES_NEURAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+
+namespace ealgap {
+
+/// Shared skeleton for every gradient-trained forecaster (the recurrent
+/// family, ST-Norm, ST-ResNet, EVL, CHAT, and EALGAP itself).
+///
+/// Subclasses implement the model pieces; this class owns the loop:
+/// shuffled mini-batches, Adam, gradient clipping, early stopping on the
+/// validation range, and restoring the best-validation parameters.
+class NeuralForecaster : public Forecaster {
+ public:
+  Status Fit(const data::SlidingWindowDataset& dataset,
+             const data::StepRanges& split, const TrainConfig& config) final;
+
+  Result<std::vector<double>> Predict(const data::SlidingWindowDataset& dataset,
+                                      int64_t target_step) final;
+
+  /// Mean validation loss of the best epoch (for diagnostics).
+  double best_validation_loss() const { return best_val_loss_; }
+  /// Wall-clock milliseconds of one average optimization step.
+  double mean_step_ms() const { return mean_step_ms_; }
+
+ protected:
+  /// Builds modules and fits scalers; called once at the start of Fit.
+  virtual void Initialize(const data::SlidingWindowDataset& dataset,
+                          const data::StepRanges& split,
+                          const TrainConfig& config) = 0;
+
+  /// Model-space predictions for a batch, shape (B, N).
+  virtual Var ForwardBatch(const std::vector<data::WindowSample>& batch) = 0;
+
+  /// Converts raw count targets (B, N) to model space.
+  virtual Tensor ScaleTargets(const Tensor& targets) const = 0;
+
+  /// Converts model-space predictions (B, N) back to counts, clamped >= 0.
+  virtual Tensor InverseScale(const Tensor& predictions) const = 0;
+
+  /// Training loss; defaults to MSE in model space.
+  virtual Var ComputeLoss(const Var& predictions, const Tensor& scaled_targets);
+
+  /// The module whose parameters are optimized.
+  virtual nn::Module* module() = 0;
+
+  /// The dataset of the in-flight Fit/Predict call; valid inside
+  /// ForwardBatch for forecasters (ST-ResNet) that need more history than
+  /// a WindowSample carries.
+  const data::SlidingWindowDataset* current_dataset() const {
+    return current_dataset_;
+  }
+
+ private:
+  const data::SlidingWindowDataset* current_dataset_ = nullptr;
+  Tensor StackTargets(const std::vector<data::WindowSample>& batch) const;
+  double EvaluateLoss(const data::SlidingWindowDataset& dataset,
+                      const std::vector<int64_t>& steps, int batch_size);
+
+  bool fitted_ = false;
+  double best_val_loss_ = 0.0;
+  double mean_step_ms_ = 0.0;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_NEURAL_H_

@@ -1,0 +1,111 @@
+#include "baselines/recurrent.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+
+struct RecurrentForecaster::Net : nn::Module {
+  Net(RecurrentKind kind, int64_t hidden, Rng& rng) {
+    switch (kind) {
+      case RecurrentKind::kRnn:
+        rnn = std::make_unique<nn::RnnCell>(1, hidden, rng);
+        RegisterModule("rnn", rnn.get());
+        break;
+      case RecurrentKind::kGru:
+        gru = std::make_unique<nn::GruCell>(1, hidden, rng);
+        RegisterModule("gru", gru.get());
+        break;
+      case RecurrentKind::kLstm:
+        lstm = std::make_unique<nn::LstmCell>(1, hidden, rng);
+        RegisterModule("lstm", lstm.get());
+        break;
+    }
+    head = std::make_unique<nn::Linear>(hidden, 1, rng);
+    RegisterModule("head", head.get());
+  }
+
+  // x: (rows, L) of scaled scalars -> (rows, 1)
+  Var Forward(const Var& x) const {
+    const int64_t rows = x.value().dim(0);
+    const int64_t l = x.value().dim(1);
+    std::vector<Var> steps;
+    steps.reserve(l);
+    for (int64_t t = 0; t < l; ++t) {
+      steps.push_back(Slice(x, 1, t, t + 1));  // (rows, 1)
+    }
+    Var h;
+    if (rnn) {
+      h = RunRnn(*rnn, steps, nn::ZeroState(rows, rnn->hidden_size()));
+    } else if (gru) {
+      h = RunGru(*gru, steps, nn::ZeroState(rows, gru->hidden_size()));
+    } else {
+      h = RunLstm(*lstm, steps,
+                  {nn::ZeroState(rows, lstm->hidden_size()),
+                   nn::ZeroState(rows, lstm->hidden_size())});
+    }
+    return head->Forward(h);
+  }
+
+  std::unique_ptr<nn::RnnCell> rnn;
+  std::unique_ptr<nn::GruCell> gru;
+  std::unique_ptr<nn::LstmCell> lstm;
+  std::unique_ptr<nn::Linear> head;
+};
+
+RecurrentForecaster::RecurrentForecaster(RecurrentKind kind,
+                                         int64_t hidden_size)
+    : kind_(kind), hidden_size_(hidden_size) {}
+
+RecurrentForecaster::~RecurrentForecaster() = default;
+
+nn::Module* RecurrentForecaster::module() { return net_.get(); }
+
+std::string RecurrentForecaster::name() const {
+  switch (kind_) {
+    case RecurrentKind::kRnn:
+      return "RNN";
+    case RecurrentKind::kGru:
+      return "GRU";
+    case RecurrentKind::kLstm:
+      return "LSTM";
+  }
+  return "?";
+}
+
+void RecurrentForecaster::Initialize(const data::SlidingWindowDataset& dataset,
+                                     const data::StepRanges& split,
+                                     const TrainConfig& config) {
+  // Fit the scaler on the training portion of the series only.
+  const auto& series = dataset.series();
+  Tensor train_slice = ops::Slice(series.counts, 1, 0, split.train_end);
+  scaler_.Fit(train_slice);
+  Rng rng(config.seed);
+  net_ = std::make_unique<Net>(kind_, hidden_size_, rng);
+}
+
+Var RecurrentForecaster::ForwardBatch(
+    const std::vector<data::WindowSample>& batch) {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  const int64_t n = batch[0].x.dim(0);
+  const int64_t l = batch[0].x.dim(1);
+  // Stack to (B*N, L): regions are rows sharing the cell weights.
+  Tensor x({b * n, l});
+  float* px = x.data();
+  for (int64_t i = 0; i < b; ++i) {
+    std::copy(batch[i].x.data(), batch[i].x.data() + n * l, px + i * n * l);
+  }
+  Var scaled = Var::Leaf(scaler_.Transform(x));
+  Var out = net_->Forward(scaled);        // (B*N, 1)
+  return Reshape(out, {b, n});
+}
+
+Tensor RecurrentForecaster::ScaleTargets(const Tensor& targets) const {
+  return scaler_.Transform(targets);
+}
+
+Tensor RecurrentForecaster::InverseScale(const Tensor& predictions) const {
+  return scaler_.Inverse(predictions);
+}
+
+}  // namespace ealgap

@@ -1,0 +1,46 @@
+#ifndef EALGAP_BASELINES_RECURRENT_H_
+#define EALGAP_BASELINES_RECURRENT_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/neural.h"
+#include "data/scaler.h"
+#include "nn/linear.h"
+#include "nn/rnn_cells.h"
+
+namespace ealgap {
+
+/// Which recurrent cell drives the sequence encoder.
+enum class RecurrentKind { kRnn, kGru, kLstm };
+
+/// The paper's GRU / LSTM / RNN baselines: a shared-weight per-region
+/// sequence-to-one forecaster over the last L steps. Each region's scalar
+/// series is z-scored, encoded by the cell, and projected to the next-step
+/// value.
+class RecurrentForecaster : public NeuralForecaster {
+ public:
+  explicit RecurrentForecaster(RecurrentKind kind, int64_t hidden_size = 16);
+  ~RecurrentForecaster() override;
+
+  std::string name() const override;
+
+ protected:
+  void Initialize(const data::SlidingWindowDataset& dataset,
+                  const data::StepRanges& split,
+                  const TrainConfig& config) override;
+  Var ForwardBatch(const std::vector<data::WindowSample>& batch) override;
+  Tensor ScaleTargets(const Tensor& targets) const override;
+  Tensor InverseScale(const Tensor& predictions) const override;
+  nn::Module* module() override;
+
+  struct Net;
+  RecurrentKind kind_;
+  int64_t hidden_size_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<Net> net_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_RECURRENT_H_

@@ -1,0 +1,125 @@
+#include "baselines/st_norm.h"
+
+#include <cmath>
+
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+
+namespace {
+
+// z-scores each row of (N, L) in place of a copy.
+Tensor TemporalNorm(const Tensor& x) {
+  const int64_t n = x.dim(0), l = x.dim(1);
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (int64_t r = 0; r < n; ++r) {
+    double mean = 0.0;
+    for (int64_t j = 0; j < l; ++j) mean += p[r * l + j];
+    mean /= l;
+    double var = 0.0;
+    for (int64_t j = 0; j < l; ++j) {
+      var += (p[r * l + j] - mean) * (p[r * l + j] - mean);
+    }
+    const double sd = std::sqrt(var / l + 1e-5);
+    for (int64_t j = 0; j < l; ++j) {
+      q[r * l + j] = static_cast<float>((p[r * l + j] - mean) / sd);
+    }
+  }
+  return out;
+}
+
+// z-scores each column of (N, L) across regions.
+Tensor SpatialNorm(const Tensor& x) {
+  const int64_t n = x.dim(0), l = x.dim(1);
+  Tensor out(x.shape());
+  const float* p = x.data();
+  float* q = out.data();
+  for (int64_t j = 0; j < l; ++j) {
+    double mean = 0.0;
+    for (int64_t r = 0; r < n; ++r) mean += p[r * l + j];
+    mean /= n;
+    double var = 0.0;
+    for (int64_t r = 0; r < n; ++r) {
+      var += (p[r * l + j] - mean) * (p[r * l + j] - mean);
+    }
+    const double sd = std::sqrt(var / n + 1e-5);
+    for (int64_t r = 0; r < n; ++r) {
+      q[r * l + j] = static_cast<float>((p[r * l + j] - mean) / sd);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct StNormForecaster::Net : nn::Module {
+  Net(int64_t l, int64_t hidden, Rng& rng)
+      : fc1(3 * l, hidden, rng),
+        fc2(hidden, hidden / 2, rng),
+        fc3(hidden / 2, 1, rng) {
+    RegisterModule("fc1", &fc1);
+    RegisterModule("fc2", &fc2);
+    RegisterModule("fc3", &fc3);
+  }
+  // features: (rows, 3L) -> (rows, 1)
+  Var Forward(const Var& features) const {
+    return fc3.Forward(Relu(fc2.Forward(Relu(fc1.Forward(features)))));
+  }
+  nn::Linear fc1, fc2, fc3;
+};
+
+StNormForecaster::StNormForecaster(int64_t hidden_size)
+    : hidden_size_(hidden_size) {}
+
+StNormForecaster::~StNormForecaster() = default;
+
+nn::Module* StNormForecaster::module() { return net_.get(); }
+
+void StNormForecaster::Initialize(const data::SlidingWindowDataset& dataset,
+                                  const data::StepRanges& split,
+                                  const TrainConfig& config) {
+  Tensor train_slice =
+      ops::Slice(dataset.series().counts, 1, 0, split.train_end);
+  scaler_.Fit(train_slice);
+  Rng rng(config.seed);
+  net_ = std::make_unique<Net>(dataset.options().history_length, hidden_size_,
+                               rng);
+}
+
+Var StNormForecaster::ForwardBatch(
+    const std::vector<data::WindowSample>& batch) {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  const int64_t n = batch[0].x.dim(0);
+  const int64_t l = batch[0].x.dim(1);
+  Tensor features({b * n, 3 * l});
+  float* pf = features.data();
+  for (int64_t i = 0; i < b; ++i) {
+    Tensor raw = scaler_.Transform(batch[i].x);
+    Tensor tn = TemporalNorm(batch[i].x);
+    Tensor sn = SpatialNorm(batch[i].x);
+    const float* pr = raw.data();
+    const float* pt = tn.data();
+    const float* ps = sn.data();
+    for (int64_t r = 0; r < n; ++r) {
+      float* row = pf + (i * n + r) * 3 * l;
+      std::copy(pr + r * l, pr + (r + 1) * l, row);
+      std::copy(pt + r * l, pt + (r + 1) * l, row + l);
+      std::copy(ps + r * l, ps + (r + 1) * l, row + 2 * l);
+    }
+  }
+  Var out = net_->Forward(Var::Leaf(std::move(features)));  // (B*N, 1)
+  return Reshape(out, {b, n});
+}
+
+Tensor StNormForecaster::ScaleTargets(const Tensor& targets) const {
+  return scaler_.Transform(targets);
+}
+
+Tensor StNormForecaster::InverseScale(const Tensor& predictions) const {
+  return scaler_.Inverse(predictions);
+}
+
+}  // namespace ealgap

@@ -1,0 +1,46 @@
+#ifndef EALGAP_BASELINES_ST_NORM_H_
+#define EALGAP_BASELINES_ST_NORM_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/neural.h"
+#include "data/scaler.h"
+
+namespace ealgap {
+
+/// ST-Norm baseline (Deng et al., KDD'21), adapted to region-vector data.
+///
+/// Two normalization streams factor the input into components:
+///  * temporal normalization — z-score each region across the L window
+///    (isolates the high-frequency local signal),
+///  * spatial normalization — z-score each time step across regions
+///    (isolates the citywide "global" level).
+/// The raw (z-scaled) window and both streams are concatenated per region
+/// and fed to an MLP head that predicts the next step.
+class StNormForecaster : public NeuralForecaster {
+ public:
+  explicit StNormForecaster(int64_t hidden_size = 48);
+  ~StNormForecaster() override;
+
+  std::string name() const override { return "ST-Norm"; }
+
+ protected:
+  void Initialize(const data::SlidingWindowDataset& dataset,
+                  const data::StepRanges& split,
+                  const TrainConfig& config) override;
+  Var ForwardBatch(const std::vector<data::WindowSample>& batch) override;
+  Tensor ScaleTargets(const Tensor& targets) const override;
+  Tensor InverseScale(const Tensor& predictions) const override;
+  nn::Module* module() override;
+
+ private:
+  struct Net;
+  int64_t hidden_size_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<Net> net_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_ST_NORM_H_

@@ -1,0 +1,214 @@
+#include "baselines/st_resnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+
+namespace {
+
+// One pre-activation residual unit: x + conv(relu(conv(relu(x)))).
+struct ResUnit : nn::Module {
+  ResUnit(int64_t filters, Rng& rng)
+      : conv1(filters, filters, 3, rng, 1, 1),
+        conv2(filters, filters, 3, rng, 1, 1) {
+    RegisterModule("conv1", &conv1);
+    RegisterModule("conv2", &conv2);
+  }
+  Var Forward(const Var& x) const {
+    return Add(x, conv2.Forward(Relu(conv1.Forward(Relu(x)))));
+  }
+  nn::Conv2d conv1, conv2;
+};
+
+// One branch: conv-in, res units, conv-out to a single channel.
+struct Branch : nn::Module {
+  Branch(int64_t in_channels, const StResNetOptions& opts, Rng& rng)
+      : conv_in(in_channels, opts.filters, 3, rng, 1, 1),
+        conv_out(opts.filters, 1, 3, rng, 1, 1) {
+    for (int i = 0; i < opts.res_units; ++i) {
+      units.push_back(std::make_unique<ResUnit>(opts.filters, rng));
+      RegisterModule("res" + std::to_string(i), units.back().get());
+    }
+    RegisterModule("conv_in", &conv_in);
+    RegisterModule("conv_out", &conv_out);
+  }
+  Var Forward(const Var& x) const {
+    Var h = conv_in.Forward(x);
+    for (const auto& u : units) h = u->Forward(h);
+    return conv_out.Forward(h);  // (B, 1, H, W)
+  }
+  nn::Conv2d conv_in;
+  std::vector<std::unique_ptr<ResUnit>> units;
+  nn::Conv2d conv_out;
+};
+
+}  // namespace
+
+struct StResNetForecaster::Net : nn::Module {
+  Net(const StResNetOptions& opts, int64_t h, int64_t w, Rng& rng)
+      : closeness(opts.closeness, opts, rng),
+        period(opts.period, opts, rng),
+        trend(opts.trend, opts, rng) {
+    RegisterModule("closeness", &closeness);
+    RegisterModule("period", &period);
+    RegisterModule("trend", &trend);
+    // Parametric fusion weights, one map per branch.
+    w_c = RegisterParameter("w_c", Tensor::Full({1, 1, h, w}, 0.5f));
+    w_p = RegisterParameter("w_p", Tensor::Full({1, 1, h, w}, 0.3f));
+    w_t = RegisterParameter("w_t", Tensor::Full({1, 1, h, w}, 0.2f));
+  }
+  Var Forward(const Var& xc, const Var& xp, const Var& xt) const {
+    Var fused = Add(Add(Mul(closeness.Forward(xc), w_c),
+                        Mul(period.Forward(xp), w_p)),
+                    Mul(trend.Forward(xt), w_t));
+    return Tanh(fused);  // (B, 1, H, W) in [-1, 1]
+  }
+  Branch closeness, period, trend;
+  Var w_c, w_p, w_t;
+};
+
+StResNetForecaster::StResNetForecaster(
+    std::vector<cluster::Point2> region_centers, StResNetOptions options)
+    : options_(options), centers_(std::move(region_centers)) {
+  const int n = static_cast<int>(centers_.size());
+  EALGAP_CHECK_GT(n, 0);
+  // Geographic rasterization, as the original ST-ResNet maps a city onto a
+  // raster: regions land at their true (lon, lat) cell, most cells stay
+  // empty. The raster is sized so roughly half the cells are unoccupied.
+  grid_rows_ = std::max(2, static_cast<int>(std::ceil(std::sqrt(2.0 * n))));
+  grid_cols_ = grid_rows_;
+  double min_x = centers_[0].x, max_x = centers_[0].x;
+  double min_y = centers_[0].y, max_y = centers_[0].y;
+  for (const auto& c : centers_) {
+    min_x = std::min(min_x, c.x);
+    max_x = std::max(max_x, c.x);
+    min_y = std::min(min_y, c.y);
+    max_y = std::max(max_y, c.y);
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  region_cell_.assign(n, 0);
+  std::vector<bool> occupied(grid_rows_ * grid_cols_, false);
+  for (int r = 0; r < n; ++r) {
+    // North at row 0.
+    int row = static_cast<int>((max_y - centers_[r].y) / span_y *
+                               (grid_rows_ - 1) + 0.5);
+    int col = static_cast<int>((centers_[r].x - min_x) / span_x *
+                               (grid_cols_ - 1) + 0.5);
+    row = std::clamp(row, 0, grid_rows_ - 1);
+    col = std::clamp(col, 0, grid_cols_ - 1);
+    int cell = row * grid_cols_ + col;
+    // Resolve collisions by scanning outward for the nearest free cell.
+    if (occupied[cell]) {
+      int best = -1;
+      int64_t best_d = INT64_MAX;
+      for (int rr = 0; rr < grid_rows_; ++rr) {
+        for (int cc = 0; cc < grid_cols_; ++cc) {
+          if (occupied[rr * grid_cols_ + cc]) continue;
+          const int64_t d = static_cast<int64_t>(rr - row) * (rr - row) +
+                            static_cast<int64_t>(cc - col) * (cc - col);
+          if (d < best_d) {
+            best_d = d;
+            best = rr * grid_cols_ + cc;
+          }
+        }
+      }
+      EALGAP_CHECK_GE(best, 0);
+      cell = best;
+    }
+    occupied[cell] = true;
+    region_cell_[r] = cell;
+  }
+}
+
+StResNetForecaster::~StResNetForecaster() = default;
+
+nn::Module* StResNetForecaster::module() { return net_.get(); }
+
+void StResNetForecaster::Initialize(const data::SlidingWindowDataset& dataset,
+                                    const data::StepRanges& split,
+                                    const TrainConfig& config) {
+  EALGAP_CHECK_EQ(static_cast<int>(centers_.size()),
+                  dataset.series().num_regions);
+  Tensor train_slice =
+      ops::Slice(dataset.series().counts, 1, 0, split.train_end);
+  scaler_.Fit(train_slice);
+  // Paper protocol: every baseline shares EALGAP's L and M.
+  if (options_.closeness <= 0) {
+    options_.closeness = static_cast<int>(dataset.options().history_length);
+  }
+  if (options_.period <= 0) {
+    options_.period = static_cast<int>(dataset.options().num_windows);
+  }
+  if (options_.trend <= 0) {
+    options_.trend = static_cast<int>(dataset.options().num_windows);
+  }
+  Rng rng(config.seed);
+  net_ = std::make_unique<Net>(options_, grid_rows_, grid_cols_, rng);
+}
+
+Tensor StResNetForecaster::GatherGrid(
+    const std::vector<data::WindowSample>& batch,
+    const std::vector<int64_t>& offsets) const {
+  const data::SlidingWindowDataset* ds = current_dataset();
+  EALGAP_CHECK(ds != nullptr);
+  const auto& series = ds->series();
+  const int64_t b = static_cast<int64_t>(batch.size());
+  const int64_t c = static_cast<int64_t>(offsets.size());
+  const int n = series.num_regions;
+  Tensor out = Tensor::Zeros({b, c, grid_rows_, grid_cols_});
+  float* po = out.data();
+  const int64_t cell_count = static_cast<int64_t>(grid_rows_) * grid_cols_;
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      // Clamp early-history offsets to the series start; only the first
+      // few training samples are affected.
+      const int64_t step =
+          std::max<int64_t>(batch[i].target_step - offsets[ch], 0);
+      for (int r = 0; r < n; ++r) {
+        po[(i * c + ch) * cell_count + region_cell_[r]] = series.At(r, step);
+      }
+    }
+  }
+  return scaler_.Transform(out);
+}
+
+Var StResNetForecaster::ForwardBatch(
+    const std::vector<data::WindowSample>& batch) {
+  const int64_t b = static_cast<int64_t>(batch.size());
+  const int64_t day = current_dataset()->series().steps_per_day;
+  std::vector<int64_t> off_c, off_p, off_t;
+  for (int i = 1; i <= options_.closeness; ++i) off_c.push_back(i);
+  for (int i = 1; i <= options_.period; ++i) off_p.push_back(i * day);
+  for (int i = 1; i <= options_.trend; ++i) off_t.push_back(i * day * 7);
+  Var xc = Var::Leaf(GatherGrid(batch, off_c));
+  Var xp = Var::Leaf(GatherGrid(batch, off_p));
+  Var xt = Var::Leaf(GatherGrid(batch, off_t));
+  Var grid = net_->Forward(xc, xp, xt);  // (B, 1, H, W)
+  // Read region cells back out into (B, N).
+  const int n = static_cast<int>(region_cell_.size());
+  const int64_t cell_count = static_cast<int64_t>(grid_rows_) * grid_cols_;
+  Var flat = Reshape(grid, {b, cell_count});
+  std::vector<Var> cols;
+  cols.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    cols.push_back(Slice(flat, 1, region_cell_[r], region_cell_[r] + 1));
+  }
+  return Concat(cols, 1);  // (B, N)
+}
+
+Tensor StResNetForecaster::ScaleTargets(const Tensor& targets) const {
+  return scaler_.Transform(targets);
+}
+
+Tensor StResNetForecaster::InverseScale(const Tensor& predictions) const {
+  return scaler_.Inverse(predictions);
+}
+
+}  // namespace ealgap

@@ -1,0 +1,71 @@
+#ifndef EALGAP_BASELINES_ST_RESNET_H_
+#define EALGAP_BASELINES_ST_RESNET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/neural.h"
+#include "cluster/kmeans.h"
+#include "data/scaler.h"
+
+namespace ealgap {
+
+struct StResNetOptions {
+  /// Branch lengths. Values <= 0 mean "derive from the dataset at Fit time"
+  /// following the paper's protocol (all baselines share EALGAP's L and M):
+  /// closeness = L recent steps, period = M previous days, trend = M
+  /// previous weeks.
+  int closeness = 0;
+  int period = 0;
+  int trend = 0;
+  int filters = 16;    ///< conv channels
+  int res_units = 2;   ///< residual units per branch
+};
+
+/// ST-ResNet baseline (Zhang et al., AAAI'17), adapted as in the paper:
+/// regions are laid out on a small geographic grid (rows by latitude,
+/// columns by longitude), and three branches of residual 3x3 convolutions —
+/// closeness / period / trend sequences — are fused with learned
+/// elementwise weights under a tanh head on min-max scaled data.
+class StResNetForecaster : public NeuralForecaster {
+ public:
+  /// `region_centers` provide the geographic grid layout (from the
+  /// partition stage).
+  StResNetForecaster(std::vector<cluster::Point2> region_centers,
+                     StResNetOptions options = {});
+  ~StResNetForecaster() override;
+
+  std::string name() const override { return "ST-ResNet"; }
+
+  int grid_rows() const { return grid_rows_; }
+  int grid_cols() const { return grid_cols_; }
+  /// Raster cell (row * cols + col) of each region; cells are unique.
+  const std::vector<int>& region_cells() const { return region_cell_; }
+
+ protected:
+  void Initialize(const data::SlidingWindowDataset& dataset,
+                  const data::StepRanges& split,
+                  const TrainConfig& config) override;
+  Var ForwardBatch(const std::vector<data::WindowSample>& batch) override;
+  Tensor ScaleTargets(const Tensor& targets) const override;
+  Tensor InverseScale(const Tensor& predictions) const override;
+  nn::Module* module() override;
+
+ private:
+  struct Net;
+  /// (B, channels, H, W) grid tensor for the given step offsets.
+  Tensor GatherGrid(const std::vector<data::WindowSample>& batch,
+                    const std::vector<int64_t>& offsets) const;
+
+  StResNetOptions options_;
+  std::vector<cluster::Point2> centers_;
+  int grid_rows_ = 0, grid_cols_ = 0;
+  std::vector<int> region_cell_;  ///< region -> row*cols+col
+  data::MinMaxScaler scaler_;
+  std::unique_ptr<Net> net_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_BASELINES_ST_RESNET_H_

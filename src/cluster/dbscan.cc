@@ -1,0 +1,62 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+namespace ealgap {
+namespace cluster {
+
+namespace {
+
+std::vector<int> RegionQuery(const std::vector<Point2>& points, size_t idx,
+                             double eps2) {
+  std::vector<int> out;
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (SquaredDistance(points[idx], points[j]) <= eps2) {
+      out.push_back(static_cast<int>(j));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DbscanResult> Dbscan(const std::vector<Point2>& points,
+                            const DbscanOptions& options) {
+  if (options.eps <= 0.0) return Status::InvalidArgument("eps must be > 0");
+  if (options.min_points < 1) {
+    return Status::InvalidArgument("min_points must be >= 1");
+  }
+  const double eps2 = options.eps * options.eps;
+  constexpr int kUnvisited = -2;
+  DbscanResult result;
+  result.labels.assign(points.size(), kUnvisited);
+  int cluster = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (result.labels[i] != kUnvisited) continue;
+    std::vector<int> neighbors = RegionQuery(points, i, eps2);
+    if (static_cast<int>(neighbors.size()) < options.min_points) {
+      result.labels[i] = kNoise;
+      continue;
+    }
+    // Start a new cluster and expand it breadth-first.
+    result.labels[i] = cluster;
+    std::deque<int> queue(neighbors.begin(), neighbors.end());
+    while (!queue.empty()) {
+      const int q = queue.front();
+      queue.pop_front();
+      if (result.labels[q] == kNoise) result.labels[q] = cluster;
+      if (result.labels[q] != kUnvisited) continue;
+      result.labels[q] = cluster;
+      std::vector<int> qn = RegionQuery(points, q, eps2);
+      if (static_cast<int>(qn.size()) >= options.min_points) {
+        queue.insert(queue.end(), qn.begin(), qn.end());
+      }
+    }
+    ++cluster;
+  }
+  result.num_clusters = cluster;
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace ealgap

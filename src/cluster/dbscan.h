@@ -1,0 +1,34 @@
+#ifndef EALGAP_CLUSTER_DBSCAN_H_
+#define EALGAP_CLUSTER_DBSCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "cluster/kmeans.h"  // Point2
+
+namespace ealgap {
+namespace cluster {
+
+/// Label for points DBSCAN classifies as noise.
+inline constexpr int kNoise = -1;
+
+struct DbscanOptions {
+  double eps = 0.01;   ///< neighborhood radius (same units as the points)
+  int min_points = 4;  ///< core-point density threshold (incl. the point)
+};
+
+struct DbscanResult {
+  std::vector<int> labels;  ///< cluster id per point, or kNoise
+  int num_clusters = 0;
+};
+
+/// Density-Based Spatial Clustering of Applications with Noise
+/// (Ester et al., KDD'96). Used by ablation (v): region partitioning with
+/// DBSCAN instead of k-means.
+Result<DbscanResult> Dbscan(const std::vector<Point2>& points,
+                            const DbscanOptions& options);
+
+}  // namespace cluster
+}  // namespace ealgap
+
+#endif  // EALGAP_CLUSTER_DBSCAN_H_

@@ -1,0 +1,113 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ealgap {
+namespace cluster {
+
+double SquaredDistance(const Point2& a, const Point2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+namespace {
+
+// k-means++ seeding: each next center is drawn proportionally to the
+// squared distance from the nearest already-chosen center.
+std::vector<Point2> SeedPlusPlus(const std::vector<Point2>& points, int k,
+                                 Rng& rng) {
+  std::vector<Point2> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng.UniformInt(points.size())]);
+  std::vector<double> d2(points.size());
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const Point2& ctr : centers) {
+        best = std::min(best, SquaredDistance(points[i], ctr));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centers; duplicate one.
+      centers.push_back(points[rng.UniformInt(points.size())]);
+      continue;
+    }
+    double r = rng.Uniform() * total;
+    size_t pick = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back(points[pick]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<Point2>& points, int k,
+                            const KMeansOptions& options) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (points.empty() || static_cast<size_t>(k) > points.size()) {
+    return Status::InvalidArgument("k exceeds number of points");
+  }
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centers = SeedPlusPlus(points, k, rng);
+  result.labels.assign(points.size(), 0);
+  std::vector<double> sum_x(k), sum_y(k);
+  std::vector<int64_t> count(k);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d = SquaredDistance(points[i], result.centers[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+      result.inertia += best;
+    }
+    // Update step.
+    std::fill(sum_x.begin(), sum_x.end(), 0.0);
+    std::fill(sum_y.begin(), sum_y.end(), 0.0);
+    std::fill(count.begin(), count.end(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const int c = result.labels[i];
+      sum_x[c] += points[i].x;
+      sum_y[c] += points[i].y;
+      ++count[c];
+    }
+    double max_shift = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (count[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centers[c] = points[rng.UniformInt(points.size())];
+        max_shift = std::numeric_limits<double>::max();
+        continue;
+      }
+      const Point2 next{sum_x[c] / count[c], sum_y[c] / count[c]};
+      max_shift = std::max(max_shift, SquaredDistance(next, result.centers[c]));
+      result.centers[c] = next;
+    }
+    if (max_shift < options.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace ealgap

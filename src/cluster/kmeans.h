@@ -1,0 +1,43 @@
+#ifndef EALGAP_CLUSTER_KMEANS_H_
+#define EALGAP_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace ealgap {
+namespace cluster {
+
+/// A 2-D point (longitude, latitude for station coordinates).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Squared Euclidean distance.
+double SquaredDistance(const Point2& a, const Point2& b);
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<int> labels;       ///< cluster index per input point
+  std::vector<Point2> centers;   ///< k centroids
+  double inertia = 0.0;          ///< sum of squared distances to centers
+  int iterations = 0;            ///< Lloyd iterations executed
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-7;  ///< stop when centers move less than this
+  uint64_t seed = 42;
+};
+
+/// Lloyd's k-means with k-means++ seeding (paper's default region
+/// partitioner, Sec. VI-B). Fails when k <= 0 or k > points.size().
+Result<KMeansResult> KMeans(const std::vector<Point2>& points, int k,
+                            const KMeansOptions& options = {});
+
+}  // namespace cluster
+}  // namespace ealgap
+
+#endif  // EALGAP_CLUSTER_KMEANS_H_

@@ -1,0 +1,107 @@
+#include "cluster/optics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ealgap {
+namespace cluster {
+
+namespace {
+
+constexpr double kUndefined = 1e18;
+
+// Core distance: distance to the min_points-th nearest neighbor, or
+// kUndefined when there are not enough neighbors within max_eps.
+double CoreDistance(const std::vector<Point2>& points, size_t idx,
+                    double max_eps, int min_points) {
+  std::vector<double> dists;
+  for (size_t j = 0; j < points.size(); ++j) {
+    const double d = std::sqrt(SquaredDistance(points[idx], points[j]));
+    if (d <= max_eps) dists.push_back(d);
+  }
+  if (static_cast<int>(dists.size()) < min_points) return kUndefined;
+  std::nth_element(dists.begin(), dists.begin() + (min_points - 1),
+                   dists.end());
+  return dists[min_points - 1];
+}
+
+}  // namespace
+
+Result<OpticsResult> Optics(const std::vector<Point2>& points,
+                            const OpticsOptions& options) {
+  if (options.min_points < 1) {
+    return Status::InvalidArgument("min_points must be >= 1");
+  }
+  if (options.max_eps <= 0.0 || options.cluster_eps <= 0.0) {
+    return Status::InvalidArgument("eps values must be > 0");
+  }
+  const size_t n = points.size();
+  OpticsResult result;
+  result.reachability.assign(n, kUndefined);
+  std::vector<bool> processed(n, false);
+  std::vector<double> core(n);
+  for (size_t i = 0; i < n; ++i) {
+    core[i] = CoreDistance(points, i, options.max_eps, options.min_points);
+  }
+  for (size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    processed[start] = true;
+    result.ordering.push_back(static_cast<int>(start));
+    if (core[start] == kUndefined) continue;
+    // Priority "seeds" set keyed by current reachability.
+    std::vector<size_t> seeds;
+    auto update = [&](size_t center) {
+      for (size_t j = 0; j < n; ++j) {
+        if (processed[j]) continue;
+        const double d = std::sqrt(SquaredDistance(points[center], points[j]));
+        if (d > options.max_eps) continue;
+        const double new_reach = std::max(core[center], d);
+        if (new_reach < result.reachability[j]) {
+          const bool was_seed = result.reachability[j] != kUndefined;
+          result.reachability[j] = new_reach;
+          if (!was_seed) seeds.push_back(j);
+        }
+      }
+    };
+    update(start);
+    while (!seeds.empty()) {
+      // Extract the seed with the smallest reachability.
+      size_t best_pos = 0;
+      for (size_t s = 1; s < seeds.size(); ++s) {
+        if (result.reachability[seeds[s]] <
+            result.reachability[seeds[best_pos]]) {
+          best_pos = s;
+        }
+      }
+      const size_t next = seeds[best_pos];
+      seeds.erase(seeds.begin() + best_pos);
+      if (processed[next]) continue;
+      processed[next] = true;
+      result.ordering.push_back(static_cast<int>(next));
+      if (core[next] != kUndefined) update(next);
+    }
+  }
+  // Flat extraction: walk the ordering; reachability above cluster_eps
+  // starts a new cluster (when the point is core) or marks noise.
+  result.labels.assign(n, kNoise);
+  int cluster = -1;
+  for (int idx : result.ordering) {
+    if (result.reachability[idx] > options.cluster_eps) {
+      if (core[idx] != kUndefined && core[idx] <= options.cluster_eps) {
+        ++cluster;
+        result.labels[idx] = cluster;
+      } else {
+        result.labels[idx] = kNoise;
+      }
+    } else {
+      if (cluster < 0) cluster = 0;
+      result.labels[idx] = cluster;
+    }
+  }
+  result.num_clusters = cluster + 1;
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace ealgap

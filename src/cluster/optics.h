@@ -1,0 +1,38 @@
+#ifndef EALGAP_CLUSTER_OPTICS_H_
+#define EALGAP_CLUSTER_OPTICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "cluster/dbscan.h"
+
+namespace ealgap {
+namespace cluster {
+
+struct OpticsOptions {
+  double max_eps = 1e9;   ///< neighborhood cap (generating distance)
+  int min_points = 4;     ///< density threshold
+  double cluster_eps = 0.01;  ///< reachability cut used to extract clusters
+};
+
+struct OpticsResult {
+  /// Processing order of point indices.
+  std::vector<int> ordering;
+  /// Reachability distance per point (in input index space); infinity
+  /// (1e18) for points never density-reached.
+  std::vector<double> reachability;
+  /// DBSCAN-equivalent clustering extracted at `cluster_eps`.
+  std::vector<int> labels;
+  int num_clusters = 0;
+};
+
+/// OPTICS (Ankerst et al., SIGMOD'99): computes the density reachability
+/// ordering, then extracts a flat clustering by cutting the reachability
+/// plot at `cluster_eps`. Used by ablation (vi).
+Result<OpticsResult> Optics(const std::vector<Point2>& points,
+                            const OpticsOptions& options);
+
+}  // namespace cluster
+}  // namespace ealgap
+
+#endif  // EALGAP_CLUSTER_OPTICS_H_

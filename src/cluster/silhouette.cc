@@ -1,0 +1,50 @@
+#include "cluster/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ealgap {
+namespace cluster {
+
+Result<double> MeanSilhouette(const std::vector<Point2>& points,
+                              const std::vector<int>& labels) {
+  if (points.size() != labels.size() || points.empty()) {
+    return Status::InvalidArgument("points/labels size mismatch");
+  }
+  int num_clusters = 0;
+  for (int l : labels) {
+    if (l < 0) return Status::InvalidArgument("negative label");
+    num_clusters = std::max(num_clusters, l + 1);
+  }
+  if (num_clusters < 2) {
+    return Status::FailedPrecondition("need at least two clusters");
+  }
+  std::vector<int64_t> sizes(num_clusters, 0);
+  for (int l : labels) ++sizes[l];
+
+  double total = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (sizes[labels[i]] <= 1) continue;  // singleton: silhouette 0
+    // Mean distance to every cluster.
+    std::vector<double> mean_dist(num_clusters, 0.0);
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      mean_dist[labels[j]] += std::sqrt(SquaredDistance(points[i], points[j]));
+    }
+    for (int c = 0; c < num_clusters; ++c) {
+      const int64_t denom = c == labels[i] ? sizes[c] - 1 : sizes[c];
+      if (denom > 0) mean_dist[c] /= static_cast<double>(denom);
+    }
+    const double a = mean_dist[labels[i]];
+    double b = std::numeric_limits<double>::max();
+    for (int c = 0; c < num_clusters; ++c) {
+      if (c != labels[i] && sizes[c] > 0) b = std::min(b, mean_dist[c]);
+    }
+    total += (b - a) / std::max(a, b);
+  }
+  return total / static_cast<double>(points.size());
+}
+
+}  // namespace cluster
+}  // namespace ealgap

@@ -1,0 +1,22 @@
+#ifndef EALGAP_CLUSTER_SILHOUETTE_H_
+#define EALGAP_CLUSTER_SILHOUETTE_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/result.h"
+
+namespace ealgap {
+namespace cluster {
+
+/// Mean silhouette coefficient of a clustering in [-1, 1]; higher means
+/// tighter, better-separated clusters. Points in singleton clusters score
+/// 0. Used by the region-count sensitivity bench to characterize the
+/// paper's choice of 20 (NYC) / 18 (Chicago) regions.
+Result<double> MeanSilhouette(const std::vector<Point2>& points,
+                              const std::vector<int>& labels);
+
+}  // namespace cluster
+}  // namespace ealgap
+
+#endif  // EALGAP_CLUSTER_SILHOUETTE_H_

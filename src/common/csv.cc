@@ -1,0 +1,116 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ealgap {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+CsvRow SplitCsvLine(const std::string& line, char delim) {
+  CsvRow fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF input.
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string JoinCsvLine(const CsvRow& row, char delim) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    const std::string& f = row[i];
+    const bool needs_quotes = f.find(delim) != std::string::npos ||
+                              f.find('"') != std::string::npos ||
+                              f.find('\n') != std::string::npos;
+    if (needs_quotes) {
+      out.push_back('"');
+      for (char c : f) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header,
+                          bool allow_ragged, char delim) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  bool header_done = !has_header;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    CsvRow row = SplitCsvLine(line, delim);
+    if (!header_done) {
+      table.header = std::move(row);
+      header_done = true;
+      continue;
+    }
+    if (!allow_ragged && !table.header.empty() &&
+        row.size() != table.header.size()) {
+      return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                " has " + std::to_string(row.size()) +
+                                " fields, expected " +
+                                std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header,
+                             bool allow_ragged, char delim) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), has_header, allow_ragged, delim);
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char delim) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  if (!table.header.empty()) out << JoinCsvLine(table.header, delim) << "\n";
+  for (const auto& row : table.rows) out << JoinCsvLine(row, delim) << "\n";
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace ealgap

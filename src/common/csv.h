@@ -1,0 +1,47 @@
+#ifndef EALGAP_COMMON_CSV_H_
+#define EALGAP_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ealgap {
+
+/// One parsed CSV record; fields are unescaped strings.
+using CsvRow = std::vector<std::string>;
+
+/// An in-memory CSV table: header row plus data rows.
+struct CsvTable {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+
+  /// Index of the named column, or -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Splits a single CSV line honoring double-quote escaping (RFC 4180 quotes,
+/// "" for an embedded quote). Embedded newlines are not supported.
+CsvRow SplitCsvLine(const std::string& line, char delim = ',');
+
+/// Escapes and joins fields into one CSV line.
+std::string JoinCsvLine(const CsvRow& row, char delim = ',');
+
+/// Parses CSV text. When `has_header` is true the first non-empty line
+/// becomes `header`. Fails with ParseError on ragged rows (row length not
+/// matching the header) unless `allow_ragged`.
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header = true,
+                          bool allow_ragged = false, char delim = ',');
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header = true,
+                             bool allow_ragged = false, char delim = ',');
+
+/// Writes a CSV table to disk (header first when non-empty).
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char delim = ',');
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_CSV_H_

@@ -1,0 +1,72 @@
+#ifndef EALGAP_COMMON_LOGGING_H_
+#define EALGAP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ealgap {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Process-wide minimum severity; messages below it are dropped.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Stream-style log message; emits to stderr on destruction.
+/// `fatal` aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the global log threshold (default kInfo).
+inline void SetLogLevel(LogLevel level) {
+  internal_logging::SetMinLogLevel(level);
+}
+
+#define EALGAP_LOG(severity)                                        \
+  ::ealgap::internal_logging::LogMessage(                           \
+      ::ealgap::LogLevel::k##severity, __FILE__, __LINE__)
+
+/// Unconditional invariant check that logs and aborts on failure. Used for
+/// programmer errors (shape mismatches, indexing bugs), never for user input.
+#define EALGAP_CHECK(cond)                                               \
+  if (!(cond))                                                           \
+  ::ealgap::internal_logging::LogMessage(::ealgap::LogLevel::kError,     \
+                                         __FILE__, __LINE__,             \
+                                         /*fatal=*/true)                 \
+      << "Check failed: " #cond " "
+
+#define EALGAP_CHECK_EQ(a, b) EALGAP_CHECK((a) == (b))
+#define EALGAP_CHECK_NE(a, b) EALGAP_CHECK((a) != (b))
+#define EALGAP_CHECK_LT(a, b) EALGAP_CHECK((a) < (b))
+#define EALGAP_CHECK_LE(a, b) EALGAP_CHECK((a) <= (b))
+#define EALGAP_CHECK_GT(a, b) EALGAP_CHECK((a) > (b))
+#define EALGAP_CHECK_GE(a, b) EALGAP_CHECK((a) >= (b))
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_LOGGING_H_

@@ -1,0 +1,83 @@
+#ifndef EALGAP_COMMON_RESULT_H_
+#define EALGAP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ealgap {
+
+/// Either a value of type T or a non-OK Status explaining why it is absent.
+///
+/// Mirrors arrow::Result: construct implicitly from a T (success) or from a
+/// non-OK Status (failure). Accessing the value of a failed Result is a
+/// programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Success: wraps a value.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors arrow::Result
+      : value_(std::move(value)) {}
+
+  /// Failure: wraps a non-OK status. Passing an OK status is a bug and is
+  /// converted to an Internal error to keep the invariant "no value => !ok".
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+///   EALGAP_ASSIGN_OR_RETURN(auto x, MakeX());
+#define EALGAP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define EALGAP_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define EALGAP_ASSIGN_OR_RETURN_NAME(a, b) EALGAP_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define EALGAP_ASSIGN_OR_RETURN(lhs, expr) \
+  EALGAP_ASSIGN_OR_RETURN_IMPL(            \
+      EALGAP_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_RESULT_H_

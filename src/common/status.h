@@ -1,0 +1,93 @@
+#ifndef EALGAP_COMMON_STATUS_H_
+#define EALGAP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ealgap {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error type used across the library instead of exceptions.
+///
+/// Functions that can fail return `Status` (or `Result<T>` when they also
+/// produce a value). The default-constructed Status is OK. Follow the
+/// RocksDB/Arrow idiom: check `ok()` before using dependent results.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Usage:
+///   EALGAP_RETURN_IF_ERROR(DoThing());
+#define EALGAP_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::ealgap::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_STATUS_H_

@@ -1,0 +1,56 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace ealgap {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title_.empty()) os << title_ << "\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  os.flush();
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  os << JoinCsvLine(columns_) << "\n";
+  for (const auto& row : rows_) os << JoinCsvLine(row) << "\n";
+  os.flush();
+}
+
+}  // namespace ealgap

@@ -1,0 +1,38 @@
+#ifndef EALGAP_COMMON_TABLE_PRINTER_H_
+#define EALGAP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ealgap {
+
+/// Builds fixed-width text tables for the bench binaries so that their
+/// stdout mirrors the paper's tables (one row per scheme, one column group
+/// per test period).
+class TablePrinter {
+ public:
+  /// Creates a table with the given title and column headers.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to `precision` decimals.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders the table with aligned columns and a rule under the header.
+  void Print(std::ostream& os) const;
+
+  /// Renders the same content as CSV (for --out csv piping).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_TABLE_PRINTER_H_

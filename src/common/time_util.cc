@@ -1,0 +1,121 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+
+namespace ealgap {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+int64_t DaysSinceEpoch(const CivilDate& d) {
+  // Howard Hinnant's days_from_civil algorithm.
+  int y = d.year;
+  const int m = d.month;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d.day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+CivilDate DateFromDaysSinceEpoch(int64_t z) {
+  // Howard Hinnant's civil_from_days algorithm.
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0, 11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                   // [1, 31]
+  const unsigned month = mp + (mp < 10 ? 3 : -9);                      // [1, 12]
+  return CivilDate{static_cast<int>(y + (month <= 2)),
+                   static_cast<int>(month), static_cast<int>(day)};
+}
+
+int DayOfWeek(const CivilDate& d) {
+  // 1970-01-01 was a Thursday (4).
+  const int64_t days = DaysSinceEpoch(d);
+  return static_cast<int>(((days % 7) + 7 + 4) % 7);
+}
+
+bool IsWeekend(const CivilDate& d) {
+  const int dow = DayOfWeek(d);
+  return dow == 0 || dow == 6;
+}
+
+int64_t ToUnixSeconds(const CivilTime& t) {
+  return DaysSinceEpoch(t.date) * 86400 + t.hour * 3600 + t.minute * 60 +
+         t.second;
+}
+
+CivilTime FromUnixSeconds(int64_t seconds) {
+  int64_t days = seconds / 86400;
+  int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  CivilTime out;
+  out.date = DateFromDaysSinceEpoch(days);
+  out.hour = static_cast<int>(rem / 3600);
+  out.minute = static_cast<int>((rem % 3600) / 60);
+  out.second = static_cast<int>(rem % 60);
+  return out;
+}
+
+Result<CivilDate> ParseDate(const std::string& s) {
+  CivilDate d;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &d.year, &d.month, &d.day) != 3) {
+    return Status::ParseError("bad date: " + s);
+  }
+  if (d.month < 1 || d.month > 12 || d.day < 1 ||
+      d.day > DaysInMonth(d.year, d.month)) {
+    return Status::ParseError("date out of range: " + s);
+  }
+  return d;
+}
+
+Result<CivilTime> ParseTimestamp(const std::string& s) {
+  CivilTime t;
+  if (std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &t.date.year, &t.date.month,
+                  &t.date.day, &t.hour, &t.minute, &t.second) != 6) {
+    return Status::ParseError("bad timestamp: " + s);
+  }
+  if (t.date.month < 1 || t.date.month > 12 || t.date.day < 1 ||
+      t.date.day > DaysInMonth(t.date.year, t.date.month) || t.hour < 0 ||
+      t.hour > 23 || t.minute < 0 || t.minute > 59 || t.second < 0 ||
+      t.second > 59) {
+    return Status::ParseError("timestamp out of range: " + s);
+  }
+  return t;
+}
+
+std::string FormatDate(const CivilDate& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string FormatTimestamp(const CivilTime& t) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                t.date.year, t.date.month, t.date.day, t.hour, t.minute,
+                t.second);
+  return buf;
+}
+
+CivilDate AddDays(const CivilDate& d, int64_t n) {
+  return DateFromDaysSinceEpoch(DaysSinceEpoch(d) + n);
+}
+
+}  // namespace ealgap

@@ -1,0 +1,71 @@
+#ifndef EALGAP_COMMON_TIME_UTIL_H_
+#define EALGAP_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace ealgap {
+
+/// A civil (timezone-less) date, as used by trip timestamps.
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  bool operator==(const CivilDate&) const = default;
+};
+
+/// A civil timestamp with second precision.
+struct CivilTime {
+  CivilDate date;
+  int hour = 0;    // 0..23
+  int minute = 0;  // 0..59
+  int second = 0;  // 0..59
+
+  bool operator==(const CivilTime&) const = default;
+};
+
+/// True for leap years in the proleptic Gregorian calendar.
+bool IsLeapYear(int year);
+
+/// Number of days in the given month (1..12).
+int DaysInMonth(int year, int month);
+
+/// Days since 1970-01-01 (can be negative). Assumes a valid date.
+int64_t DaysSinceEpoch(const CivilDate& d);
+
+/// Inverse of DaysSinceEpoch.
+CivilDate DateFromDaysSinceEpoch(int64_t days);
+
+/// Day of week, 0 = Sunday ... 6 = Saturday.
+int DayOfWeek(const CivilDate& d);
+
+/// True for Saturday/Sunday.
+bool IsWeekend(const CivilDate& d);
+
+/// Seconds since 1970-01-01T00:00:00.
+int64_t ToUnixSeconds(const CivilTime& t);
+
+/// Inverse of ToUnixSeconds.
+CivilTime FromUnixSeconds(int64_t seconds);
+
+/// Parses "YYYY-MM-DD" into a CivilDate.
+Result<CivilDate> ParseDate(const std::string& s);
+
+/// Parses "YYYY-MM-DD HH:MM:SS" (the trip-record timestamp format).
+Result<CivilTime> ParseTimestamp(const std::string& s);
+
+/// Formats as "YYYY-MM-DD".
+std::string FormatDate(const CivilDate& d);
+
+/// Formats as "YYYY-MM-DD HH:MM:SS".
+std::string FormatTimestamp(const CivilTime& t);
+
+/// Date `n` days after `d` (n may be negative).
+CivilDate AddDays(const CivilDate& d, int64_t n);
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_TIME_UTIL_H_

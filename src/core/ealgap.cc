@@ -1,0 +1,162 @@
+#include "core/ealgap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/extreme_degree.h"
+#include "core/global_impact.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+namespace core {
+
+struct EalgapForecaster::Net : nn::Module {
+  Net(const EalgapOptions& opts, int64_t n, int64_t l, Rng& rng) {
+    if (opts.use_global_attention) {
+      global = std::make_unique<GlobalImpactModule>(
+          n, l, opts.hidden, rng, opts.family, opts.attention_dim);
+      RegisterModule("global", global.get());
+    } else {
+      // Ablation (iii): two Dense layers with ReLU predict the global
+      // impacts (paper Sec. VI-C).
+      mlp1 = std::make_unique<nn::Linear>(l, opts.hidden, rng);
+      mlp2 = std::make_unique<nn::Linear>(opts.hidden, 1, rng);
+      RegisterModule("mlp1", mlp1.get());
+      RegisterModule("mlp2", mlp2.get());
+    }
+    if (opts.use_extreme) {
+      extreme =
+          std::make_unique<ExtremeDegreeModule>(n, l, opts.gru_hidden, rng);
+      RegisterModule("extreme", extreme.get());
+    }
+  }
+
+  struct ForwardOutput {
+    Var prediction;            // (N)
+    std::vector<Var> d_steps;  // per-window degree predictions, each (N)
+  };
+
+  // All inputs in model space. Returns the (N) prediction plus Eq. (10)'s
+  // per-window degree predictions for auxiliary supervision.
+  ForwardOutput Forward(const Var& x, const Var& f, const Var& f_mu,
+                        const Var& f_sigma) const {
+    const int64_t n = x.value().dim(0);
+    Var xg_next;
+    if (global) {
+      xg_next = global->Forward(x).xg_next;
+    } else {
+      xg_next = Reshape(mlp2->Forward(Relu(mlp1->Forward(x))), {n});
+    }
+    if (!extreme) {
+      return {Relu(xg_next), {}};  // ablation (ii): global impacts only
+    }
+    auto ed = extreme->Forward(f, f_mu, f_sigma);
+    // Eq. (11): X̂ = ReLU(X̂g + X̂g ⊙ D̂).
+    return {Relu(Add(xg_next, Mul(xg_next, ed.d_next))),
+            std::move(ed.d_steps)};
+  }
+
+  std::unique_ptr<GlobalImpactModule> global;
+  std::unique_ptr<nn::Linear> mlp1, mlp2;
+  std::unique_ptr<ExtremeDegreeModule> extreme;
+};
+
+EalgapForecaster::EalgapForecaster(EalgapOptions options)
+    : options_(options) {
+  EALGAP_CHECK(options.use_global_attention || options.use_extreme ||
+               true);  // model always has a global-impact path
+}
+
+EalgapForecaster::~EalgapForecaster() = default;
+
+nn::Module* EalgapForecaster::module() { return net_.get(); }
+
+void EalgapForecaster::Initialize(const data::SlidingWindowDataset& dataset,
+                                  const data::StepRanges& split,
+                                  const TrainConfig& config) {
+  // Scale = std of the training slice (no centering: the global module
+  // needs non-negative inputs for the exponential fit).
+  Tensor train_slice =
+      ops::Slice(dataset.series().counts, 1, 0, split.train_end);
+  const float* p = train_slice.data();
+  double ss = 0.0;
+  for (int64_t i = 0; i < train_slice.numel(); ++i) ss += double(p[i]) * p[i];
+  scale_ = static_cast<float>(
+      std::sqrt(std::max(ss / train_slice.numel(), 1e-12)));
+  Rng rng(config.seed);
+  net_ = std::make_unique<Net>(options_, dataset.series().num_regions,
+                               dataset.options().history_length, rng);
+}
+
+Var EalgapForecaster::ForwardBatch(
+    const std::vector<data::WindowSample>& batch) {
+  const float inv = 1.f / scale_;
+  std::vector<Var> outs;
+  std::vector<Var> degree_losses;
+  outs.reserve(batch.size());
+  for (const data::WindowSample& sample : batch) {
+    Var x = Var::Leaf(ops::MulScalar(sample.x, inv));
+    Var f = Var::Leaf(ops::MulScalar(sample.f, inv));
+    Var f_mu = Var::Leaf(ops::MulScalar(sample.f_mu, inv));
+    Var f_sigma = Var::Leaf(ops::MulScalar(sample.f_sigma, inv));
+    auto out = net_->Forward(x, f, f_mu, f_sigma);
+    outs.push_back(Reshape(out.prediction, {1, out.prediction.value().numel()}));
+    // Eq. (10) supervision: each window's degree prediction is pulled
+    // toward the realized degree one step past the window (computed with
+    // the current gamma/eps, treated as a constant target).
+    if (net_->extreme && options_.degree_loss_weight > 0.f &&
+        GradEnabled()) {
+      const int64_t m = sample.w_next.dim(0);
+      const int64_t n = sample.w_next.dim(1);
+      for (int64_t w = 0; w < m; ++w) {
+        Var xw = Var::Leaf(
+            ops::MulScalar(ops::Slice(sample.w_next, 0, w, w + 1), inv)
+                .Reshape({n, 1}));
+        Var mw = Var::Leaf(
+            ops::MulScalar(ops::Slice(sample.w_next_mu, 0, w, w + 1), inv)
+                .Reshape({n, 1}));
+        Var sw = Var::Leaf(
+            ops::MulScalar(ops::Slice(sample.w_next_sigma, 0, w, w + 1), inv)
+                .Reshape({n, 1}));
+        Var target = net_->extreme->ExtremeDegree(xw, mw, sw).Detach();
+        Var diff = Sub(Reshape(out.d_steps[w], {n, 1}), target);
+        degree_losses.push_back(MeanAll(Mul(diff, diff)));
+      }
+    }
+  }
+  if (!degree_losses.empty()) {
+    Var total = degree_losses[0];
+    for (size_t i = 1; i < degree_losses.size(); ++i) {
+      total = Add(total, degree_losses[i]);
+    }
+    pending_degree_loss_ =
+        MulScalar(total, 1.f / static_cast<float>(degree_losses.size()));
+  } else {
+    pending_degree_loss_ = Var();
+  }
+  return Concat(outs, 0);  // (B, N)
+}
+
+Var EalgapForecaster::ComputeLoss(const Var& predictions,
+                                  const Tensor& scaled_targets) {
+  Var loss = NeuralForecaster::ComputeLoss(predictions, scaled_targets);
+  if (pending_degree_loss_.defined()) {
+    loss = Add(loss,
+               MulScalar(pending_degree_loss_, options_.degree_loss_weight));
+    pending_degree_loss_ = Var();
+  }
+  return loss;
+}
+
+Tensor EalgapForecaster::ScaleTargets(const Tensor& targets) const {
+  return ops::MulScalar(targets, 1.f / scale_);
+}
+
+Tensor EalgapForecaster::InverseScale(const Tensor& predictions) const {
+  return ops::MaximumScalar(ops::MulScalar(predictions, scale_), 0.f);
+}
+
+}  // namespace core
+}  // namespace ealgap

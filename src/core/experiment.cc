@@ -1,0 +1,171 @@
+#include "core/experiment.h"
+
+#include <chrono>
+
+#include "baselines/arima.h"
+#include "baselines/chat.h"
+#include "baselines/evl.h"
+#include "baselines/historical_average.h"
+#include "baselines/neural.h"
+#include "baselines/recurrent.h"
+#include "baselines/st_norm.h"
+#include "baselines/st_resnet.h"
+#include "common/logging.h"
+#include "core/ealgap.h"
+
+namespace ealgap {
+namespace core {
+
+Result<PreparedData> PrepareData(
+    const data::PeriodConfig& config,
+    std::optional<data::PartitionOptions> partition_override,
+    data::CountKind count_kind) {
+  PreparedData out;
+  EALGAP_ASSIGN_OR_RETURN(out.city, data::GenerateCity(config.generator));
+  out.stations = out.city.stations;
+  std::vector<data::TripRecord> clean = data::CleanTrips(
+      out.city.trips, out.stations, config.cleaning, &out.cleaning);
+  const data::PartitionOptions& popts =
+      partition_override.has_value() ? *partition_override : config.partition;
+  EALGAP_ASSIGN_OR_RETURN(out.partition,
+                          data::PartitionStations(out.stations, popts));
+  EALGAP_ASSIGN_OR_RETURN(
+      data::MobilitySeries series,
+      data::AggregateTrips(clean, out.stations, out.partition,
+                           config.generator.start_date,
+                           config.generator.num_days,
+                           /*dropped=*/nullptr, count_kind));
+  EALGAP_ASSIGN_OR_RETURN(
+      out.dataset,
+      data::SlidingWindowDataset::Create(std::move(series), config.dataset));
+  EALGAP_ASSIGN_OR_RETURN(out.split, data::MakeChronoSplit(out.dataset));
+  return out;
+}
+
+std::vector<std::string> PaperSchemes() {
+  return {"ARIMA", "GRU",       "LSTM", "RNN",  "ST-Norm",
+          "ST-ResNet", "EVL",  "CHAT", "EALGAP"};
+}
+
+Result<std::unique_ptr<Forecaster>> MakeForecaster(const std::string& scheme,
+                                                   const PreparedData& data) {
+  if (scheme == "ARIMA") {
+    return std::unique_ptr<Forecaster>(new ArimaForecaster());
+  }
+  if (scheme == "GRU") {
+    return std::unique_ptr<Forecaster>(
+        new RecurrentForecaster(RecurrentKind::kGru));
+  }
+  if (scheme == "LSTM") {
+    return std::unique_ptr<Forecaster>(
+        new RecurrentForecaster(RecurrentKind::kLstm));
+  }
+  if (scheme == "RNN") {
+    return std::unique_ptr<Forecaster>(
+        new RecurrentForecaster(RecurrentKind::kRnn));
+  }
+  if (scheme == "ST-Norm") {
+    return std::unique_ptr<Forecaster>(new StNormForecaster());
+  }
+  if (scheme == "ST-ResNet") {
+    return std::unique_ptr<Forecaster>(
+        new StResNetForecaster(data.partition.region_centers));
+  }
+  if (scheme == "EVL") {
+    return std::unique_ptr<Forecaster>(new EvlForecaster());
+  }
+  if (scheme == "CHAT") {
+    return std::unique_ptr<Forecaster>(new ChatForecaster());
+  }
+  if (scheme == "EALGAP") {
+    return std::unique_ptr<Forecaster>(new EalgapForecaster());
+  }
+  if (scheme == "HA") {
+    return std::unique_ptr<Forecaster>(new HistoricalAverageForecaster());
+  }
+  if (scheme == "EALGAP-G") {  // ablation (ii): global module only
+    EalgapOptions opts;
+    opts.use_extreme = false;
+    return std::unique_ptr<Forecaster>(new EalgapForecaster(opts));
+  }
+  if (scheme == "EALGAP-E") {  // ablation (iii): extreme module + MLP global
+    EalgapOptions opts;
+    opts.use_global_attention = false;
+    return std::unique_ptr<Forecaster>(new EalgapForecaster(opts));
+  }
+  if (scheme == "EALGAP-N") {  // ablation (iv): normal distribution
+    EalgapOptions opts;
+    opts.family = stats::DistributionFamily::kNormal;
+    return std::unique_ptr<Forecaster>(new EalgapForecaster(opts));
+  }
+  if (scheme == "EALGAP-BIG") {  // capacity probe
+    EalgapOptions opts;
+    opts.hidden = 64;
+    opts.gru_hidden = 32;
+    return std::unique_ptr<Forecaster>(new EalgapForecaster(opts));
+  }
+  if (scheme == "EALGAP-A0") {  // alias of the default (no Eq. 10 aux loss)
+    EalgapOptions opts;
+    opts.degree_loss_weight = 0.f;
+    return std::unique_ptr<Forecaster>(new EalgapForecaster(opts));
+  }
+  if (scheme == "EALGAP-AUX") {  // design ablation: Eq. (10) supervision on
+    EalgapOptions opts;
+    opts.degree_loss_weight = 0.3f;
+    return std::unique_ptr<Forecaster>(new EalgapForecaster(opts));
+  }
+  if (scheme == "EALGAP-J4") {  // extension: J = 4 attention
+    EalgapOptions opts;
+    opts.attention_dim = 4;
+    return std::unique_ptr<Forecaster>(new EalgapForecaster(opts));
+  }
+  return Status::InvalidArgument("unknown scheme: " + scheme);
+}
+
+Result<SchemeResult> RunScheme(const std::string& scheme,
+                               const PreparedData& data,
+                               const TrainConfig& train) {
+  EALGAP_ASSIGN_OR_RETURN(std::unique_ptr<Forecaster> model,
+                          MakeForecaster(scheme, data));
+  SchemeResult result;
+  result.scheme = scheme;
+  const auto t0 = std::chrono::steady_clock::now();
+  Status fit_status = model->Fit(data.dataset, data.split, train);
+  if (!fit_status.ok()) return fit_status;
+  const auto t1 = std::chrono::steady_clock::now();
+  result.fit_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (auto* neural = dynamic_cast<NeuralForecaster*>(model.get())) {
+    result.train_step_ms = neural->mean_step_ms();
+  }
+  std::vector<double> pred, truth;
+  EALGAP_RETURN_IF_ERROR(model->PredictRange(
+      data.dataset, data.split.test_begin, data.split.test_end, &pred,
+      &truth));
+  result.metrics = stats::ComputeMetrics(pred, truth);
+  return result;
+}
+
+Result<PeriodResult> RunPeriod(const data::PeriodConfig& config,
+                               const ExperimentOptions& options) {
+  EALGAP_ASSIGN_OR_RETURN(PreparedData data, PrepareData(config));
+  PeriodResult out;
+  out.label = config.label;
+  for (const std::string& scheme : options.schemes) {
+    TrainConfig train = options.train;
+    train.seed = options.seed;
+    train.verbose = options.verbose;
+    EALGAP_ASSIGN_OR_RETURN(SchemeResult row,
+                            RunScheme(scheme, data, train));
+    if (options.verbose) {
+      EALGAP_LOG(Info) << config.label << " " << scheme << ": ER "
+                       << row.metrics.er << " MSLE " << row.metrics.msle
+                       << " R2 " << row.metrics.r2 << " (fit "
+                       << row.fit_seconds << "s)";
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace ealgap

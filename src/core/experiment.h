@@ -1,0 +1,83 @@
+#ifndef EALGAP_CORE_EXPERIMENT_H_
+#define EALGAP_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "data/cleaning.h"
+#include "data/dataset.h"
+#include "data/dataset_configs.h"
+#include "data/synthetic_city.h"
+#include "stats/metrics.h"
+
+namespace ealgap {
+namespace core {
+
+/// The full data pipeline output for one (dataset, period) experiment.
+struct PreparedData {
+  data::SyntheticCity city;
+  data::CleaningReport cleaning;
+  /// Stations surviving the cleaning stage, aligned with
+  /// partition.station_region.
+  std::vector<data::Station> stations;
+  data::RegionPartition partition;
+  data::SlidingWindowDataset dataset;
+  data::StepRanges split;
+};
+
+/// Runs generate -> clean -> partition -> aggregate -> window/split.
+/// `partition_override` replaces the config's partition options (used by
+/// the clustering ablations); `count_kind` selects pick-ups (default) or
+/// drop-offs (the arrivals view).
+Result<PreparedData> PrepareData(
+    const data::PeriodConfig& config,
+    std::optional<data::PartitionOptions> partition_override = std::nullopt,
+    data::CountKind count_kind = data::CountKind::kPickups);
+
+/// The paper's scheme roster, in table order.
+std::vector<std::string> PaperSchemes();
+
+/// Builds a forecaster by scheme name ("ARIMA", "GRU", "LSTM", "RNN",
+/// "ST-Norm", "ST-ResNet", "EVL", "CHAT", "EALGAP", plus extras "HA",
+/// "EALGAP-G" (global only), "EALGAP-E" (extreme only),
+/// "EALGAP-N" (normal distribution)).
+Result<std::unique_ptr<Forecaster>> MakeForecaster(const std::string& scheme,
+                                                   const PreparedData& data);
+
+/// One table cell group: a scheme evaluated on the test range.
+struct SchemeResult {
+  std::string scheme;
+  stats::MetricReport metrics;
+  double fit_seconds = 0.0;
+  double train_step_ms = 0.0;  ///< 0 for non-neural schemes
+};
+
+struct PeriodResult {
+  std::string label;  ///< "Normal" / "Hurricane" / ...
+  std::vector<SchemeResult> rows;
+};
+
+struct ExperimentOptions {
+  std::vector<std::string> schemes = PaperSchemes();
+  TrainConfig train;
+  uint64_t seed = 7;
+  double data_scale = 1.0;
+  bool verbose = false;
+};
+
+/// Trains and evaluates every scheme on one (dataset, period).
+Result<PeriodResult> RunPeriod(const data::PeriodConfig& config,
+                               const ExperimentOptions& options);
+
+/// Fits one scheme on prepared data and evaluates it on the test range.
+Result<SchemeResult> RunScheme(const std::string& scheme,
+                               const PreparedData& data,
+                               const TrainConfig& train);
+
+}  // namespace core
+}  // namespace ealgap
+
+#endif  // EALGAP_CORE_EXPERIMENT_H_

@@ -1,0 +1,56 @@
+#include "core/extreme_degree.h"
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace core {
+
+ExtremeDegreeModule::ExtremeDegreeModule(int64_t num_regions,
+                                         int64_t history_length,
+                                         int64_t gru_hidden, Rng& rng)
+    : n_(num_regions),
+      gru_(history_length, gru_hidden, rng),
+      head_(gru_hidden, 1, rng) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({num_regions, 1}));
+  epsilon_ = RegisterParameter("epsilon",
+                               Tensor::Full({num_regions, 1}, 1e-2f));
+  RegisterModule("gru", &gru_);
+  RegisterModule("head", &head_);
+}
+
+Var ExtremeDegreeModule::ExtremeDegree(const Var& x, const Var& mu,
+                                       const Var& sigma) const {
+  // sqrt(sigma^2 + |eps| + floor): |eps| keeps the learnable offset
+  // positive, the floor keeps constant histories finite.
+  Var var = Add(Mul(sigma, sigma), AddScalar(Abs(epsilon_), 1e-4f));
+  Var d = Div(Sub(x, mu), Sqrt(var));  // broadcasts eps (N,1) over (N,L)
+  return Tanh(Mul(d, gamma_));
+}
+
+ExtremeDegreeModule::Output ExtremeDegreeModule::Forward(
+    const Var& f, const Var& f_mu, const Var& f_sigma) const {
+  EALGAP_CHECK_EQ(f.value().ndim(), 3);
+  const int64_t m = f.value().dim(0);
+  const int64_t n = f.value().dim(1);
+  const int64_t l = f.value().dim(2);
+  EALGAP_CHECK_EQ(n, n_);
+
+  Output out;
+  Var h = nn::ZeroState(n, gru_.hidden_size());
+  for (int64_t w = 0; w < m; ++w) {
+    Var fw = Reshape(Slice(f, 0, w, w + 1), {n, l});
+    Var mw = Reshape(Slice(f_mu, 0, w, w + 1), {n, l});
+    Var sw = Reshape(Slice(f_sigma, 0, w, w + 1), {n, l});
+    Var e = ExtremeDegree(fw, mw, sw);  // (N, L)
+    out.e.push_back(e);
+    // Eq. (10): the hidden state of window m seeds window m+1, and each
+    // window emits a prediction of the degree one step past its end.
+    h = gru_.Forward(e, h);
+    out.d_steps.push_back(Reshape(Tanh(head_.Forward(h)), {n}));
+  }
+  out.d_next = out.d_steps.back();
+  return out;
+}
+
+}  // namespace core
+}  // namespace ealgap

@@ -1,0 +1,90 @@
+#include "core/global_impact.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace core {
+
+GlobalImpactModule::GlobalImpactModule(int64_t num_regions,
+                                       int64_t history_length, int64_t hidden,
+                                       Rng& rng,
+                                       stats::DistributionFamily family,
+                                       int64_t attention_dim)
+    : n_(num_regions),
+      l_(history_length),
+      j_(attention_dim),
+      family_(family),
+      dec1_(num_regions * history_length, hidden, rng),
+      dec2_(hidden, hidden, rng),
+      dec3_(hidden, num_regions * 3 * attention_dim, rng),
+      pred1_(history_length, hidden, rng),
+      pred2_(hidden, hidden, rng),
+      pred3_(hidden, 1, rng) {
+  EALGAP_CHECK_GE(attention_dim, 1);
+  RegisterModule("dec1", &dec1_);
+  RegisterModule("dec2", &dec2_);
+  RegisterModule("dec3", &dec3_);
+  if (j_ > 1) {
+    combine_ = std::make_unique<nn::Linear>(j_, 1, rng);
+    RegisterModule("combine", combine_.get());
+  }
+  RegisterModule("pred1", &pred1_);
+  RegisterModule("pred2", &pred2_);
+  RegisterModule("pred3", &pred3_);
+  // Start the attention parameters near identity (W^Q=W^K=W^V ~ 1) and the
+  // prediction head positive, so Eq. (11)'s outer ReLU does not begin in
+  // its dead zone on non-negative count data.
+  const_cast<Tensor&>(dec3_.bias().value()).Fill(1.f);
+  const_cast<Tensor&>(pred3_.bias().value()).Fill(1.f);
+}
+
+GlobalImpactModule::Output GlobalImpactModule::Forward(const Var& x) const {
+  EALGAP_CHECK_EQ(x.value().ndim(), 2);
+  const int64_t n = x.value().dim(0);
+  const int64_t l = x.value().dim(1);
+  EALGAP_CHECK_EQ(n, n_);
+  EALGAP_CHECK_EQ(l, l_);
+
+  // A-1: densities under the per-region fitted distribution (Eqs. 3-4).
+  // The fit is a data transformation: gradients flow through the attention
+  // parameters produced from Z, not through the fit itself.
+  Tensor z = stats::RowwisePdf(x.value(), family_);
+  Var zv = Var::Leaf(std::move(z));
+  // Three FC layers interleaved with Softmax decode the citywide density
+  // pattern into per-region attention parameters (Eq. 5).
+  Var h = SoftmaxLastDim(dec1_.Forward(Reshape(zv, {1, n * l})));
+  h = SoftmaxLastDim(dec2_.Forward(h));
+  Var w = Reshape(dec3_.Forward(h), {n, 3 * j_});  // per-region W^Q/K/V
+  Var wq = Slice(w, 1, 0, j_);
+  Var wk = Slice(w, 1, j_, 2 * j_);
+  Var wv = Slice(w, 1, 2 * j_, 3 * j_);
+
+  // A-2: per-region temporal self-attention (Eq. 6). Q[n,l,:] is the
+  // scalar history value projected by the region's J-vector (I = 1):
+  // outer products via batched matmul.
+  Var x3 = Reshape(x, {n, l, 1});
+  Var q = BMatMul(x3, Reshape(wq, {n, 1, j_}));  // (N, L, J)
+  Var k = BMatMul(x3, Reshape(wk, {n, 1, j_}));
+  Var v = BMatMul(x3, Reshape(wv, {n, 1, j_}));
+  Var logits = MulScalar(BMatMul(q, TransposeLast2(k)),
+                         1.f / std::sqrt(static_cast<float>(j_)));
+  Var scores = SoftmaxLastDim(logits);  // (N, L, L)
+  Var xg3 = BMatMul(scores, v);         // (N, L, J)
+  Output out;
+  if (j_ == 1) {
+    out.xg_history = Reshape(xg3, {n, l});
+  } else {
+    out.xg_history = Reshape(combine_->Forward(xg3), {n, l});
+  }
+
+  // Eq. 7: three FC layers with ReLU predict X̂g[:, t+1].
+  Var p = Relu(pred1_.Forward(out.xg_history));
+  p = Relu(pred2_.Forward(p));
+  out.xg_next = Reshape(pred3_.Forward(p), {n});
+  return out;
+}
+
+}  // namespace core
+}  // namespace ealgap

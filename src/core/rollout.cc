@@ -1,0 +1,28 @@
+#include "core/rollout.h"
+
+namespace ealgap {
+namespace core {
+
+Result<std::vector<std::vector<double>>> RolloutForecast(
+    Forecaster& model, const data::SlidingWindowDataset& dataset,
+    int64_t start_step, int horizon) {
+  if (horizon <= 0) return Status::InvalidArgument("horizon must be > 0");
+  if (start_step < dataset.MinTargetStep() ||
+      start_step + horizon > dataset.series().total_steps()) {
+    return Status::OutOfRange("rollout window out of range");
+  }
+  data::SlidingWindowDataset working = dataset.Clone();
+  std::vector<std::vector<double>> out;
+  out.reserve(horizon);
+  for (int h = 0; h < horizon; ++h) {
+    const int64_t step = start_step + h;
+    EALGAP_ASSIGN_OR_RETURN(std::vector<double> pred,
+                            model.Predict(working, step));
+    EALGAP_RETURN_IF_ERROR(working.OverwriteStep(step, pred));
+    out.push_back(std::move(pred));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace ealgap

@@ -1,0 +1,25 @@
+#ifndef EALGAP_CORE_ROLLOUT_H_
+#define EALGAP_CORE_ROLLOUT_H_
+
+#include <vector>
+
+#include "baselines/forecaster.h"
+
+namespace ealgap {
+namespace core {
+
+/// Recursive multi-step forecast (extension beyond the paper's one-step
+/// setting): starting at `start_step`, predicts `horizon` consecutive
+/// steps, feeding each prediction back into a working copy of the dataset
+/// so later steps condition on the model's own outputs.
+///
+/// Returns `horizon` rows of per-region predictions. `model` must already
+/// be fitted on `dataset` (or an identically-shaped one).
+Result<std::vector<std::vector<double>>> RolloutForecast(
+    Forecaster& model, const data::SlidingWindowDataset& dataset,
+    int64_t start_step, int horizon);
+
+}  // namespace core
+}  // namespace ealgap
+
+#endif  // EALGAP_CORE_ROLLOUT_H_

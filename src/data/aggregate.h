@@ -1,0 +1,53 @@
+#ifndef EALGAP_DATA_AGGREGATE_H_
+#define EALGAP_DATA_AGGREGATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_util.h"
+#include "data/partition.h"
+#include "data/trip.h"
+#include "tensor/tensor.h"
+
+namespace ealgap {
+namespace data {
+
+/// The region x time-step mobility matrix X plus its calendar, the form all
+/// forecasters consume (paper Sec. IV-A: T = 24 steps/day).
+struct MobilitySeries {
+  Tensor counts;  ///< (num_regions, total_steps) pick-up volumes
+  int num_regions = 0;
+  int steps_per_day = 24;
+  CivilDate start_date;
+  int num_days = 0;
+
+  int64_t total_steps() const {
+    return static_cast<int64_t>(num_days) * steps_per_day;
+  }
+  /// Calendar helpers for a step index.
+  CivilDate DateOfStep(int64_t step) const;
+  int HourOfStep(int64_t step) const;
+  bool IsWeekendStep(int64_t step) const;
+
+  /// Value accessor.
+  float At(int region, int64_t step) const;
+};
+
+/// Which trip endpoint a series counts: pick-ups (paper default) or
+/// drop-offs (the "arrivals" view mentioned in the paper's introduction).
+enum class CountKind { kPickups, kDropoffs };
+
+/// Counts trip starts (or ends) into (region, hourly step) cells. Trips
+/// outside [start_date, start_date + num_days) or at unknown stations are
+/// ignored (and tallied in `dropped` when provided).
+Result<MobilitySeries> AggregateTrips(const std::vector<TripRecord>& trips,
+                                      const std::vector<Station>& stations,
+                                      const RegionPartition& partition,
+                                      const CivilDate& start_date,
+                                      int num_days, size_t* dropped = nullptr,
+                                      CountKind kind = CountKind::kPickups);
+
+}  // namespace data
+}  // namespace ealgap
+
+#endif  // EALGAP_DATA_AGGREGATE_H_

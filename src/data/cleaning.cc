@@ -1,0 +1,75 @@
+#include "data/cleaning.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ealgap {
+namespace data {
+
+std::vector<TripRecord> CleanTrips(const std::vector<TripRecord>& trips,
+                                   std::vector<Station>& stations,
+                                   const CleaningOptions& options,
+                                   CleaningReport* report) {
+  CleaningReport local;
+  local.input_trips = trips.size();
+
+  std::vector<TripRecord> pass1;
+  pass1.reserve(trips.size());
+  int64_t min_start = INT64_MAX, max_start = INT64_MIN;
+  for (const TripRecord& t : trips) {
+    if (t.start_seconds <= 0 || t.end_seconds <= 0 ||
+        t.end_seconds <= t.start_seconds) {
+      ++local.removed_bad_timestamps;
+      continue;
+    }
+    if (t.end_seconds - t.start_seconds < options.min_duration_seconds) {
+      ++local.removed_short;
+      continue;
+    }
+    min_start = std::min(min_start, t.start_seconds);
+    max_start = std::max(max_start, t.start_seconds);
+    pass1.push_back(t);
+  }
+
+  if (options.min_avg_hourly_pickups > 0.0 && !pass1.empty()) {
+    const double observed_hours = std::max<double>(
+        1.0, static_cast<double>(max_start - min_start) / 3600.0);
+    std::map<int, int64_t> pickups;
+    for (const TripRecord& t : pass1) ++pickups[t.start_station];
+    std::set<int> dead;
+    for (const Station& s : stations) {
+      const auto it = pickups.find(s.id);
+      const double avg =
+          it == pickups.end()
+              ? 0.0
+              : static_cast<double>(it->second) / observed_hours;
+      if (avg < options.min_avg_hourly_pickups) dead.insert(s.id);
+    }
+    if (!dead.empty()) {
+      local.removed_station_ids.assign(dead.begin(), dead.end());
+      stations.erase(std::remove_if(stations.begin(), stations.end(),
+                                    [&](const Station& s) {
+                                      return dead.count(s.id) > 0;
+                                    }),
+                     stations.end());
+      std::vector<TripRecord> pass2;
+      pass2.reserve(pass1.size());
+      for (const TripRecord& t : pass1) {
+        if (dead.count(t.start_station)) {
+          ++local.removed_dead_station;
+        } else {
+          pass2.push_back(t);
+        }
+      }
+      pass1 = std::move(pass2);
+    }
+  }
+
+  local.kept = pass1.size();
+  if (report != nullptr) *report = std::move(local);
+  return pass1;
+}
+
+}  // namespace data
+}  // namespace ealgap

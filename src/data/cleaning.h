@@ -1,0 +1,43 @@
+#ifndef EALGAP_DATA_CLEANING_H_
+#define EALGAP_DATA_CLEANING_H_
+
+#include <vector>
+
+#include "data/trip.h"
+
+namespace ealgap {
+namespace data {
+
+/// The paper's preprocessing rules (Sec. VI-B):
+///  1. drop trips with timestamp errors (unparseable, or end <= start),
+///  2. drop trips shorter than one minute,
+///  3. (bike data) drop stations whose average hourly pick-ups fall below
+///     `min_avg_hourly_pickups` and their trips.
+struct CleaningOptions {
+  int64_t min_duration_seconds = 60;
+  /// Disabled when <= 0 (the taxi datasets keep all zones).
+  double min_avg_hourly_pickups = 0.0;
+  /// Observation window used for rule 3's hourly average.
+  int64_t window_hours = 1;
+};
+
+struct CleaningReport {
+  size_t input_trips = 0;
+  size_t removed_bad_timestamps = 0;
+  size_t removed_short = 0;
+  size_t removed_dead_station = 0;
+  size_t kept = 0;
+  std::vector<int> removed_station_ids;
+};
+
+/// Applies the rules; returns the surviving trips and fills `report`.
+/// `stations` is pruned in place when rule 3 removes stations.
+std::vector<TripRecord> CleanTrips(const std::vector<TripRecord>& trips,
+                                   std::vector<Station>& stations,
+                                   const CleaningOptions& options,
+                                   CleaningReport* report);
+
+}  // namespace data
+}  // namespace ealgap
+
+#endif  // EALGAP_DATA_CLEANING_H_

@@ -1,0 +1,114 @@
+#ifndef EALGAP_DATA_DATASET_H_
+#define EALGAP_DATA_DATASET_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/aggregate.h"
+#include "tensor/tensor.h"
+
+namespace ealgap {
+namespace data {
+
+struct DatasetOptions {
+  /// L: length of the near-history window (paper Sec. IV-A).
+  int history_length = 5;
+  /// M: number of day-offset windows F_1..F_M.
+  int num_windows = 3;
+  /// How many previous same-time-of-day, same-day-type records enter the
+  /// extreme-degree mean/std (paper Sec. V-B-1 uses "previous M records";
+  /// kept as its own knob for the sensitivity study).
+  int norm_history = 3;
+};
+
+/// One training/evaluation sample for next-step prediction at target_step.
+struct WindowSample {
+  Tensor x;        ///< (N, L)    near history X[:, t-L+1 : t]
+  Tensor f;        ///< (M, N, L) windows F_m = X[:, t-T(M-m)-L+1 : t-T(M-m)]
+  Tensor f_mu;     ///< (M, N, L) same-time-period means aligned with f
+  Tensor f_sigma;  ///< (M, N, L) same-time-period std devs aligned with f
+  Tensor target;   ///< (N)       ground truth X[:, t+1]
+  int64_t target_step = 0;  ///< index of t+1 in the series
+
+  /// Per-window next-step supervision for Eq. (10): for each window m the
+  /// GRU predicts the extreme degree at step t - T(M-m) + 1; these tensors
+  /// carry X, mu, sigma at those M steps (the last row is the target step
+  /// itself, whose X equals `target`).
+  Tensor w_next;        ///< (M, N)
+  Tensor w_next_mu;     ///< (M, N)
+  Tensor w_next_sigma;  ///< (M, N)
+};
+
+/// Produces EALGAP-ready samples from a MobilitySeries.
+///
+/// On construction it precomputes, for every (region, step), the mean and
+/// standard deviation over {the step itself and the `norm_history` previous
+/// records at the same time step of day on the same day type
+/// (weekday/weekend)} — the temporally-matched statistics of the paper's
+/// Eq. (9), which avoid flagging rush hours as extremes.
+class SlidingWindowDataset {
+ public:
+  /// An empty dataset; only valid as an assignment target for Create().
+  SlidingWindowDataset() = default;
+
+  static Result<SlidingWindowDataset> Create(MobilitySeries series,
+                                             DatasetOptions options);
+
+  /// Smallest target step with fully in-range windows and meaningful
+  /// normalization statistics.
+  int64_t MinTargetStep() const;
+
+  /// Valid target steps in [begin, end) (clamped to the feasible range).
+  std::vector<int64_t> TargetSteps(int64_t begin, int64_t end) const;
+
+  /// Builds the sample predicting step `target_step`. Requires
+  /// target_step in [MinTargetStep(), total_steps).
+  WindowSample MakeSample(int64_t target_step) const;
+
+  /// Deep copy (fresh tensor storage). Use before OverwriteStep so the
+  /// original stays intact.
+  SlidingWindowDataset Clone() const;
+
+  /// Replaces the counts of every region at `step` and refreshes the
+  /// matched statistics that depend on that value (same hour of day, at
+  /// and after `step`). Enables recursive multi-step rollout: write the
+  /// model's own prediction, then predict the next step.
+  Status OverwriteStep(int64_t step, const std::vector<double>& values);
+
+  const MobilitySeries& series() const { return series_; }
+  const DatasetOptions& options() const { return options_; }
+  /// Precomputed per-(region, step) matched statistics.
+  const Tensor& mu() const { return mu_; }
+  const Tensor& sigma() const { return sigma_; }
+
+ private:
+  /// Recomputes mu_/sigma_ for all regions at one step.
+  void RefreshMatchedStats(int64_t step);
+
+  MobilitySeries series_;
+  DatasetOptions options_;
+  Tensor mu_;     // (N, total_steps)
+  Tensor sigma_;  // (N, total_steps)
+};
+
+/// Chronological split of target steps following the paper: the last 15
+/// days are held out — 5 for validation, 10 for testing — and everything
+/// before is training.
+struct SplitSpec {
+  int val_days = 5;
+  int test_days = 10;
+};
+
+struct StepRanges {
+  int64_t train_begin = 0, train_end = 0;
+  int64_t val_begin = 0, val_end = 0;
+  int64_t test_begin = 0, test_end = 0;
+};
+
+Result<StepRanges> MakeChronoSplit(const SlidingWindowDataset& dataset,
+                                   const SplitSpec& spec = {});
+
+}  // namespace data
+}  // namespace ealgap
+
+#endif  // EALGAP_DATA_DATASET_H_

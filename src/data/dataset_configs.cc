@@ -1,0 +1,202 @@
+#include "data/dataset_configs.h"
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace data {
+
+const char* CityName(City city) {
+  switch (city) {
+    case City::kNycBike:
+      return "nyc_bike";
+    case City::kChicagoBike:
+      return "chicago_bike";
+    case City::kNycTaxi:
+      return "nyc_taxi";
+    case City::kChicagoTaxi:
+      return "chicago_taxi";
+  }
+  return "unknown";
+}
+
+std::vector<City> AllCities() {
+  return {City::kNycBike, City::kChicagoBike, City::kNycTaxi,
+          City::kChicagoTaxi};
+}
+
+std::vector<Period> AllPeriods() {
+  return {Period::kNormal, Period::kWeather, Period::kHoliday};
+}
+
+std::string PeriodLabel(City city, Period period) {
+  if (period == Period::kNormal) return "Normal";
+  switch (city) {
+    case City::kNycBike:
+      return period == Period::kWeather ? "Hurricane" : "Christmas";
+    case City::kChicagoBike:
+    case City::kChicagoTaxi:
+      return period == Period::kWeather ? "Rainstorm" : "Thanksgiving";
+    case City::kNycTaxi:
+      return period == Period::kWeather ? "WindGust" : "MemorialDay";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// Adds the light training-period weather days every real dataset contains
+// (so training sees some extremes, as the actual feeds do).
+void AddTrainingWeather(CityConfig& city) {
+  AnomalyEvent mild1;
+  mild1.kind = EventKind::kMildWeather;
+  mild1.start_date = AddDays(city.start_date, 21);
+  mild1.end_date = AddDays(city.start_date, 22);
+  mild1.severity = DefaultSeverity(EventKind::kMildWeather);
+  AnomalyEvent mild2 = mild1;
+  mild2.start_date = AddDays(city.start_date, 47);
+  mild2.end_date = AddDays(city.start_date, 47);
+  mild2.severity = 0.15;
+  city.events.push_back(mild1);
+  city.events.push_back(mild2);
+}
+
+// Places the headline anomaly inside the 10 test days. `event_day` is the
+// day index (0-based) of the event start; 90-day series test window is
+// days 80..89.
+void AddTestEvent(CityConfig& city, EventKind kind, int event_day,
+                  int duration_days) {
+  AnomalyEvent e;
+  e.kind = kind;
+  e.start_date = AddDays(city.start_date, event_day);
+  e.end_date = AddDays(city.start_date, event_day + duration_days - 1);
+  e.severity = DefaultSeverity(kind);
+  city.events.push_back(e);
+}
+
+}  // namespace
+
+PeriodConfig MakePeriodConfig(City city, Period period, uint64_t seed,
+                              double scale) {
+  PeriodConfig cfg;
+  cfg.city = city;
+  cfg.period = period;
+  cfg.label = PeriodLabel(city, period);
+
+  CityConfig& gen = cfg.generator;
+  gen.num_days = 90;
+  gen.seed = seed + static_cast<uint64_t>(city) * 101 +
+             static_cast<uint64_t>(period) * 17;
+  gen.dirty_fraction = 0.004;
+
+  switch (city) {
+    case City::kNycBike:
+      gen.name = "nyc_bike";
+      gen.num_stations = 347;
+      gen.num_regions = 20;
+      gen.center_lon = -73.97;
+      gen.center_lat = 40.73;
+      gen.base_region_hour_rate = 14.0 * scale;
+      gen.taxi_profile = false;
+      cfg.dataset.history_length = 5;
+      cfg.dataset.num_windows = 3;
+      cfg.partition.num_regions = 20;
+      cfg.cleaning.min_avg_hourly_pickups = 0.05;
+      break;
+    case City::kChicagoBike:
+      gen.name = "chicago_bike";
+      gen.num_stations = 200;  // Divvy's 799 thinned for the 1-core host
+      gen.num_regions = 18;
+      gen.center_lon = -87.63;
+      gen.center_lat = 41.88;
+      gen.base_region_hour_rate = 8.0 * scale;
+      gen.taxi_profile = false;
+      cfg.dataset.history_length = 2;
+      cfg.dataset.num_windows = 2;
+      cfg.partition.num_regions = 18;
+      cfg.cleaning.min_avg_hourly_pickups = 0.05;
+      break;
+    case City::kNycTaxi:
+      gen.name = "nyc_taxi";
+      gen.num_stations = 80;  // pick-up zone centroids
+      gen.num_regions = 20;
+      gen.center_lon = -73.97;
+      gen.center_lat = 40.75;
+      gen.base_region_hour_rate = 16.0 * scale;
+      gen.taxi_profile = true;
+      cfg.dataset.history_length = 5;
+      cfg.dataset.num_windows = 3;
+      cfg.partition.num_regions = 20;
+      cfg.cleaning.min_avg_hourly_pickups = 0.0;
+      break;
+    case City::kChicagoTaxi:
+      gen.name = "chicago_taxi";
+      gen.num_stations = 77;
+      gen.num_regions = 18;
+      gen.center_lon = -87.63;
+      gen.center_lat = 41.88;
+      gen.base_region_hour_rate = 6.0 * scale;
+      gen.taxi_profile = true;
+      cfg.dataset.history_length = 2;
+      cfg.dataset.num_windows = 2;
+      cfg.partition.num_regions = 18;
+      cfg.cleaning.min_avg_hourly_pickups = 0.0;
+      break;
+  }
+  cfg.dataset.norm_history = cfg.dataset.num_windows;
+  cfg.partition.method = PartitionMethod::kKMeans;
+  cfg.partition.seed = seed;
+
+  // Start dates chosen so the 90-day series ends on the paper's test
+  // period, with the event on its historical date.
+  switch (city) {
+    case City::kNycBike:
+      if (period == Period::kNormal) {
+        gen.start_date = {2020, 6, 30};  // ends 09/27; test 09/18-09/27
+      } else if (period == Period::kWeather) {
+        gen.start_date = {2020, 5, 12};  // ends 08/09; Isaias on 08/04
+        AddTestEvent(gen, EventKind::kHurricane, /*event_day=*/84, 1);
+      } else {
+        gen.start_date = {2020, 10, 3};  // ends 12/31; Christmas 12/24-25
+        AddTestEvent(gen, EventKind::kHoliday, 82, 2);
+      }
+      break;
+    case City::kChicagoBike:
+      if (period == Period::kNormal) {
+        gen.start_date = {2021, 3, 13};  // ends 06/10
+      } else if (period == Period::kWeather) {
+        gen.start_date = {2021, 8, 3};  // ends 10/31; storm 10/24-25
+        AddTestEvent(gen, EventKind::kRainstorm, 82, 2);
+      } else {
+        gen.start_date = {2021, 9, 2};  // ends 11/30; Thanksgiving 11/25-26
+        AddTestEvent(gen, EventKind::kHoliday, 84, 2);
+      }
+      break;
+    case City::kNycTaxi:
+      if (period == Period::kNormal) {
+        gen.start_date = {2016, 1, 31};  // ends 04/29
+      } else if (period == Period::kWeather) {
+        gen.start_date = {2016, 1, 11};  // ends 04/09; gusts 04/03-04
+        AddTestEvent(gen, EventKind::kWindGust, 83, 2);
+      } else {
+        gen.start_date = {2016, 3, 7};  // ends 06/04; Memorial Day 05/30
+        AddTestEvent(gen, EventKind::kHoliday, 84, 1);
+      }
+      break;
+    case City::kChicagoTaxi:
+      if (period == Period::kNormal) {
+        gen.start_date = {2021, 3, 13};
+      } else if (period == Period::kWeather) {
+        gen.start_date = {2021, 8, 3};
+        AddTestEvent(gen, EventKind::kRainstorm, 82, 2);
+      } else {
+        gen.start_date = {2021, 9, 2};
+        AddTestEvent(gen, EventKind::kHoliday, 84, 2);
+      }
+      break;
+  }
+  AddTrainingWeather(gen);
+  return cfg;
+}
+
+}  // namespace data
+}  // namespace ealgap

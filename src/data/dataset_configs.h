@@ -1,0 +1,50 @@
+#ifndef EALGAP_DATA_DATASET_CONFIGS_H_
+#define EALGAP_DATA_DATASET_CONFIGS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/cleaning.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "data/synthetic_city.h"
+
+namespace ealgap {
+namespace data {
+
+/// The paper's four mobility datasets (Sec. VI-A).
+enum class City { kNycBike, kChicagoBike, kNycTaxi, kChicagoTaxi };
+
+/// The three evaluation periods per dataset (Sec. VI-B): a quiet stretch, a
+/// weather anomaly, and a public holiday.
+enum class Period { kNormal, kWeather, kHoliday };
+
+const char* CityName(City city);
+std::vector<City> AllCities();
+std::vector<Period> AllPeriods();
+
+/// Column-group label used in the paper's tables, e.g. NYC bike's weather
+/// period is "Hurricane", Chicago's is "Rainstorm".
+std::string PeriodLabel(City city, Period period);
+
+/// Everything needed to run one (dataset, period) experiment end to end.
+struct PeriodConfig {
+  City city = City::kNycBike;
+  Period period = Period::kNormal;
+  std::string label;          ///< e.g. "Hurricane"
+  CityConfig generator;       ///< synthetic feed (event lands in test days)
+  DatasetOptions dataset;     ///< paper's L and M for this city
+  PartitionOptions partition; ///< paper's region counts (20 NYC / 18 Chicago)
+  CleaningOptions cleaning;
+};
+
+/// Builds the paper-faithful configuration. `scale` multiplies trip volume
+/// (1.0 = fast default; larger approaches paper magnitudes); `seed` drives
+/// every stochastic choice.
+PeriodConfig MakePeriodConfig(City city, Period period, uint64_t seed = 7,
+                              double scale = 1.0);
+
+}  // namespace data
+}  // namespace ealgap
+
+#endif  // EALGAP_DATA_DATASET_CONFIGS_H_

@@ -1,0 +1,65 @@
+#include "data/event.h"
+
+#include <algorithm>
+
+namespace ealgap {
+namespace data {
+
+const char* EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kHurricane:
+      return "hurricane";
+    case EventKind::kRainstorm:
+      return "rainstorm";
+    case EventKind::kWindGust:
+      return "wind_gust";
+    case EventKind::kHoliday:
+      return "holiday";
+    case EventKind::kMildWeather:
+      return "mild_weather";
+  }
+  return "unknown";
+}
+
+bool AnomalyEvent::Covers(const CivilDate& date) const {
+  const int64_t d = DaysSinceEpoch(date);
+  return d >= DaysSinceEpoch(start_date) && d <= DaysSinceEpoch(end_date);
+}
+
+double DefaultSeverity(EventKind kind) {
+  switch (kind) {
+    case EventKind::kHurricane:
+      return 0.27;  // Fig. 5: 19%-34% regional drops, ~26% average
+    case EventKind::kRainstorm:
+      return 0.30;
+    case EventKind::kWindGust:
+      return 0.20;
+    case EventKind::kHoliday:
+      return 0.40;  // Fig. 13c: Christmas peaks ~1/3 of normal peaks
+    case EventKind::kMildWeather:
+      return 0.12;
+  }
+  return 0.2;
+}
+
+double EventHourMultiplier(const AnomalyEvent& event, double region_severity,
+                           int hour, int onset_hour, int end_hour) {
+  if (event.kind == EventKind::kHoliday) {
+    // Flat volume reduction; the day-shape change is applied by the
+    // generator via the weekend profile.
+    return 1.0 - region_severity;
+  }
+  // Weather events: full drop inside [onset, end], linear 2-hour shoulders.
+  double intensity = 0.0;
+  if (hour >= onset_hour && hour <= end_hour) {
+    intensity = 1.0;
+  } else if (hour >= onset_hour - 2 && hour < onset_hour) {
+    intensity = (hour - (onset_hour - 2)) / 2.0;
+  } else if (hour > end_hour && hour <= end_hour + 2) {
+    intensity = ((end_hour + 2) - hour) / 2.0;
+  }
+  return 1.0 - region_severity * std::clamp(intensity, 0.0, 1.0);
+}
+
+}  // namespace data
+}  // namespace ealgap

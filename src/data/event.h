@@ -1,0 +1,54 @@
+#ifndef EALGAP_DATA_EVENT_H_
+#define EALGAP_DATA_EVENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time_util.h"
+
+namespace ealgap {
+namespace data {
+
+/// Categories of anomaly events studied in the paper (Sec. VI).
+enum class EventKind {
+  kHurricane,   ///< e.g. Hurricane Isaias, NYC 08/04/2020
+  kRainstorm,   ///< e.g. Chicago heavy rainstorm 10/24-25/2021
+  kWindGust,    ///< e.g. NYC wind gust + freezing rain 04/03-04/2016
+  kHoliday,     ///< e.g. Christmas, Thanksgiving, Memorial Day
+  kMildWeather  ///< minor rain days sprinkled into training periods
+};
+
+const char* EventKindToString(EventKind kind);
+
+/// One anomaly event on the calendar. Severity is the citywide average
+/// fractional mobility drop at the event's core hours; per-region severity
+/// varies around it (the paper observed 19%-34% region drops for Isaias).
+struct AnomalyEvent {
+  EventKind kind = EventKind::kMildWeather;
+  CivilDate start_date;
+  CivilDate end_date;  ///< inclusive
+  double severity = 0.25;
+
+  /// True when `date` falls inside [start_date, end_date].
+  bool Covers(const CivilDate& date) const;
+};
+
+/// Default severity per kind (tuned to the magnitudes in the paper's
+/// Figs. 4-5 and 13).
+double DefaultSeverity(EventKind kind);
+
+/// Multiplicative mobility factor for an event at a given hour of day.
+///
+/// Weather events (hurricane/rainstorm/wind gust) suppress mobility with a
+/// region-specific drop `region_severity`, strongest between the region's
+/// onset and end hours (paper Fig. 4: roughly 10am-9pm) and tapering
+/// outside. Holidays reshape the day: the commute double-peak collapses
+/// (handled by the generator switching to the weekend profile) and overall
+/// volume drops by `region_severity`.
+double EventHourMultiplier(const AnomalyEvent& event, double region_severity,
+                           int hour, int onset_hour, int end_hour);
+
+}  // namespace data
+}  // namespace ealgap
+
+#endif  // EALGAP_DATA_EVENT_H_

@@ -1,0 +1,111 @@
+#include "data/partition.h"
+
+#include <limits>
+#include <map>
+
+#include "cluster/dbscan.h"
+#include "cluster/optics.h"
+
+namespace ealgap {
+namespace data {
+
+namespace {
+
+RegionPartition FromLabels(const std::vector<cluster::Point2>& points,
+                           std::vector<int> labels) {
+  // Compact labels and compute centers.
+  std::map<int, int> remap;
+  for (int l : labels) {
+    if (l >= 0 && !remap.count(l)) {
+      const int next = static_cast<int>(remap.size());
+      remap[l] = next;
+    }
+  }
+  RegionPartition part;
+  part.num_regions = static_cast<int>(remap.size());
+  part.region_centers.assign(part.num_regions, {});
+  std::vector<int64_t> counts(part.num_regions, 0);
+  part.station_region.assign(labels.size(), -1);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) continue;
+    const int c = remap[labels[i]];
+    part.station_region[i] = c;
+    part.region_centers[c].x += points[i].x;
+    part.region_centers[c].y += points[i].y;
+    ++counts[c];
+  }
+  for (int c = 0; c < part.num_regions; ++c) {
+    part.region_centers[c].x /= counts[c];
+    part.region_centers[c].y /= counts[c];
+  }
+  // Reassign noise points to the nearest center.
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (part.station_region[i] >= 0) continue;
+    double best = std::numeric_limits<double>::max();
+    int best_c = 0;
+    for (int c = 0; c < part.num_regions; ++c) {
+      const double d =
+          cluster::SquaredDistance(points[i], part.region_centers[c]);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    part.station_region[i] = best_c;
+  }
+  return part;
+}
+
+}  // namespace
+
+Result<RegionPartition> PartitionStations(const std::vector<Station>& stations,
+                                          const PartitionOptions& options) {
+  if (stations.empty()) return Status::InvalidArgument("no stations");
+  std::vector<cluster::Point2> points;
+  points.reserve(stations.size());
+  for (const Station& s : stations) points.push_back({s.lon, s.lat});
+
+  switch (options.method) {
+    case PartitionMethod::kKMeans: {
+      cluster::KMeansOptions kopts;
+      kopts.seed = options.seed;
+      EALGAP_ASSIGN_OR_RETURN(
+          cluster::KMeansResult km,
+          cluster::KMeans(points, options.num_regions, kopts));
+      RegionPartition part;
+      part.station_region = std::move(km.labels);
+      part.region_centers = std::move(km.centers);
+      part.num_regions = options.num_regions;
+      return part;
+    }
+    case PartitionMethod::kDbscan: {
+      cluster::DbscanOptions dopts;
+      dopts.eps = options.eps;
+      dopts.min_points = options.min_points;
+      EALGAP_ASSIGN_OR_RETURN(cluster::DbscanResult db,
+                              cluster::Dbscan(points, dopts));
+      if (db.num_clusters == 0) {
+        return Status::FailedPrecondition(
+            "DBSCAN found no clusters; increase eps");
+      }
+      return FromLabels(points, std::move(db.labels));
+    }
+    case PartitionMethod::kOptics: {
+      cluster::OpticsOptions oopts;
+      oopts.cluster_eps = options.eps;
+      oopts.min_points = options.min_points;
+      oopts.max_eps = options.eps * 5.0;
+      EALGAP_ASSIGN_OR_RETURN(cluster::OpticsResult oc,
+                              cluster::Optics(points, oopts));
+      if (oc.num_clusters == 0) {
+        return Status::FailedPrecondition(
+            "OPTICS found no clusters; increase eps");
+      }
+      return FromLabels(points, std::move(oc.labels));
+    }
+  }
+  return Status::InvalidArgument("unknown partition method");
+}
+
+}  // namespace data
+}  // namespace ealgap

@@ -1,0 +1,42 @@
+#ifndef EALGAP_DATA_PARTITION_H_
+#define EALGAP_DATA_PARTITION_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/result.h"
+#include "data/trip.h"
+
+namespace ealgap {
+namespace data {
+
+/// Region partitioning algorithm (paper default: k-means; ablations (v) and
+/// (vi) swap in DBSCAN / OPTICS).
+enum class PartitionMethod { kKMeans, kDbscan, kOptics };
+
+struct PartitionOptions {
+  PartitionMethod method = PartitionMethod::kKMeans;
+  int num_regions = 20;  ///< k for k-means (ignored by density methods)
+  double eps = 0.02;     ///< radius for DBSCAN/OPTICS (degrees)
+  int min_points = 3;
+  uint64_t seed = 42;
+};
+
+/// A station-to-region assignment.
+struct RegionPartition {
+  std::vector<int> station_region;  ///< region index per station (compacted)
+  std::vector<cluster::Point2> region_centers;
+  int num_regions = 0;
+};
+
+/// Clusters stations geographically. Density methods may produce noise
+/// points; these are reassigned to the nearest cluster center and labels
+/// are compacted to 0..num_regions-1 so downstream code sees a total
+/// assignment either way.
+Result<RegionPartition> PartitionStations(const std::vector<Station>& stations,
+                                          const PartitionOptions& options);
+
+}  // namespace data
+}  // namespace ealgap
+
+#endif  // EALGAP_DATA_PARTITION_H_

@@ -1,0 +1,73 @@
+#include "data/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace data {
+
+void MinMaxScaler::Fit(const Tensor& t) {
+  EALGAP_CHECK(t.defined());
+  const float* p = t.data();
+  lo_ = p[0];
+  hi_ = p[0];
+  for (int64_t i = 1; i < t.numel(); ++i) {
+    lo_ = std::min(lo_, p[i]);
+    hi_ = std::max(hi_, p[i]);
+  }
+  if (hi_ - lo_ < 1e-6f) hi_ = lo_ + 1e-6f;
+}
+
+Tensor MinMaxScaler::Transform(const Tensor& t) const {
+  Tensor out(t.shape());
+  const float* p = t.data();
+  float* q = out.data();
+  const float scale = 2.f / (hi_ - lo_);
+  for (int64_t i = 0; i < t.numel(); ++i) q[i] = (p[i] - lo_) * scale - 1.f;
+  return out;
+}
+
+Tensor MinMaxScaler::Inverse(const Tensor& t) const {
+  Tensor out(t.shape());
+  const float* p = t.data();
+  float* q = out.data();
+  const float scale = (hi_ - lo_) / 2.f;
+  for (int64_t i = 0; i < t.numel(); ++i) q[i] = (p[i] + 1.f) * scale + lo_;
+  return out;
+}
+
+void StandardScaler::Fit(const Tensor& t) {
+  EALGAP_CHECK(t.defined());
+  EALGAP_CHECK_GT(t.numel(), 0);
+  const float* p = t.data();
+  double sum = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) sum += p[i];
+  mean_ = static_cast<float>(sum / t.numel());
+  double ss = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    ss += (p[i] - mean_) * (p[i] - mean_);
+  }
+  stddev_ = static_cast<float>(std::sqrt(ss / t.numel()));
+  if (stddev_ < 1e-6f) stddev_ = 1e-6f;
+}
+
+Tensor StandardScaler::Transform(const Tensor& t) const {
+  Tensor out(t.shape());
+  const float* p = t.data();
+  float* q = out.data();
+  for (int64_t i = 0; i < t.numel(); ++i) q[i] = (p[i] - mean_) / stddev_;
+  return out;
+}
+
+Tensor StandardScaler::Inverse(const Tensor& t) const {
+  Tensor out(t.shape());
+  const float* p = t.data();
+  float* q = out.data();
+  for (int64_t i = 0; i < t.numel(); ++i) q[i] = p[i] * stddev_ + mean_;
+  return out;
+}
+
+}  // namespace data
+}  // namespace ealgap

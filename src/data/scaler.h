@@ -1,0 +1,42 @@
+#ifndef EALGAP_DATA_SCALER_H_
+#define EALGAP_DATA_SCALER_H_
+
+#include "tensor/tensor.h"
+
+namespace ealgap {
+namespace data {
+
+/// Min-max scaler onto [-1, 1] (ST-ResNet trains against a tanh head).
+/// Fit on training data only; Transform/Inverse apply everywhere.
+class MinMaxScaler {
+ public:
+  /// Fits to the value range of `t` (any shape).
+  void Fit(const Tensor& t);
+  Tensor Transform(const Tensor& t) const;
+  Tensor Inverse(const Tensor& t) const;
+  float lo() const { return lo_; }
+  float hi() const { return hi_; }
+
+ private:
+  float lo_ = 0.f;
+  float hi_ = 1.f;
+};
+
+/// Z-score scaler (per-tensor mean/std), used by the recurrent baselines.
+class StandardScaler {
+ public:
+  void Fit(const Tensor& t);
+  Tensor Transform(const Tensor& t) const;
+  Tensor Inverse(const Tensor& t) const;
+  float mean() const { return mean_; }
+  float stddev() const { return stddev_; }
+
+ private:
+  float mean_ = 0.f;
+  float stddev_ = 1.f;
+};
+
+}  // namespace data
+}  // namespace ealgap
+
+#endif  // EALGAP_DATA_SCALER_H_

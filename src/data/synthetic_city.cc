@@ -1,0 +1,291 @@
+#include "data/synthetic_city.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace data {
+
+namespace {
+
+/// Per-region diurnal profile parameters drawn once per region.
+struct RegionProfile {
+  double base_weight = 1.0;    // relative region volume
+  double morning_peak = 8.5;   // hour of the morning commute surge
+  double evening_peak = 17.5;  // hour of the evening surge
+  double morning_width = 1.2;
+  double evening_width = 1.5;
+  double morning_amp = 1.0;
+  double evening_amp = 1.0;
+  double midday_amp = 0.35;    // weekend/holiday hump amplitude
+  double night_floor = 0.05;
+};
+
+double Gauss(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return std::exp(-0.5 * z * z);
+}
+
+// Weekday double-peak commute shape (paper Fig. 4).
+double WeekdayProfile(const RegionProfile& p, double hour, bool taxi) {
+  double v = p.night_floor +
+             p.morning_amp * Gauss(hour, p.morning_peak, p.morning_width) +
+             p.evening_amp * Gauss(hour, p.evening_peak, p.evening_width) +
+             0.25 * Gauss(hour, 13.0, 3.0);
+  if (taxi) {
+    // Taxis keep a nightlife tail and broader peaks.
+    v += 0.2 * Gauss(hour, 22.5, 2.0) + 0.08;
+  }
+  return v;
+}
+
+// Weekend / holiday single-hump shape.
+double WeekendProfile(const RegionProfile& p, double hour, bool taxi) {
+  double v = p.night_floor +
+             (p.morning_amp + p.evening_amp) * p.midday_amp *
+                 Gauss(hour, 14.0, 3.2);
+  if (taxi) {
+    v += 0.25 * Gauss(hour, 23.0, 2.5) + 0.08;
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<SyntheticCity> GenerateCity(const CityConfig& config) {
+  if (config.num_regions <= 0 || config.num_stations < config.num_regions) {
+    return Status::InvalidArgument(
+        "need at least one station per region: stations=" +
+        std::to_string(config.num_stations) +
+        " regions=" + std::to_string(config.num_regions));
+  }
+  if (config.num_days <= 0) {
+    return Status::InvalidArgument("num_days must be positive");
+  }
+
+  SyntheticCity city;
+  city.config = config;
+  Rng rng(config.seed);
+  Rng layout_rng = rng.Fork();
+  Rng profile_rng = rng.Fork();
+  Rng count_rng = rng.Fork();
+  Rng trip_rng = rng.Fork();
+  Rng dirt_rng = rng.Fork();
+
+  const int r = config.num_regions;
+
+  // --- layout: region centers around the city center, stations around them.
+  std::vector<double> region_lon(r), region_lat(r);
+  for (int i = 0; i < r; ++i) {
+    // Ring-plus-jitter placement keeps regions geographically separated so
+    // k-means can recover them.
+    const double angle = 2.0 * M_PI * i / r + layout_rng.Uniform(-0.05, 0.05);
+    const double radius = 0.05 + 0.04 * layout_rng.Uniform();
+    region_lon[i] = config.center_lon + radius * std::cos(angle);
+    region_lat[i] = config.center_lat + radius * std::sin(angle);
+  }
+  city.stations.reserve(config.num_stations);
+  city.true_region.reserve(config.num_stations);
+  for (int s = 0; s < config.num_stations; ++s) {
+    const int region = s % r;  // round-robin keeps regions non-empty
+    Station st;
+    st.id = s + 1;
+    st.lon = region_lon[region] + layout_rng.Normal(0.0, 0.005);
+    st.lat = region_lat[region] + layout_rng.Normal(0.0, 0.005);
+    city.stations.push_back(st);
+    city.true_region.push_back(region);
+  }
+  std::vector<std::vector<int>> region_stations(r);
+  for (int s = 0; s < config.num_stations; ++s) {
+    region_stations[city.true_region[s]].push_back(s);
+  }
+  // Station weights within a region (some docks are much busier).
+  std::vector<double> station_weight(config.num_stations);
+  for (int i = 0; i < r; ++i) {
+    double total = 0.0;
+    for (int s : region_stations[i]) {
+      station_weight[s] = std::exp(layout_rng.Normal(0.0, 0.5));
+      total += station_weight[s];
+    }
+    for (int s : region_stations[i]) station_weight[s] /= total;
+  }
+
+  // --- per-region profiles.
+  std::vector<RegionProfile> profiles(r);
+  for (int i = 0; i < r; ++i) {
+    RegionProfile& p = profiles[i];
+    p.base_weight = std::exp(profile_rng.Normal(0.0, 0.45));
+    p.morning_peak = profile_rng.Uniform(7.0, 10.0);
+    p.evening_peak = profile_rng.Uniform(16.0, 19.5);
+    p.morning_width = profile_rng.Uniform(1.8, 2.8);
+    p.evening_width = profile_rng.Uniform(2.0, 3.0);
+    p.morning_amp = profile_rng.Uniform(0.7, 1.3);
+    p.evening_amp = profile_rng.Uniform(0.7, 1.3);
+    p.midday_amp = profile_rng.Uniform(0.30, 0.45);
+    p.night_floor = profile_rng.Uniform(0.03, 0.08);
+  }
+
+  // --- per-region weather-event severities and onset/end hours (Fig. 5
+  // reports 19%-34% drops with region-varying onset, Fig. 4 ~10am-9pm).
+  bool has_weather = false;
+  double weather_severity = 0.0;
+  for (const AnomalyEvent& e : config.events) {
+    if (e.kind != EventKind::kHoliday && e.kind != EventKind::kMildWeather) {
+      has_weather = true;
+      weather_severity = e.severity;
+    }
+  }
+  city.region_event_severity.resize(r);
+  city.region_onset_hour.resize(r);
+  city.region_end_hour.resize(r);
+  for (int i = 0; i < r; ++i) {
+    city.region_event_severity[i] =
+        std::clamp(weather_severity + profile_rng.Uniform(-0.08, 0.10), 0.12,
+                   0.6);
+    city.region_onset_hour[i] = static_cast<int>(profile_rng.Uniform(9, 12));
+    city.region_end_hour[i] = static_cast<int>(profile_rng.Uniform(19, 22));
+  }
+  (void)has_weather;
+
+  // --- per-day citywide factor: weekly seasonality + lognormal weather
+  // noise (creates the heavy upper tail of daily volumes).
+  // Day-level demand swings are weather-driven and persistent: an AR(1)
+  // process in log space (stationary sd ~0.35 -> daily volumes vary by
+  // roughly +-70%, as real bike-share demand does across weather). This is
+  // the source of the heavy-tailed count distribution of Fig. 7.
+  std::vector<double> day_factor(config.num_days);
+  double weather_state = 0.0;
+  for (int d = 0; d < config.num_days; ++d) {
+    const double season =
+        1.0 + 0.10 * std::sin(2.0 * M_PI * d / 28.0);  // mild monthly swing
+    weather_state =
+        0.7 * weather_state + count_rng.Normal(0.0, config.weather_sigma);
+    // A severe weather event IS the day's weather: it cannot coincide with
+    // a good-weather day, so the state is pulled down (and the depression
+    // persists into the following days through the AR chain).
+    const CivilDate date = AddDays(config.start_date, d);
+    for (const AnomalyEvent& e : config.events) {
+      if (e.kind != EventKind::kHoliday && e.kind != EventKind::kMildWeather &&
+          e.Covers(date)) {
+        weather_state = std::min(weather_state, -0.15);
+      }
+    }
+    day_factor[d] = season * std::exp(weather_state);
+  }
+
+  // Per-region hourly turbulence: AR(1) in log space. This is the local
+  // "instantaneous fluctuation" the paper's local-impact module targets —
+  // it persists over a few hours, so recent history is informative beyond
+  // the periodic profile.
+  std::vector<double> turbulence(r, 0.0);
+  constexpr double kTurbulencePhi = 0.9;
+  const double turbulence_sigma = config.turbulence_sigma;
+
+  // --- generate counts and trips.
+  const int hours = config.num_days * 24;
+  city.region_counts = Tensor::Zeros({r, hours});
+  float* counts = city.region_counts.data();
+  city.trips.reserve(static_cast<size_t>(
+      config.base_region_hour_rate * r * hours * 0.75));
+
+  for (int d = 0; d < config.num_days; ++d) {
+    const CivilDate date = AddDays(config.start_date, d);
+    const bool weekend = IsWeekend(date);
+    // Active events today.
+    std::vector<const AnomalyEvent*> active;
+    bool holiday_today = false;
+    for (const AnomalyEvent& e : config.events) {
+      if (e.Covers(date)) {
+        active.push_back(&e);
+        if (e.kind == EventKind::kHoliday) holiday_today = true;
+      }
+    }
+    for (int h = 0; h < 24; ++h) {
+      const int step = d * 24 + h;
+      const int64_t hour_start =
+          DaysSinceEpoch(date) * 86400 + static_cast<int64_t>(h) * 3600;
+      for (int i = 0; i < r; ++i) {
+        const RegionProfile& p = profiles[i];
+        // Holidays reshape a weekday into a weekend-like day.
+        const bool weekend_shape = weekend || holiday_today;
+        double shape = weekend_shape
+                           ? WeekendProfile(p, h + 0.5, config.taxi_profile)
+                           : WeekdayProfile(p, h + 0.5, config.taxi_profile);
+        double mult = 1.0;
+        for (const AnomalyEvent* e : active) {
+          double sev = e->severity;
+          if (e->kind != EventKind::kHoliday &&
+              e->kind != EventKind::kMildWeather) {
+            sev = city.region_event_severity[i];
+          }
+          mult *= EventHourMultiplier(*e, sev, h, city.region_onset_hour[i],
+                                      city.region_end_hour[i]);
+        }
+        turbulence[i] = kTurbulencePhi * turbulence[i] +
+                        count_rng.Normal(0.0, turbulence_sigma);
+        const double rate = config.base_region_hour_rate * p.base_weight *
+                            shape * day_factor[d] * mult *
+                            std::exp(turbulence[i]);
+        const int64_t count = count_rng.Poisson(rate);
+        counts[i * hours + step] = static_cast<float>(count);
+        // Distribute the region's pick-ups over its stations.
+        const auto& members = region_stations[i];
+        for (int64_t c = 0; c < count; ++c) {
+          // Weighted station choice via inverse CDF.
+          double u = trip_rng.Uniform();
+          int start_station = members.back();
+          for (int s : members) {
+            u -= station_weight[s];
+            if (u <= 0.0) {
+              start_station = s;
+              break;
+            }
+          }
+          TripRecord t;
+          t.start_seconds = hour_start + trip_rng.UniformInt(3600);
+          // Trip duration 3-40 minutes (log-uniform-ish).
+          const int64_t duration =
+              180 + static_cast<int64_t>(trip_rng.Uniform() *
+                                         trip_rng.Uniform() * 2220);
+          t.end_seconds = t.start_seconds + duration;
+          t.start_station = city.stations[start_station].id;
+          // Drop-off somewhere in the same or an adjacent region.
+          const int end_region =
+              trip_rng.Uniform() < 0.7 ? i : static_cast<int>(
+                                                 trip_rng.UniformInt(r));
+          const auto& ends = region_stations[end_region];
+          t.end_station =
+              city.stations[ends[trip_rng.UniformInt(ends.size())]].id;
+          city.trips.push_back(t);
+        }
+      }
+    }
+  }
+
+  // --- inject dirty records the cleaning stage must remove.
+  const size_t dirty =
+      static_cast<size_t>(city.trips.size() * config.dirty_fraction);
+  for (size_t k = 0; k < dirty; ++k) {
+    const TripRecord& base =
+        city.trips[dirt_rng.UniformInt(city.trips.size())];
+    TripRecord bad = base;
+    if (k % 2 == 0) {
+      // Sub-minute trip (dock re-rack).
+      bad.end_seconds = bad.start_seconds + 1 +
+                        static_cast<int64_t>(dirt_rng.UniformInt(58));
+    } else {
+      // Timestamp error: end precedes start.
+      std::swap(bad.start_seconds, bad.end_seconds);
+    }
+    city.trips.push_back(bad);
+  }
+  // Shuffle so dirty records are interleaved like in a real feed.
+  dirt_rng.Shuffle(city.trips);
+
+  return city;
+}
+
+}  // namespace data
+}  // namespace ealgap

@@ -1,0 +1,90 @@
+#include "data/trip.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+
+namespace ealgap {
+namespace data {
+
+Status WriteTripsCsv(const std::string& path,
+                     const std::vector<TripRecord>& trips) {
+  CsvTable table;
+  table.header = {"started_at", "ended_at", "start_station_id",
+                  "end_station_id"};
+  table.rows.reserve(trips.size());
+  for (const TripRecord& t : trips) {
+    table.rows.push_back({FormatTimestamp(FromUnixSeconds(t.start_seconds)),
+                          FormatTimestamp(FromUnixSeconds(t.end_seconds)),
+                          std::to_string(t.start_station),
+                          std::to_string(t.end_station)});
+  }
+  return WriteCsvFile(path, table);
+}
+
+Result<std::vector<TripRecord>> ReadTripsCsv(const std::string& path) {
+  EALGAP_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  const int c_start = table.ColumnIndex("started_at");
+  const int c_end = table.ColumnIndex("ended_at");
+  const int c_ss = table.ColumnIndex("start_station_id");
+  const int c_es = table.ColumnIndex("end_station_id");
+  if (c_start < 0 || c_end < 0 || c_ss < 0 || c_es < 0) {
+    return Status::ParseError("trip CSV missing required columns in " + path);
+  }
+  std::vector<TripRecord> trips;
+  trips.reserve(table.rows.size());
+  for (const CsvRow& row : table.rows) {
+    TripRecord t;
+    auto start = ParseTimestamp(row[c_start]);
+    auto end = ParseTimestamp(row[c_end]);
+    // Malformed timestamps become 0/0 and are dropped by the cleaner.
+    t.start_seconds = start.ok() ? ToUnixSeconds(*start) : 0;
+    t.end_seconds = end.ok() ? ToUnixSeconds(*end) : 0;
+    t.start_station = std::atoi(row[c_ss].c_str());
+    t.end_station = std::atoi(row[c_es].c_str());
+    trips.push_back(t);
+  }
+  return trips;
+}
+
+Status WriteStationsCsv(const std::string& path,
+                        const std::vector<Station>& stations) {
+  CsvTable table;
+  table.header = {"station_id", "lon", "lat"};
+  table.rows.reserve(stations.size());
+  char buf[32];
+  for (const Station& s : stations) {
+    CsvRow row;
+    row.push_back(std::to_string(s.id));
+    std::snprintf(buf, sizeof(buf), "%.6f", s.lon);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.6f", s.lat);
+    row.push_back(buf);
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, table);
+}
+
+Result<std::vector<Station>> ReadStationsCsv(const std::string& path) {
+  EALGAP_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  const int c_id = table.ColumnIndex("station_id");
+  const int c_lon = table.ColumnIndex("lon");
+  const int c_lat = table.ColumnIndex("lat");
+  if (c_id < 0 || c_lon < 0 || c_lat < 0) {
+    return Status::ParseError("station CSV missing required columns in " +
+                              path);
+  }
+  std::vector<Station> stations;
+  stations.reserve(table.rows.size());
+  for (const CsvRow& row : table.rows) {
+    Station s;
+    s.id = std::atoi(row[c_id].c_str());
+    s.lon = std::atof(row[c_lon].c_str());
+    s.lat = std::atof(row[c_lat].c_str());
+    stations.push_back(s);
+  }
+  return stations;
+}
+
+}  // namespace data
+}  // namespace ealgap

@@ -1,0 +1,52 @@
+#ifndef EALGAP_DATA_TRIP_H_
+#define EALGAP_DATA_TRIP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time_util.h"
+
+namespace ealgap {
+namespace data {
+
+/// A mobility station (bike dock group or taxi pick-up zone centroid).
+struct Station {
+  int id = 0;
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+/// One trip record, the unit of the raw mobility datasets (Citi/Divvy/TLC).
+/// Times are Unix seconds.
+struct TripRecord {
+  int64_t start_seconds = 0;
+  int64_t end_seconds = 0;
+  int start_station = 0;
+  int end_station = 0;
+};
+
+/// Writes trips in the interchange CSV schema:
+///   started_at,ended_at,start_station_id,end_station_id
+/// with "YYYY-MM-DD HH:MM:SS" timestamps (mirrors the public feeds).
+Status WriteTripsCsv(const std::string& path,
+                     const std::vector<TripRecord>& trips);
+
+/// Reads trips written by WriteTripsCsv. Rows with malformed timestamps are
+/// *kept* with start_seconds = end_seconds = 0 so the cleaning stage (not
+/// the parser) decides their fate — matching the paper's pipeline, which
+/// filters "trips with errors in the timestamps" as an explicit step.
+Result<std::vector<TripRecord>> ReadTripsCsv(const std::string& path);
+
+/// Writes stations as: station_id,lon,lat.
+Status WriteStationsCsv(const std::string& path,
+                        const std::vector<Station>& stations);
+
+/// Reads stations written by WriteStationsCsv.
+Result<std::vector<Station>> ReadStationsCsv(const std::string& path);
+
+}  // namespace data
+}  // namespace ealgap
+
+#endif  // EALGAP_DATA_TRIP_H_

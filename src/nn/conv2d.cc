@@ -1,0 +1,139 @@
+#include "nn/conv2d.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace ealgap {
+namespace nn {
+
+namespace {
+
+int64_t OutDim(int64_t in, int64_t kernel, int64_t stride, int64_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+// Forward im2col: (B, C, H, W) -> (B, C*k*k, OH*OW). Out-of-bounds taps
+// (from padding) read as zero.
+Tensor Im2ColForward(const Tensor& x, int64_t k, int64_t stride, int64_t pad) {
+  const int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = OutDim(h, k, stride, pad), ow = OutDim(w, k, stride, pad);
+  Tensor out({b, c * k * k, oh * ow});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t ki = 0; ki < k; ++ki) {
+        for (int64_t kj = 0; kj < k; ++kj) {
+          const int64_t row = ((ci * k + ki) * k + kj);
+          for (int64_t oi = 0; oi < oh; ++oi) {
+            const int64_t ii = oi * stride - pad + ki;
+            for (int64_t oj = 0; oj < ow; ++oj) {
+              const int64_t jj = oj * stride - pad + kj;
+              float v = 0.f;
+              if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+                v = px[((bi * c + ci) * h + ii) * w + jj];
+              }
+              po[(bi * c * k * k + row) * oh * ow + oi * ow + oj] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Transposed scatter of Im2ColForward: accumulates column gradients back
+// into the input layout.
+Tensor Col2Im(const Tensor& g, int64_t c, int64_t h, int64_t w, int64_t k,
+              int64_t stride, int64_t pad) {
+  const int64_t b = g.dim(0);
+  const int64_t oh = OutDim(h, k, stride, pad), ow = OutDim(w, k, stride, pad);
+  Tensor out({b, c, h, w});
+  const float* pg = g.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t ki = 0; ki < k; ++ki) {
+        for (int64_t kj = 0; kj < k; ++kj) {
+          const int64_t row = ((ci * k + ki) * k + kj);
+          for (int64_t oi = 0; oi < oh; ++oi) {
+            const int64_t ii = oi * stride - pad + ki;
+            if (ii < 0 || ii >= h) continue;
+            for (int64_t oj = 0; oj < ow; ++oj) {
+              const int64_t jj = oj * stride - pad + kj;
+              if (jj < 0 || jj >= w) continue;
+              po[((bi * c + ci) * h + ii) * w + jj] +=
+                  pg[(bi * c * k * k + row) * oh * ow + oi * ow + oj];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Var Im2Col(const Var& x, int64_t kernel, int64_t stride, int64_t padding) {
+  EALGAP_CHECK_EQ(x.value().ndim(), 4);
+  Tensor out = Im2ColForward(x.value(), kernel, stride, padding);
+  if (!GradEnabled() || !x.requires_grad()) {
+    return Var::Leaf(std::move(out));
+  }
+  auto node = std::make_shared<autograd::Node>();
+  node->value = std::move(out);
+  node->requires_grad = true;
+  node->parents = {x.node()};
+  auto nx = x.node();
+  const int64_t c = x.value().dim(1), h = x.value().dim(2),
+                w = x.value().dim(3);
+  node->backfn = [nx, c, h, w, kernel, stride, padding](const Tensor& g) {
+    nx->AccumulateGrad(Col2Im(g, c, h, w, kernel, stride, padding));
+  };
+  return Var(std::move(node));
+}
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               Rng& rng, int64_t stride, int64_t padding, bool has_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding) {
+  const int64_t fan_in = in_channels * kernel * kernel;
+  weight_ = RegisterParameter(
+      "weight", HeNormal({out_channels, fan_in}, fan_in, rng));
+  if (has_bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_channels}));
+  }
+}
+
+Var Conv2d::Forward(const Var& x) const {
+  EALGAP_CHECK_EQ(x.value().ndim(), 4);
+  EALGAP_CHECK_EQ(x.value().dim(1), in_channels_);
+  const int64_t b = x.value().dim(0);
+  const int64_t oh = OutDim(x.value().dim(2), kernel_, stride_, padding_);
+  const int64_t ow = OutDim(x.value().dim(3), kernel_, stride_, padding_);
+  Var cols = Im2Col(x, kernel_, stride_, padding_);  // (B, K, P)
+  const int64_t kdim = cols.value().dim(1);
+  const int64_t p = cols.value().dim(2);
+  // (out, K) x (B, K, P) -> per-batch matmul, stacked.
+  std::vector<Var> per_batch;
+  per_batch.reserve(b);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    Var cb = Reshape(Slice(cols, 0, bi, bi + 1), {kdim, p});
+    per_batch.push_back(MatMul(weight_, cb));  // (out, P)
+  }
+  Var out = Stack(per_batch);  // (B, out, P)
+  if (bias_.defined()) {
+    out = Add(out, Reshape(bias_, {1, out_channels_, 1}));
+  }
+  return Reshape(out, {b, out_channels_, oh, ow});
+}
+
+}  // namespace nn
+}  // namespace ealgap

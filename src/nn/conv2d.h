@@ -1,0 +1,44 @@
+#ifndef EALGAP_NN_CONV2D_H_
+#define EALGAP_NN_CONV2D_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/autograd.h"
+
+namespace ealgap {
+namespace nn {
+
+/// 2-D convolution (NCHW) via im2col, with full autograd support.
+///
+/// Used by the ST-ResNet baseline, whose residual units are 3x3
+/// convolutions over the city grid.
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         Rng& rng, int64_t stride = 1, int64_t padding = 0,
+         bool has_bias = true);
+
+  /// x: (B, in_channels, H, W) -> (B, out_channels, H', W') with
+  /// H' = (H + 2*padding - kernel)/stride + 1 (same for W').
+  Var Forward(const Var& x) const;
+
+  int64_t out_channels() const { return out_channels_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t padding_;
+  Var weight_;  // (out_channels, in_channels * kernel * kernel)
+  Var bias_;    // (out_channels)
+};
+
+/// Differentiable im2col: x (B, C, H, W) -> columns (B, C*k*k, OH*OW).
+/// Exposed for testing.
+Var Im2Col(const Var& x, int64_t kernel, int64_t stride, int64_t padding);
+
+}  // namespace nn
+}  // namespace ealgap
+
+#endif  // EALGAP_NN_CONV2D_H_

@@ -1,0 +1,22 @@
+#include "nn/dropout.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+namespace nn {
+
+Var Dropout(const Var& x, float p, Rng& rng) {
+  EALGAP_CHECK(p >= 0.f && p < 1.f);
+  if (!GradEnabled() || p == 0.f) return x;
+  Tensor mask(x.value().shape());
+  const float keep_scale = 1.f / (1.f - p);
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = rng.Uniform() < p ? 0.f : keep_scale;
+  }
+  return Mul(x, Var::Leaf(std::move(mask)));
+}
+
+}  // namespace nn
+}  // namespace ealgap

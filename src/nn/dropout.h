@@ -1,0 +1,20 @@
+#ifndef EALGAP_NN_DROPOUT_H_
+#define EALGAP_NN_DROPOUT_H_
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+
+namespace ealgap {
+namespace nn {
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability p and survivors are scaled by 1/(1-p); under NoGradGuard
+/// (inference) the input passes through unchanged. Stateless apart from
+/// the caller-provided Rng, so it composes with the functional style of
+/// the model code.
+Var Dropout(const Var& x, float p, Rng& rng);
+
+}  // namespace nn
+}  // namespace ealgap
+
+#endif  // EALGAP_NN_DROPOUT_H_

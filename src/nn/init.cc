@@ -1,0 +1,20 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace ealgap {
+namespace nn {
+
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float a =
+      std::sqrt(6.f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(std::move(shape), rng, -a, a);
+}
+
+Tensor HeNormal(Shape shape, int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.f / static_cast<float>(fan_in));
+  return Tensor::Randn(std::move(shape), rng, 0.f, stddev);
+}
+
+}  // namespace nn
+}  // namespace ealgap

@@ -1,0 +1,20 @@
+#ifndef EALGAP_NN_INIT_H_
+#define EALGAP_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace ealgap {
+namespace nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Suits tanh/sigmoid layers (the GRU gates, attention decoders).
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// Kaiming/He normal: N(0, sqrt(2 / fan_in)). Suits ReLU layers.
+Tensor HeNormal(Shape shape, int64_t fan_in, Rng& rng);
+
+}  // namespace nn
+}  // namespace ealgap
+
+#endif  // EALGAP_NN_INIT_H_

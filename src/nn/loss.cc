@@ -1,0 +1,59 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace nn {
+
+Var MseLoss(const Var& pred, const Var& target) {
+  Var d = Sub(pred, target);
+  return MeanAll(Mul(d, d));
+}
+
+Var MaeLoss(const Var& pred, const Var& target) {
+  return MeanAll(Abs(Sub(pred, target)));
+}
+
+Var HuberLoss(const Var& pred, const Var& target, float delta) {
+  // Branchless composition: quadratic below delta, linear above.
+  //   l = delta^2 * (sqrt(1 + (d/delta)^2) - 1)   (pseudo-Huber)
+  Var d = Sub(pred, target);
+  Var scaled = MulScalar(d, 1.f / delta);
+  Var inner = AddScalar(Mul(scaled, scaled), 1.f);
+  Var l = MulScalar(AddScalar(Sqrt(inner), -1.f), delta * delta);
+  return MeanAll(l);
+}
+
+Var EvlLoss(const Var& pred, const Var& target, const EvlConfig& config) {
+  // Build the per-element weight tensor from the (constant) targets; the
+  // weights are data, not part of the differentiated graph.
+  const Tensor& t = target.value();
+  Tensor weights(t.shape());
+  const float* pt = t.data();
+  float* pw = weights.data();
+  const int64_t n = t.numel();
+  int64_t extreme = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (pt[i] > config.high_threshold || pt[i] < config.low_threshold) {
+      ++extreme;
+    }
+  }
+  const float frac =
+      n > 0 ? static_cast<float>(extreme) / static_cast<float>(n) : 0.f;
+  // Rarer extremes get a larger weight; fully-normal batches degrade to MSE.
+  const float w_extreme =
+      config.beta * std::pow(std::max(1.f - frac, 1e-3f), -config.gamma);
+  for (int64_t i = 0; i < n; ++i) {
+    const bool is_extreme =
+        pt[i] > config.high_threshold || pt[i] < config.low_threshold;
+    pw[i] = is_extreme ? w_extreme : 1.f;
+  }
+  Var d = Sub(pred, target);
+  Var weighted = Mul(Mul(d, d), Var::Leaf(std::move(weights)));
+  return MeanAll(weighted);
+}
+
+}  // namespace nn
+}  // namespace ealgap

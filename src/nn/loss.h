@@ -1,0 +1,39 @@
+#ifndef EALGAP_NN_LOSS_H_
+#define EALGAP_NN_LOSS_H_
+
+#include "tensor/autograd.h"
+
+namespace ealgap {
+namespace nn {
+
+/// Mean squared error over all elements.
+Var MseLoss(const Var& pred, const Var& target);
+
+/// Mean absolute error over all elements.
+Var MaeLoss(const Var& pred, const Var& target);
+
+/// Huber loss with the given delta (smooth L1).
+Var HuberLoss(const Var& pred, const Var& target, float delta = 1.f);
+
+/// Configuration for the extreme-value loss (EVL baseline, Ding et al.,
+/// KDD'19). Targets above `high_threshold` or below `low_threshold` are
+/// "extreme"; their squared error is up-weighted by the EVT-motivated factor
+///   w = beta * (1 - extreme_fraction)^(-gamma)
+/// where extreme_fraction is the fraction of extreme samples in the batch.
+/// This reproduces the paper's intent — extreme samples dominate the loss in
+/// proportion to their rarity — without the original's separate
+/// classification head.
+struct EvlConfig {
+  float high_threshold = 0.f;
+  float low_threshold = 0.f;
+  float beta = 1.f;
+  float gamma = 1.f;
+};
+
+/// Extreme-value-weighted squared error.
+Var EvlLoss(const Var& pred, const Var& target, const EvlConfig& config);
+
+}  // namespace nn
+}  // namespace ealgap
+
+#endif  // EALGAP_NN_LOSS_H_

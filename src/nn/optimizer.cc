@@ -1,0 +1,98 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace ealgap {
+namespace nn {
+
+void Optimizer::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.f) {
+    velocity_.reserve(params_.size());
+    for (Var& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    const Tensor& g = p.grad();
+    // Parameters are leaves; updating the value in place is safe because the
+    // next forward pass re-reads it.
+    Tensor& w = const_cast<Tensor&>(p.value());
+    float* pw = w.data();
+    const float* pg = g.data();
+    const int64_t n = w.numel();
+    if (momentum_ != 0.f) {
+      float* pv = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        pv[j] = momentum_ * pv[j] + pg[j];
+        pw[j] -= lr_ * pv[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) pw[j] -= lr_ * pg[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Var& p : params_) {
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    const Tensor& g = p.grad();
+    Tensor& w = const_cast<Tensor&>(p.value());
+    float* pw = w.data();
+    const float* pg = g.data();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    const int64_t n = w.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      pm[j] = beta1_ * pm[j] + (1.f - beta1_) * pg[j];
+      pv[j] = beta2_ * pv[j] + (1.f - beta2_) * pg[j] * pg[j];
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      pw[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(std::vector<Var>& params, float max_norm) {
+  double total = 0.0;
+  for (Var& p : params) {
+    const Tensor& g = p.grad();
+    const float* pg = g.data();
+    for (int64_t j = 0; j < g.numel(); ++j) total += double(pg[j]) * pg[j];
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.f) {
+    const float scale = max_norm / norm;
+    for (Var& p : params) p.grad().ScaleInPlace(scale);
+  }
+  return norm;
+}
+
+}  // namespace nn
+}  // namespace ealgap

@@ -1,0 +1,62 @@
+#ifndef EALGAP_NN_OPTIMIZER_H_
+#define EALGAP_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace ealgap {
+namespace nn {
+
+/// Base class for gradient-descent optimizers over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients accumulated in the parameters.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+ protected:
+  std::vector<Var> params_;
+};
+
+/// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.f);
+  void Step() override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Scales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(std::vector<Var>& params, float max_norm);
+
+}  // namespace nn
+}  // namespace ealgap
+
+#endif  // EALGAP_NN_OPTIMIZER_H_

@@ -1,0 +1,70 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ealgap {
+namespace nn {
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.precision(9);
+  for (const auto& [name, p] : module.NamedParameters()) {
+    const Tensor& t = p.value();
+    out << name << " " << t.ndim();
+    for (int64_t d : t.shape()) out << " " << d;
+    const float* data = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) out << " " << data[i];
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::map<std::string, Tensor> loaded;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string name;
+    int64_t rank = 0;
+    if (!(is >> name >> rank) || rank < 0 || rank > 8) {
+      return Status::ParseError("bad checkpoint line in " + path);
+    }
+    Shape shape(rank);
+    for (int64_t i = 0; i < rank; ++i) {
+      if (!(is >> shape[i])) return Status::ParseError("bad shape in " + path);
+    }
+    const int64_t n = ShapeNumel(shape);
+    std::vector<float> values(n);
+    for (int64_t i = 0; i < n; ++i) {
+      if (!(is >> values[i])) {
+        return Status::ParseError("truncated values for " + name);
+      }
+    }
+    loaded.emplace(name, Tensor::FromVector(shape, std::move(values)));
+  }
+  for (auto& [name, p] : module.NamedParameters()) {
+    auto it = loaded.find(name);
+    if (it == loaded.end()) {
+      return Status::NotFound("checkpoint missing parameter " + name);
+    }
+    if (!(it->second.shape() == p.value().shape())) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": checkpoint " +
+          ShapeToString(it->second.shape()) + " vs model " +
+          ShapeToString(p.value().shape()));
+    }
+    const_cast<Tensor&>(p.value()).CopyFrom(it->second);
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace ealgap

@@ -1,0 +1,25 @@
+#ifndef EALGAP_NN_SERIALIZE_H_
+#define EALGAP_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace ealgap {
+namespace nn {
+
+/// Saves all named parameters of `module` to a plain-text checkpoint:
+///   <name> <rank> <d0> ... <dk> <v0> <v1> ...
+/// one parameter per line. Portable and diff-able; fine at our model sizes.
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads a checkpoint produced by SaveParameters into `module`. Every
+/// parameter in the module must be present in the file with a matching
+/// shape (extra file entries are ignored).
+Status LoadParameters(Module& module, const std::string& path);
+
+}  // namespace nn
+}  // namespace ealgap
+
+#endif  // EALGAP_NN_SERIALIZE_H_

@@ -1,0 +1,36 @@
+#ifndef EALGAP_STATS_DESCRIPTIVE_H_
+#define EALGAP_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace ealgap {
+namespace stats {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population variance (divides by n); 0 for fewer than 1 element.
+double Variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& v);
+
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Linear-interpolation quantile, q in [0, 1]. Sorts a copy.
+double Quantile(std::vector<double> v, double q);
+
+/// Median (Quantile 0.5).
+double Median(std::vector<double> v);
+
+/// Pearson correlation of two equal-length series; 0 when degenerate.
+double Correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Skewness (population); heavy-tail indicator used by the data analysis.
+double Skewness(const std::vector<double>& v);
+
+}  // namespace stats
+}  // namespace ealgap
+
+#endif  // EALGAP_STATS_DESCRIPTIVE_H_

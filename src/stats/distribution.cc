@@ -1,0 +1,119 @@
+#include "stats/distribution.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace stats {
+
+namespace {
+constexpr double kMinMean = 1e-6;
+constexpr double kMinStddev = 1e-6;
+}  // namespace
+
+ExponentialDistribution::ExponentialDistribution(double lambda)
+    : lambda_(lambda) {
+  EALGAP_CHECK_GT(lambda, 0.0);
+}
+
+Result<ExponentialDistribution> ExponentialDistribution::Fit(
+    const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("exponential fit on empty sample");
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    if (v < 0.0) {
+      return Status::InvalidArgument("exponential fit on negative value");
+    }
+    sum += v;
+  }
+  const double mean = std::max(sum / static_cast<double>(values.size()),
+                               kMinMean);
+  return ExponentialDistribution(1.0 / mean);
+}
+
+double ExponentialDistribution::Pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return lambda_ * std::exp(-lambda_ * x);
+}
+
+double ExponentialDistribution::Cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return 1.0 - std::exp(-lambda_ * x);
+}
+
+double ExponentialDistribution::LogLikelihood(
+    const std::vector<double>& values) const {
+  double ll = 0.0;
+  for (double v : values) {
+    ll += std::log(lambda_) - lambda_ * std::max(v, 0.0);
+  }
+  return ll;
+}
+
+NormalDistribution::NormalDistribution(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  EALGAP_CHECK_GT(stddev, 0.0);
+}
+
+Result<NormalDistribution> NormalDistribution::Fit(
+    const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("normal fit on empty sample");
+  }
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  const double stddev =
+      std::max(std::sqrt(ss / static_cast<double>(values.size())), kMinStddev);
+  return NormalDistribution(mean, stddev);
+}
+
+double NormalDistribution::Pdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  return std::exp(-0.5 * z * z) / (stddev_ * std::sqrt(2.0 * M_PI));
+}
+
+double NormalDistribution::Cdf(double x) const {
+  return 0.5 * std::erfc(-(x - mean_) / (stddev_ * std::sqrt(2.0)));
+}
+
+double NormalDistribution::LogLikelihood(
+    const std::vector<double>& values) const {
+  double ll = 0.0;
+  for (double v : values) ll += std::log(std::max(Pdf(v), 1e-300));
+  return ll;
+}
+
+Tensor RowwisePdf(const Tensor& x, DistributionFamily family) {
+  EALGAP_CHECK_EQ(x.ndim(), 2);
+  const int64_t n = x.dim(0), l = x.dim(1);
+  Tensor z(x.shape());
+  const float* px = x.data();
+  float* pz = z.data();
+  std::vector<double> row(l);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < l; ++j) row[j] = px[i * l + j];
+    if (family == DistributionFamily::kExponential) {
+      auto fit = ExponentialDistribution::Fit(row);
+      EALGAP_CHECK(fit.ok()) << fit.status().ToString();
+      for (int64_t j = 0; j < l; ++j) {
+        pz[i * l + j] = static_cast<float>(fit->Pdf(row[j]));
+      }
+    } else {
+      auto fit = NormalDistribution::Fit(row);
+      EALGAP_CHECK(fit.ok()) << fit.status().ToString();
+      for (int64_t j = 0; j < l; ++j) {
+        pz[i * l + j] = static_cast<float>(fit->Pdf(row[j]));
+      }
+    }
+  }
+  return z;
+}
+
+}  // namespace stats
+}  // namespace ealgap

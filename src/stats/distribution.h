@@ -1,0 +1,67 @@
+#ifndef EALGAP_STATS_DISTRIBUTION_H_
+#define EALGAP_STATS_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace ealgap {
+namespace stats {
+
+/// Exponential distribution with rate `lambda` (mean 1/lambda).
+///
+/// The Global Impact Modeling Module (paper Sec. V-A, Eq. 3-4) fits one per
+/// region over the recent L time steps and evaluates the PDF of the
+/// observations under it.
+class ExponentialDistribution {
+ public:
+  explicit ExponentialDistribution(double lambda);
+
+  /// Maximum-likelihood fit: lambda = 1 / mean(values). Fails on empty
+  /// input or non-positive mean. A tiny epsilon keeps all-zero windows
+  /// (a station with no trips overnight) finite.
+  static Result<ExponentialDistribution> Fit(const std::vector<double>& values);
+
+  double lambda() const { return lambda_; }
+  double Mean() const { return 1.0 / lambda_; }
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double LogLikelihood(const std::vector<double>& values) const;
+
+ private:
+  double lambda_;
+};
+
+/// Normal distribution (used by ablation (iv): replacing the exponential in
+/// the Global Impact Modeling Module).
+class NormalDistribution {
+ public:
+  NormalDistribution(double mean, double stddev);
+
+  /// MLE fit; stddev is floored at a small epsilon for constant inputs.
+  static Result<NormalDistribution> Fit(const std::vector<double>& values);
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+  double Pdf(double x) const;
+  double Cdf(double x) const;
+  double LogLikelihood(const std::vector<double>& values) const;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Which distribution family the Global Impact Modeling Module fits.
+enum class DistributionFamily { kExponential, kNormal };
+
+/// Row-wise PDF transform for Module A: fits the chosen family to each row
+/// (region) of `x` (N x L) and returns the matrix of probability densities
+/// Z (N x L), Eq. (3)-(4) of the paper.
+Tensor RowwisePdf(const Tensor& x, DistributionFamily family);
+
+}  // namespace stats
+}  // namespace ealgap
+
+#endif  // EALGAP_STATS_DISTRIBUTION_H_

@@ -1,0 +1,38 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ealgap {
+namespace stats {
+
+Result<Histogram> Histogram::Build(const std::vector<double>& values,
+                                   int bins) {
+  if (values.empty()) return Status::InvalidArgument("empty sample");
+  if (bins <= 0) return Status::InvalidArgument("bins must be positive");
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  Histogram h;
+  h.lo_ = *mn;
+  const double span = std::max(*mx - *mn, 1e-12);
+  h.width_ = span / bins;
+  h.counts_.assign(bins, 0);
+  h.total_ = static_cast<int64_t>(values.size());
+  for (double v : values) {
+    int idx = static_cast<int>((v - h.lo_) / h.width_);
+    idx = std::clamp(idx, 0, bins - 1);
+    ++h.counts_[idx];
+  }
+  return h;
+}
+
+double Histogram::BinCenter(int i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::Density(int i) const {
+  return static_cast<double>(counts_[i]) /
+         (static_cast<double>(total_) * width_);
+}
+
+}  // namespace stats
+}  // namespace ealgap

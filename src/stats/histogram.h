@@ -1,0 +1,44 @@
+#ifndef EALGAP_STATS_HISTOGRAM_H_
+#define EALGAP_STATS_HISTOGRAM_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace ealgap {
+namespace stats {
+
+/// Equal-width histogram (used to regenerate Fig. 7: empirical pick-up
+/// density vs. fitted exponential PDF).
+class Histogram {
+ public:
+  /// Builds `bins` equal-width bins spanning [min, max] of `values`.
+  /// Fails on empty input or non-positive bin count.
+  static Result<Histogram> Build(const std::vector<double>& values, int bins);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  double bin_width() const { return width_; }
+  double lo() const { return lo_; }
+
+  /// Center of bin i.
+  double BinCenter(int i) const;
+  /// Raw count of bin i.
+  int64_t Count(int i) const { return counts_[i]; }
+  /// Empirical probability density of bin i (counts normalized so the
+  /// histogram integrates to 1).
+  double Density(int i) const;
+
+  int64_t total() const { return total_; }
+
+ private:
+  Histogram() = default;
+  double lo_ = 0.0;
+  double width_ = 1.0;
+  int64_t total_ = 0;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace stats
+}  // namespace ealgap
+
+#endif  // EALGAP_STATS_HISTOGRAM_H_

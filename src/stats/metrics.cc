@@ -1,0 +1,80 @@
+#include "stats/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace stats {
+
+double ErrorRate(const std::vector<double>& pred,
+                 const std::vector<double>& truth) {
+  EALGAP_CHECK_EQ(pred.size(), truth.size());
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    num += std::fabs(truth[i] - pred[i]);
+    den += truth[i];
+  }
+  return num / std::max(den, 1.0);
+}
+
+double Msle(const std::vector<double>& pred, const std::vector<double>& truth) {
+  EALGAP_CHECK_EQ(pred.size(), truth.size());
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double lp = std::log2(std::max(pred[i], 0.0) + 1.0);
+    const double lt = std::log2(std::max(truth[i], 0.0) + 1.0);
+    s += std::fabs(lp - lt);
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+double RSquared(const std::vector<double>& pred,
+                const std::vector<double>& truth) {
+  EALGAP_CHECK_EQ(pred.size(), truth.size());
+  if (truth.empty()) return 0.0;
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return -1e9;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Rmse(const std::vector<double>& pred, const std::vector<double>& truth) {
+  EALGAP_CHECK_EQ(pred.size(), truth.size());
+  if (pred.empty()) return 0.0;
+  double ss = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    ss += (pred[i] - truth[i]) * (pred[i] - truth[i]);
+  }
+  return std::sqrt(ss / static_cast<double>(pred.size()));
+}
+
+double MeanAbsoluteError(const std::vector<double>& pred,
+                         const std::vector<double>& truth) {
+  EALGAP_CHECK_EQ(pred.size(), truth.size());
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) s += std::fabs(pred[i] - truth[i]);
+  return s / static_cast<double>(pred.size());
+}
+
+MetricReport ComputeMetrics(const std::vector<double>& pred,
+                            const std::vector<double>& truth) {
+  MetricReport r;
+  r.er = ErrorRate(pred, truth);
+  r.msle = Msle(pred, truth);
+  r.r2 = RSquared(pred, truth);
+  r.rmse = Rmse(pred, truth);
+  r.mae = MeanAbsoluteError(pred, truth);
+  return r;
+}
+
+}  // namespace stats
+}  // namespace ealgap

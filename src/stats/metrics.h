@@ -1,0 +1,46 @@
+#ifndef EALGAP_STATS_METRICS_H_
+#define EALGAP_STATS_METRICS_H_
+
+#include <vector>
+
+namespace ealgap {
+namespace stats {
+
+/// The paper's evaluation metrics (Sec. VI-B). `pred` and `truth` are
+/// flattened over regions and predicted time steps.
+
+/// Error Rate: sum |truth - pred| / sum truth. The denominator is floored
+/// at 1 to stay defined on all-zero windows.
+double ErrorRate(const std::vector<double>& pred,
+                 const std::vector<double>& truth);
+
+/// The paper's "MSLE": mean over samples of |log2(pred+1) - log2(truth+1)|.
+/// (Despite the name, the paper's formula is a mean absolute log2 error;
+/// we implement the formula as printed.)
+double Msle(const std::vector<double>& pred, const std::vector<double>& truth);
+
+/// Coefficient of determination R^2 = 1 - SS_res / SS_tot. Returns -inf
+/// guard value (-1e9) when the truth is constant.
+double RSquared(const std::vector<double>& pred,
+                const std::vector<double>& truth);
+
+double Rmse(const std::vector<double>& pred, const std::vector<double>& truth);
+double MeanAbsoluteError(const std::vector<double>& pred,
+                         const std::vector<double>& truth);
+
+/// Bundle of all paper metrics for one (scheme, period) cell.
+struct MetricReport {
+  double er = 0.0;
+  double msle = 0.0;
+  double r2 = 0.0;
+  double rmse = 0.0;
+  double mae = 0.0;
+};
+
+MetricReport ComputeMetrics(const std::vector<double>& pred,
+                            const std::vector<double>& truth);
+
+}  // namespace stats
+}  // namespace ealgap
+
+#endif  // EALGAP_STATS_METRICS_H_

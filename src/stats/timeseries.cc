@@ -1,0 +1,45 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace ealgap {
+namespace stats {
+
+Result<std::vector<double>> Autocorrelation(const std::vector<double>& series,
+                                            int max_lag) {
+  if (series.size() < 2) return Status::InvalidArgument("series too short");
+  if (max_lag < 0 || static_cast<size_t>(max_lag) >= series.size()) {
+    return Status::InvalidArgument("max_lag out of range");
+  }
+  const double mean = Mean(series);
+  double denom = 0.0;
+  for (double v : series) denom += (v - mean) * (v - mean);
+  if (denom <= 0.0) return Status::FailedPrecondition("constant series");
+  std::vector<double> acf(max_lag + 1);
+  for (int lag = 0; lag <= max_lag; ++lag) {
+    double num = 0.0;
+    for (size_t t = lag; t < series.size(); ++t) {
+      num += (series[t] - mean) * (series[t - lag] - mean);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+Result<double> SeasonalNaiveError(const std::vector<double>& series,
+                                  int period) {
+  if (period <= 0 || series.size() <= static_cast<size_t>(period)) {
+    return Status::InvalidArgument("period out of range");
+  }
+  double total = 0.0;
+  for (size_t t = period; t < series.size(); ++t) {
+    total += std::fabs(series[t] - series[t - period]);
+  }
+  return total / static_cast<double>(series.size() - period);
+}
+
+}  // namespace stats
+}  // namespace ealgap

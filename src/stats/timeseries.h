@@ -1,0 +1,43 @@
+#ifndef EALGAP_STATS_TIMESERIES_H_
+#define EALGAP_STATS_TIMESERIES_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ealgap {
+namespace stats {
+
+/// Sample autocorrelation at the given lags (lag 0 -> 1.0). Used by the
+/// data-analysis benches to characterize mobility persistence.
+Result<std::vector<double>> Autocorrelation(const std::vector<double>& series,
+                                            int max_lag);
+
+/// One-sample Kolmogorov-Smirnov statistic sup_x |F_n(x) - F(x)| against a
+/// reference CDF. Smaller = better fit; the distribution-selection bench
+/// uses it to compare the exponential and normal families (paper Sec. V-A
+/// chose the exponential empirically).
+template <typename Cdf>
+double KolmogorovSmirnovStatistic(std::vector<double> sample, Cdf cdf) {
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  double d = 0.0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const double f = cdf(sample[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, f - lo, hi - f});
+  }
+  return d;
+}
+
+/// Seasonal-naive one-step error scale: mean |x_t - x_{t-period}| — the
+/// denominator of MASE-style comparisons.
+Result<double> SeasonalNaiveError(const std::vector<double>& series,
+                                  int period);
+
+}  // namespace stats
+}  // namespace ealgap
+
+#endif  // EALGAP_STATS_TIMESERIES_H_

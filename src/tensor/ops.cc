@@ -1,0 +1,384 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace ealgap {
+namespace ops {
+
+namespace {
+
+// Applies `f` elementwise over the broadcast of a and b.
+template <typename F>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, F f) {
+  if (a.SameShape(b)) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const int64_t rank = out.ndim();
+  // Right-aligned shapes/strides for a and b.
+  std::vector<int64_t> sa(rank, 1), sb(rank, 1);  // dim sizes
+  std::vector<int64_t> ta(rank, 0), tb(rank, 0);  // strides (0 = broadcast)
+  {
+    int64_t stride = 1;
+    for (int64_t i = a.ndim() - 1, j = rank - 1; i >= 0; --i, --j) {
+      sa[j] = a.shape()[i];
+      ta[j] = sa[j] == 1 ? 0 : stride;
+      stride *= sa[j];
+    }
+    stride = 1;
+    for (int64_t i = b.ndim() - 1, j = rank - 1; i >= 0; --i, --j) {
+      sb[j] = b.shape()[i];
+      tb[j] = sb[j] == 1 ? 0 : stride;
+      stride *= sb[j];
+    }
+  }
+  std::vector<int64_t> idx(rank, 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  int64_t oa = 0, ob = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = f(pa[oa], pb[ob]);
+    // Increment the multi-index (row-major) and the two offsets.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      ++idx[d];
+      oa += ta[d];
+      ob += tb[d];
+      if (idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+      oa -= ta[d] * out_shape[d];
+      ob -= tb[d] * out_shape[d];
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor Unary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x * s; });
+}
+Tensor PowScalar(const Tensor& a, float p) {
+  return Unary(a, [p](float x) { return std::pow(x, p); });
+}
+Tensor MaximumScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return std::max(x, s); });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return Unary(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+}
+
+Tensor Neg(const Tensor& a) {
+  return Unary(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return Unary(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return Unary(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Tanh(const Tensor& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0.f ? x : 0.f; });
+}
+Tensor Abs(const Tensor& a) {
+  return Unary(a, [](float x) { return std::fabs(x); });
+}
+Tensor Sign(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0.f ? 1.f : (x < 0.f ? -1.f : 0.f); });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  EALGAP_CHECK_EQ(a.ndim(), 2);
+  EALGAP_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  EALGAP_CHECK_EQ(k, b.dim(0))
+      << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.f) continue;
+      const float* brow = pb + p * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor BMatMul(const Tensor& a, const Tensor& b) {
+  EALGAP_CHECK_EQ(a.ndim(), 3);
+  EALGAP_CHECK_EQ(b.ndim(), 3);
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  EALGAP_CHECK_EQ(bs, b.dim(0));
+  EALGAP_CHECK_EQ(k, b.dim(1))
+      << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  Tensor out({bs, m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t s = 0; s < bs; ++s) {
+    const float* sa = pa + s * m * k;
+    const float* sb = pb + s * k * n;
+    float* so = po + s * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = sa[i * k + p];
+        if (av == 0.f) continue;
+        const float* brow = sb + p * n;
+        float* orow = so + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  EALGAP_CHECK_GE(a.ndim(), 2);
+  Shape out_shape = a.shape();
+  std::swap(out_shape[a.ndim() - 1], out_shape[a.ndim() - 2]);
+  Tensor out(out_shape);
+  const int64_t r = a.dim(-2), c = a.dim(-1);
+  const int64_t batch = a.numel() / (r * c);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t s = 0; s < batch; ++s) {
+    const float* sa = pa + s * r * c;
+    float* so = po + s * r * c;
+    for (int64_t i = 0; i < r; ++i) {
+      for (int64_t j = 0; j < c; ++j) so[j * r + i] = sa[i * c + j];
+    }
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  EALGAP_CHECK_GT(a.numel(), 0);
+  Tensor s = SumAll(a);
+  s.ScaleInPlace(1.f / static_cast<float>(a.numel()));
+  return s;
+}
+
+Tensor MaxAll(const Tensor& a) {
+  EALGAP_CHECK_GT(a.numel(), 0);
+  const float* p = a.data();
+  float m = p[0];
+  for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, p[i]);
+  return Tensor::Scalar(m);
+}
+
+namespace {
+// Decomposes a shape around `axis` into (outer, axis_size, inner).
+void AxisSplit(const Shape& shape, int64_t axis, int64_t* outer, int64_t* n,
+               int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < axis; ++i) *outer *= shape[i];
+  *n = shape[axis];
+  for (size_t i = axis + 1; i < shape.size(); ++i) *inner *= shape[i];
+}
+}  // namespace
+
+Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.ndim();
+  EALGAP_CHECK(axis >= 0 && axis < a.ndim());
+  int64_t outer, n, inner;
+  AxisSplit(a.shape(), axis, &outer, &n, &inner);
+  Shape out_shape = a.shape();
+  if (keepdim) {
+    out_shape[axis] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + axis);
+  }
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t k = 0; k < n; ++k) {
+      const float* src = pa + (o * n + k) * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor MeanAxis(const Tensor& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.ndim();
+  Tensor s = SumAxis(a, axis, keepdim);
+  s.ScaleInPlace(1.f / static_cast<float>(a.shape()[axis]));
+  return s;
+}
+
+Tensor SoftmaxLastDim(const Tensor& a) {
+  EALGAP_CHECK_GE(a.ndim(), 1);
+  const int64_t n = a.dim(-1);
+  const int64_t rows = a.numel() / n;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = pa + r * n;
+    float* dst = po + r * n;
+    float mx = src[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, src[i]);
+    float denom = 0.f;
+    for (int64_t i = 0; i < n; ++i) {
+      dst[i] = std::exp(src[i] - mx);
+      denom += dst[i];
+    }
+    const float inv = 1.f / denom;
+    for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t end) {
+  if (axis < 0) axis += a.ndim();
+  EALGAP_CHECK(axis >= 0 && axis < a.ndim());
+  EALGAP_CHECK(start >= 0 && start <= end && end <= a.shape()[axis])
+      << "slice [" << start << "," << end << ") of dim " << a.shape()[axis];
+  int64_t outer, n, inner;
+  AxisSplit(a.shape(), axis, &outer, &n, &inner);
+  Shape out_shape = a.shape();
+  out_shape[axis] = end - start;
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t len = end - start;
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = pa + (o * n + start) * inner;
+    float* dst = po + o * len * inner;
+    std::copy(src, src + len * inner, dst);
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  EALGAP_CHECK(!parts.empty());
+  if (axis < 0) axis += parts[0].ndim();
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    EALGAP_CHECK_EQ(p.ndim(), parts[0].ndim());
+    for (int64_t d = 0; d < p.ndim(); ++d) {
+      if (d != axis) EALGAP_CHECK_EQ(p.shape()[d], parts[0].shape()[d]);
+    }
+    total += p.shape()[axis];
+  }
+  Shape out_shape = parts[0].shape();
+  out_shape[axis] = total;
+  Tensor out(out_shape);
+  int64_t outer, n_out, inner;
+  AxisSplit(out_shape, axis, &outer, &n_out, &inner);
+  float* po = out.data();
+  int64_t written = 0;
+  for (const Tensor& p : parts) {
+    const int64_t n = p.shape()[axis];
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(pp + o * n * inner, pp + (o + 1) * n * inner,
+                po + (o * n_out + written) * inner);
+    }
+    written += n;
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  EALGAP_CHECK(!parts.empty());
+  std::vector<Tensor> reshaped;
+  reshaped.reserve(parts.size());
+  for (const Tensor& p : parts) {
+    Shape s = p.shape();
+    s.insert(s.begin(), 1);
+    reshaped.push_back(p.Reshape(s));
+  }
+  return Concat(reshaped, 0);
+}
+
+Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
+  return BroadcastBinary(a, Tensor::Zeros(shape),
+                         [](float x, float) { return x; });
+}
+
+Tensor ReduceToShape(const Tensor& grad, const Shape& target) {
+  if (grad.shape() == target) return grad;
+  Tensor cur = grad;
+  // Sum away extra leading dims.
+  while (cur.ndim() > static_cast<int64_t>(target.size())) {
+    cur = SumAxis(cur, 0, /*keepdim=*/false);
+  }
+  // Sum broadcast dims (target dim == 1, grad dim > 1).
+  for (int64_t d = 0; d < cur.ndim(); ++d) {
+    if (target[d] == 1 && cur.shape()[d] != 1) {
+      cur = SumAxis(cur, d, /*keepdim=*/true);
+    }
+  }
+  EALGAP_CHECK(cur.shape() == target)
+      << ShapeToString(grad.shape()) << " -> " << ShapeToString(target);
+  return cur;
+}
+
+}  // namespace ops
+}  // namespace ealgap

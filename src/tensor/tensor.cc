@@ -1,0 +1,196 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ealgap {
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+int64_t ShapeNumel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+bool BroadcastCompatible(const Shape& a, const Shape& b) {
+  const size_t na = a.size(), nb = b.size();
+  const size_t n = std::max(na, nb);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < na ? a[na - 1 - i] : 1;
+    const int64_t db = i < nb ? b[nb - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  EALGAP_CHECK(BroadcastCompatible(a, b))
+      << ShapeToString(a) << " vs " << ShapeToString(b);
+  const size_t na = a.size(), nb = b.size();
+  const size_t n = std::max(na, nb);
+  Shape out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t da = i < na ? a[na - 1 - i] : 1;
+    const int64_t db = i < nb ? b[nb - 1 - i] : 1;
+    out[n - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(ShapeNumel(shape_)),
+      storage_(std::make_shared<std::vector<float>>(numel_, 0.f)) {
+  for (int64_t d : shape_) EALGAP_CHECK_GE(d, 0);
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full({1}, value); }
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+  const int64_t n = ShapeNumel(shape);
+  EALGAP_CHECK_EQ(n, static_cast<int64_t>(values.size()))
+      << "shape " << ShapeToString(shape);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = n;
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    p[i] = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n, float start, float step) {
+  Tensor t({n});
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = start + step * static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  if (i < 0) i += ndim();
+  EALGAP_CHECK(i >= 0 && i < ndim()) << "dim " << i << " of " << ndim();
+  return shape_[i];
+}
+
+float* Tensor::data() {
+  EALGAP_CHECK(defined());
+  return storage_->data();
+}
+
+const float* Tensor::data() const {
+  EALGAP_CHECK(defined());
+  return storage_->data();
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  EALGAP_CHECK_EQ(static_cast<int64_t>(idx.size()), ndim());
+  int64_t off = 0;
+  int64_t i = 0;
+  for (int64_t v : idx) {
+    EALGAP_CHECK(v >= 0 && v < shape_[i])
+        << "index " << v << " in dim " << i << " of " << ShapeToString(shape_);
+    off = off * shape_[i] + v;
+    ++i;
+  }
+  return (*storage_)[off];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+Tensor Tensor::Clone() const {
+  if (!defined()) return Tensor();
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+Tensor Tensor::Reshape(Shape shape) const {
+  EALGAP_CHECK_EQ(ShapeNumel(shape), numel_)
+      << ShapeToString(shape_) << " -> " << ShapeToString(shape);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = numel_;
+  t.storage_ = storage_;
+  return t;
+}
+
+void Tensor::CopyFrom(const Tensor& src) {
+  EALGAP_CHECK(SameShape(src));
+  std::copy(src.data(), src.data() + numel_, data());
+}
+
+void Tensor::Fill(float value) {
+  std::fill(storage_->begin(), storage_->end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  EALGAP_CHECK(SameShape(other))
+      << ShapeToString(shape_) << " += " << ShapeToString(other.shape_);
+  float* a = data();
+  const float* b = other.data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] += b[i];
+}
+
+void Tensor::ScaleInPlace(float s) {
+  float* a = data();
+  for (int64_t i = 0; i < numel_; ++i) a[i] *= s;
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t show = std::min<int64_t>(numel_, 64);
+  const float* p = data();
+  for (int64_t i = 0; i < show; ++i) {
+    if (i) os << ", ";
+    os << p[i];
+  }
+  if (show < numel_) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ealgap

@@ -1,0 +1,100 @@
+#ifndef EALGAP_TENSOR_TENSOR_H_
+#define EALGAP_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ealgap {
+
+/// Tensor dimension sizes, outermost first.
+using Shape = std::vector<int64_t>;
+
+/// Returns "[d0, d1, ...]" for error messages.
+std::string ShapeToString(const Shape& shape);
+
+/// Product of all dimensions (1 for a rank-0 shape).
+int64_t ShapeNumel(const Shape& shape);
+
+/// True when two shapes are broadcast-compatible (numpy rules).
+bool BroadcastCompatible(const Shape& a, const Shape& b);
+
+/// The broadcast result shape. Requires BroadcastCompatible(a, b).
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// Dense row-major float32 tensor with shared copy-on-nothing storage.
+///
+/// Copying a Tensor is cheap: copies share the underlying buffer (like
+/// torch). Use Clone() for a deep copy. All factory functions produce
+/// contiguous tensors; Reshape shares storage, Slice copies.
+class Tensor {
+ public:
+  /// An empty (undefined) tensor; defined() is false.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  /// Scalar tensor of shape {1}.
+  static Tensor Scalar(float value);
+  /// Takes ownership of `values`; requires values.size() == numel(shape).
+  static Tensor FromVector(Shape shape, std::vector<float> values);
+  /// Uniform values in [lo, hi).
+  static Tensor Rand(Shape shape, Rng& rng, float lo = 0.f, float hi = 1.f);
+  /// Normal values.
+  static Tensor Randn(Shape shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  /// 1-D tensor [start, start+step, ...) of n elements.
+  static Tensor Arange(int64_t n, float start = 0.f, float step = 1.f);
+
+  bool defined() const { return storage_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  int64_t ndim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t i) const;
+  int64_t numel() const { return numel_; }
+
+  float* data();
+  const float* data() const;
+
+  /// Element access by multi-index (row-major). Debug-checked.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Deep copy with fresh storage.
+  Tensor Clone() const;
+
+  /// View with a new shape sharing storage. Requires equal numel.
+  Tensor Reshape(Shape shape) const;
+
+  /// Copies `src` into this tensor. Requires identical shapes.
+  void CopyFrom(const Tensor& src);
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  /// this *= s.
+  void ScaleInPlace(float s);
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Human-readable dump (small tensors only; elided past 64 elements).
+  std::string ToString() const;
+
+ private:
+  Shape shape_;
+  int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_TENSOR_TENSOR_H_

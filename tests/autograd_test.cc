@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+#include "tests/gradcheck.h"
+
+namespace ealgap {
+namespace {
+
+using ::ealgap::testing::ExpectGradientsMatch;
+
+TEST(AutogradTest, LeafRequiresGradFlag) {
+  Var a = Var::Leaf(Tensor::Ones({2}), true);
+  Var b = Var::Leaf(Tensor::Ones({2}), false);
+  EXPECT_TRUE(a.requires_grad());
+  EXPECT_FALSE(b.requires_grad());
+  EXPECT_TRUE(Add(a, b).requires_grad());
+  EXPECT_FALSE(Add(b, b).requires_grad());
+}
+
+TEST(AutogradTest, NoGradGuardDisablesRecording) {
+  Var a = Var::Leaf(Tensor::Ones({2}), true);
+  NoGradGuard guard;
+  Var c = Mul(a, a);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(AutogradTest, SimpleChainRule) {
+  // y = sum((2x)^2) -> dy/dx = 8x
+  Var x = Var::Leaf(Tensor::FromVector({3}, {1, 2, 3}), true);
+  Var y = SumAll(Mul(MulScalar(x, 2.f), MulScalar(x, 2.f)));
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 8.f);
+  EXPECT_FLOAT_EQ(x.grad().at({1}), 16.f);
+  EXPECT_FLOAT_EQ(x.grad().at({2}), 24.f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  // y = sum(x) + sum(x) -> dy/dx = 2
+  Var x = Var::Leaf(Tensor::Ones({4}), true);
+  Var y = Add(SumAll(x), SumAll(x));
+  Backward(y);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad().data()[i], 2.f);
+}
+
+TEST(AutogradTest, DetachStopsGradient) {
+  Var x = Var::Leaf(Tensor::Full({2}, 3.f), true);
+  Var y = SumAll(Mul(x.Detach(), x));  // d/dx = detached value = 3
+  Backward(y);
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 3.f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Var x = Var::Leaf(Tensor::Ones({2}), true);
+  Backward(SumAll(x));
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 1.f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 0.f);
+}
+
+// --- Parameterized finite-difference checks over the op catalogue ----------
+
+struct OpCase {
+  const char* name;
+  std::function<Var(std::vector<Var>&)> fn;
+  std::vector<Shape> input_shapes;
+  bool positive_inputs = false;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GradCheckTest, MatchesFiniteDifferences) {
+  const OpCase& c = GetParam();
+  Rng rng(17);
+  std::vector<Tensor> inputs;
+  for (const Shape& s : c.input_shapes) {
+    inputs.push_back(c.positive_inputs
+                         ? Tensor::Rand(s, rng, 0.5f, 2.0f)
+                         : Tensor::Randn(s, rng, 0.f, 1.f));
+  }
+  ExpectGradientsMatch(std::move(inputs), c.fn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, GradCheckTest,
+    ::testing::Values(
+        OpCase{"add", [](auto& v) { return SumAll(Add(v[0], v[1])); },
+               {{2, 3}, {2, 3}}},
+        OpCase{"add_broadcast",
+               [](auto& v) { return SumAll(Add(v[0], v[1])); },
+               {{2, 3}, {1, 3}}},
+        OpCase{"sub", [](auto& v) { return SumAll(Sub(v[0], v[1])); },
+               {{2, 2}, {2, 2}}},
+        OpCase{"mul", [](auto& v) { return SumAll(Mul(v[0], v[1])); },
+               {{2, 3}, {2, 3}}},
+        OpCase{"mul_broadcast_col",
+               [](auto& v) { return SumAll(Mul(v[0], v[1])); },
+               {{3, 4}, {3, 1}}},
+        OpCase{"div", [](auto& v) { return SumAll(Div(v[0], v[1])); },
+               {{2, 2}, {2, 2}},
+               /*positive_inputs=*/true},
+        OpCase{"neg_exp",
+               [](auto& v) { return SumAll(Exp(Neg(v[0]))); }, {{2, 3}}},
+        OpCase{"log", [](auto& v) { return SumAll(Log(v[0])); },
+               {{2, 3}}, true},
+        OpCase{"sqrt", [](auto& v) { return SumAll(Sqrt(v[0])); },
+               {{2, 3}}, true},
+        OpCase{"tanh", [](auto& v) { return SumAll(Tanh(v[0])); }, {{3, 2}}},
+        OpCase{"sigmoid", [](auto& v) { return SumAll(Sigmoid(v[0])); },
+               {{3, 2}}},
+        OpCase{"relu_shifted",
+               // Shift away from the kink where finite differences lie.
+               [](auto& v) { return SumAll(Relu(AddScalar(v[0], 3.f))); },
+               {{2, 3}}},
+        OpCase{"abs_positive", [](auto& v) { return SumAll(Abs(v[0])); },
+               {{2, 3}}, true},
+        OpCase{"pow2", [](auto& v) { return SumAll(PowScalar(v[0], 2.f)); },
+               {{2, 2}}, true},
+        OpCase{"matmul",
+               [](auto& v) { return SumAll(MatMul(v[0], v[1])); },
+               {{2, 3}, {3, 4}}},
+        OpCase{"matmul_squared",
+               [](auto& v) {
+                 Var c = MatMul(v[0], v[1]);
+                 return SumAll(Mul(c, c));
+               },
+               {{2, 3}, {3, 2}}},
+        OpCase{"bmatmul",
+               [](auto& v) { return SumAll(BMatMul(v[0], v[1])); },
+               {{2, 2, 3}, {2, 3, 2}}},
+        OpCase{"transpose",
+               [](auto& v) {
+                 Var t = TransposeLast2(v[0]);
+                 return SumAll(Mul(t, t));
+               },
+               {{2, 3}}},
+        OpCase{"mean_all", [](auto& v) { return MeanAll(Mul(v[0], v[0])); },
+               {{3, 3}}},
+        OpCase{"sum_axis0",
+               [](auto& v) {
+                 Var s = SumAxis(v[0], 0);
+                 return SumAll(Mul(s, s));
+               },
+               {{3, 2}}},
+        OpCase{"mean_axis1_nokeep",
+               [](auto& v) {
+                 Var s = MeanAxis(v[0], 1, false);
+                 return SumAll(Mul(s, s));
+               },
+               {{2, 4}}},
+        OpCase{"softmax",
+               [](auto& v) {
+                 Var s = SoftmaxLastDim(v[0]);
+                 return SumAll(Mul(s, s));
+               },
+               {{3, 4}}},
+        OpCase{"slice",
+               [](auto& v) {
+                 Var s = Slice(v[0], 1, 1, 3);
+                 return SumAll(Mul(s, s));
+               },
+               {{2, 4}}},
+        OpCase{"concat",
+               [](auto& v) {
+                 Var c = Concat({v[0], v[1]}, 1);
+                 return SumAll(Mul(c, c));
+               },
+               {{2, 2}, {2, 3}}},
+        OpCase{"stack",
+               [](auto& v) {
+                 Var s = Stack({v[0], v[1]});
+                 return SumAll(Mul(s, s));
+               },
+               {{2, 2}, {2, 2}}},
+        OpCase{"reshape",
+               [](auto& v) {
+                 Var r = Reshape(v[0], {4});
+                 return SumAll(Mul(r, r));
+               },
+               {{2, 2}}},
+        OpCase{"composite_attentionish",
+               [](auto& v) {
+                 // softmax(q kT) v — the global-impact attention pattern.
+                 Var scores = SoftmaxLastDim(MatMul(v[0], TransposeLast2(v[1])));
+                 Var out = MatMul(scores, v[2]);
+                 return SumAll(Mul(out, out));
+               },
+               {{3, 2}, {3, 2}, {3, 2}}}),
+    [](const ::testing::TestParamInfo<OpCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ealgap

@@ -1,0 +1,316 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/arima.h"
+#include "baselines/chat.h"
+#include "baselines/evl.h"
+#include "baselines/historical_average.h"
+#include "baselines/recurrent.h"
+#include "baselines/st_norm.h"
+#include "baselines/st_resnet.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "stats/metrics.h"
+
+namespace ealgap {
+namespace {
+
+// A small series with daily structure + AR noise: cheap to train on, and
+// predictable enough that any sane forecaster clearly beats predicting 0.
+data::MobilitySeries MakeTestSeries(int regions = 4, int days = 40,
+                                    uint64_t seed = 3) {
+  Rng rng(seed);
+  data::MobilitySeries series;
+  series.num_regions = regions;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = days;
+  series.counts = Tensor::Zeros({regions, static_cast<int64_t>(days) * 24});
+  for (int r = 0; r < regions; ++r) {
+    double ar = 0.0;
+    for (int64_t s = 0; s < days * 24; ++s) {
+      const int h = static_cast<int>(s % 24);
+      const double base =
+          20.0 + 15.0 * std::exp(-0.5 * std::pow((h - 8.5) / 2.5, 2)) +
+          18.0 * std::exp(-0.5 * std::pow((h - 17.5) / 2.5, 2));
+      ar = 0.9 * ar + rng.Normal(0.0, 1.5);
+      series.counts.data()[r * days * 24 + s] = static_cast<float>(
+          std::max(0.0, base * (1.0 + 0.1 * r) + ar + rng.Normal(0, 1)));
+    }
+  }
+  return series;
+}
+
+struct Env {
+  data::SlidingWindowDataset dataset;
+  data::StepRanges split;
+};
+
+Env MakeEnv(int history = 5, int windows = 3) {
+  data::DatasetOptions options;
+  options.history_length = history;
+  options.num_windows = windows;
+  options.norm_history = windows;
+  auto ds = data::SlidingWindowDataset::Create(MakeTestSeries(), options);
+  EXPECT_TRUE(ds.ok());
+  auto split = data::MakeChronoSplit(*ds);
+  EXPECT_TRUE(split.ok());
+  return {std::move(ds).value(), *split};
+}
+
+TrainConfig FastTrain() {
+  TrainConfig train;
+  train.epochs = 6;
+  train.learning_rate = 3e-3f;
+  train.patience = 6;
+  train.seed = 11;
+  return train;
+}
+
+double TestEr(Forecaster& model, const Env& env) {
+  std::vector<double> pred, truth;
+  EXPECT_TRUE(model
+                  .PredictRange(env.dataset, env.split.test_begin,
+                                env.split.test_end, &pred, &truth)
+                  .ok());
+  return stats::ErrorRate(pred, truth);
+}
+
+// --- least squares / ARIMA ----------------------------------------------------
+
+TEST(LeastSquaresTest, SolvesExactSystem) {
+  // A = [[1,0],[0,2],[1,1]], b = A [3, -1]^T
+  const std::vector<double> a{1, 0, 0, 2, 1, 1};
+  const std::vector<double> b{3, -2, 2};
+  auto x = SolveLeastSquares(a, 3, 2, b);
+  ASSERT_EQ(x.size(), 2u);
+  // The deliberate ridge regularizer bounds accuracy at ~1e-5.
+  EXPECT_NEAR(x[0], 3.0, 1e-4);
+  EXPECT_NEAR(x[1], -1.0, 1e-4);
+}
+
+TEST(LeastSquaresTest, OverdeterminedMinimizesResidual) {
+  // y = 2x + 1 with noise-free data: exact recovery.
+  std::vector<double> a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(1.0);
+    a.push_back(i);
+    b.push_back(1.0 + 2.0 * i);
+  }
+  auto x = SolveLeastSquares(a, 10, 2, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], 2.0, 1e-3);
+}
+
+TEST(ArimaTest, RecoversArCoefficients) {
+  // Generate AR(2): y_t = 0.6 y_{t-1} - 0.2 y_{t-2} + 5 + noise, one region.
+  Rng rng(31);
+  const int64_t steps = 1440;
+  data::MobilitySeries series;
+  series.num_regions = 1;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = static_cast<int>(steps / 24);
+  series.counts = Tensor::Zeros({1, steps});
+  double y1 = 12, y2 = 12;
+  for (int64_t s = 0; s < steps; ++s) {
+    const double y = 0.6 * y1 - 0.2 * y2 + 5 + rng.Normal(0, 0.5);
+    series.counts.data()[s] = static_cast<float>(y);
+    y2 = y1;
+    y1 = y;
+  }
+  data::DatasetOptions d_options;
+  d_options.history_length = 2;
+  d_options.num_windows = 2;
+  auto ds = data::SlidingWindowDataset::Create(std::move(series), d_options);
+  ASSERT_TRUE(ds.ok());
+  auto split = data::MakeChronoSplit(*ds);
+  ASSERT_TRUE(split.ok());
+  ArimaOptions options;
+  options.p = 2;
+  options.q = 0;
+  ArimaForecaster arima(options);
+  ASSERT_TRUE(arima.Fit(*ds, *split, TrainConfig{}).ok());
+  const auto& model = arima.models()[0];
+  EXPECT_NEAR(model.ar[0], 0.6, 0.08);
+  EXPECT_NEAR(model.ar[1], -0.2, 0.08);
+}
+
+TEST(ArimaTest, ForecastsStayBoundedAndBeatZero) {
+  Env env = MakeEnv();
+  ArimaForecaster arima;
+  ASSERT_TRUE(arima.Fit(env.dataset, env.split, TrainConfig{}).ok());
+  std::vector<double> pred, truth;
+  ASSERT_TRUE(arima
+                  .PredictRange(env.dataset, env.split.test_begin,
+                                env.split.test_end, &pred, &truth)
+                  .ok());
+  for (double p : pred) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 1000.0);
+  }
+  EXPECT_LT(stats::ErrorRate(pred, truth), 0.6);
+}
+
+TEST(ArimaTest, DifferencingHandlesLinearTrend) {
+  // y_t = 5t + noise: with d=1 the differenced series is stationary and
+  // one-step forecasts must track the trend closely.
+  Rng rng(37);
+  const int days = 40;
+  data::MobilitySeries series;
+  series.num_regions = 1;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = days;
+  series.counts = Tensor::Zeros({1, static_cast<int64_t>(days) * 24});
+  for (int64_t s = 0; s < days * 24; ++s) {
+    series.counts.data()[s] = static_cast<float>(5.0 * s + rng.Normal(0, 2));
+  }
+  data::DatasetOptions options;
+  options.history_length = 2;
+  options.num_windows = 2;
+  auto ds = data::SlidingWindowDataset::Create(std::move(series), options);
+  ASSERT_TRUE(ds.ok());
+  auto split = data::MakeChronoSplit(*ds);
+  ASSERT_TRUE(split.ok());
+  ArimaOptions arima_options;
+  arima_options.p = 2;
+  arima_options.d = 1;
+  arima_options.q = 1;
+  ArimaForecaster arima(arima_options);
+  ASSERT_TRUE(arima.Fit(*ds, *split, TrainConfig{}).ok());
+  auto pred = arima.Predict(*ds, split->test_begin + 5);
+  ASSERT_TRUE(pred.ok());
+  const double truth = ds->series().At(0, split->test_begin + 5);
+  EXPECT_NEAR((*pred)[0], truth, 0.02 * truth);
+}
+
+TEST(ArimaTest, PredictBeforeFitFails) {
+  Env env = MakeEnv();
+  ArimaForecaster arima;
+  EXPECT_FALSE(arima.Predict(env.dataset, env.split.test_begin).ok());
+}
+
+// --- historical average --------------------------------------------------------
+
+TEST(HistoricalAverageTest, TracksDailyCycle) {
+  Env env = MakeEnv();
+  HistoricalAverageForecaster ha;
+  ASSERT_TRUE(ha.Fit(env.dataset, env.split, TrainConfig{}).ok());
+  EXPECT_LT(TestEr(ha, env), 0.35);
+}
+
+// --- the neural family, one fast smoke+sanity test per scheme ------------------
+
+class NeuralSchemeTest
+    : public ::testing::TestWithParam<std::function<Forecaster*()>> {};
+
+TEST(RecurrentTest, AllCellsTrainAndBeatZeroPredictor) {
+  Env env = MakeEnv();
+  for (RecurrentKind kind :
+       {RecurrentKind::kRnn, RecurrentKind::kGru, RecurrentKind::kLstm}) {
+    RecurrentForecaster model(kind, 8);
+    ASSERT_TRUE(model.Fit(env.dataset, env.split, FastTrain()).ok())
+        << model.name();
+    const double er = TestEr(model, env);
+    EXPECT_LT(er, 0.5) << model.name();
+    EXPECT_GT(er, 0.0) << model.name();
+  }
+}
+
+TEST(RecurrentTest, PredictionsAreNonNegativeAndPerRegion) {
+  Env env = MakeEnv();
+  RecurrentForecaster gru(RecurrentKind::kGru, 8);
+  ASSERT_TRUE(gru.Fit(env.dataset, env.split, FastTrain()).ok());
+  auto pred = gru.Predict(env.dataset, env.split.test_begin);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->size(), 4u);
+  for (double v : *pred) EXPECT_GE(v, 0.0);
+}
+
+TEST(StNormTest, TrainsAndBeatsZeroPredictor) {
+  Env env = MakeEnv();
+  StNormForecaster model;
+  ASSERT_TRUE(model.Fit(env.dataset, env.split, FastTrain()).ok());
+  EXPECT_LT(TestEr(model, env), 0.45);
+}
+
+TEST(StResNetTest, GridMappingCoversAllRegions) {
+  std::vector<cluster::Point2> centers{
+      {0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 2}, {0, 2}};
+  StResNetForecaster model(centers);
+  EXPECT_GE(model.grid_rows() * model.grid_cols(),
+            static_cast<int>(centers.size()));
+}
+
+TEST(StResNetTest, RasterCellsAreUniqueEvenWithCollisions) {
+  // Many regions crowded into a corner plus a far outlier: every region
+  // must still land in its own raster cell.
+  Rng rng(51);
+  std::vector<cluster::Point2> centers;
+  for (int i = 0; i < 12; ++i) {
+    centers.push_back({rng.Normal(0, 1e-4), rng.Normal(0, 1e-4)});
+  }
+  centers.push_back({10.0, 10.0});
+  StResNetForecaster model(centers);
+  std::set<int> cells(model.region_cells().begin(),
+                      model.region_cells().end());
+  EXPECT_EQ(cells.size(), centers.size());  // no cell collisions
+  for (int cell : cells) {
+    EXPECT_GE(cell, 0);
+    EXPECT_LT(cell, model.grid_rows() * model.grid_cols());
+  }
+}
+
+TEST(StResNetTest, TrainsAndBeatsZeroPredictor) {
+  Env env = MakeEnv();
+  std::vector<cluster::Point2> centers;
+  for (int r = 0; r < 4; ++r) centers.push_back({r * 1.0, r * 0.5});
+  StResNetForecaster model(centers);
+  TrainConfig train = FastTrain();
+  train.epochs = 4;
+  ASSERT_TRUE(model.Fit(env.dataset, env.split, train).ok());
+  EXPECT_LT(TestEr(model, env), 0.5);
+}
+
+TEST(EvlTest, TrainsWithExtremeLoss) {
+  Env env = MakeEnv();
+  EvlForecaster model;
+  ASSERT_TRUE(model.Fit(env.dataset, env.split, FastTrain()).ok());
+  EXPECT_LT(TestEr(model, env), 0.5);
+  EXPECT_EQ(model.name(), "EVL");
+}
+
+TEST(ChatTest, TrainsAndBeatsZeroPredictor) {
+  Env env = MakeEnv();
+  ChatForecaster model;
+  ASSERT_TRUE(model.Fit(env.dataset, env.split, FastTrain()).ok());
+  EXPECT_LT(TestEr(model, env), 0.45);
+}
+
+TEST(NeuralTest, PredictBeforeFitFails) {
+  Env env = MakeEnv();
+  RecurrentForecaster gru(RecurrentKind::kGru);
+  EXPECT_EQ(gru.Predict(env.dataset, env.split.test_begin).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NeuralTest, TrainingIsSeedDeterministic) {
+  Env env = MakeEnv();
+  TrainConfig train = FastTrain();
+  train.epochs = 2;
+  RecurrentForecaster a(RecurrentKind::kGru, 8), b(RecurrentKind::kGru, 8);
+  ASSERT_TRUE(a.Fit(env.dataset, env.split, train).ok());
+  ASSERT_TRUE(b.Fit(env.dataset, env.split, train).ok());
+  auto pa = a.Predict(env.dataset, env.split.test_begin);
+  auto pb = b.Predict(env.dataset, env.split.test_begin);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  for (size_t i = 0; i < pa->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*pa)[i], (*pb)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ealgap

@@ -1,0 +1,166 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "cluster/optics.h"
+#include "common/rng.h"
+
+namespace ealgap {
+namespace cluster {
+namespace {
+
+// Three well-separated blobs of 30 points each.
+std::vector<Point2> ThreeBlobs(uint64_t seed, double spread = 0.05) {
+  Rng rng(seed);
+  const Point2 centers[] = {{0.0, 0.0}, {2.0, 0.0}, {1.0, 2.0}};
+  std::vector<Point2> points;
+  for (const Point2& c : centers) {
+    for (int i = 0; i < 30; ++i) {
+      points.push_back({c.x + rng.Normal(0, spread), c.y + rng.Normal(0, spread)});
+    }
+  }
+  return points;
+}
+
+// Fraction of points whose cluster agrees with the blob majority.
+double Purity(const std::vector<int>& labels, int blob_size) {
+  std::map<int, std::map<int, int>> confusion;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ++confusion[static_cast<int>(i) / blob_size][labels[i]];
+  }
+  int correct = 0;
+  for (auto& [blob, counts] : confusion) {
+    int best = 0;
+    for (auto& [label, c] : counts) best = std::max(best, c);
+    correct += best;
+  }
+  return static_cast<double>(correct) / labels.size();
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  const std::vector<Point2> pts{{0, 0}, {1, 1}};
+  EXPECT_FALSE(KMeans(pts, 0).ok());
+  EXPECT_FALSE(KMeans(pts, 3).ok());
+  EXPECT_FALSE(KMeans({}, 1).ok());
+}
+
+class KMeansSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KMeansSeedTest, RecoversSeparatedBlobs) {
+  auto points = ThreeBlobs(GetParam());
+  KMeansOptions options;
+  options.seed = GetParam();
+  auto result = KMeans(points, 3, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(Purity(result->labels, 30), 0.97);
+  // Every cluster non-empty.
+  std::set<int> used(result->labels.begin(), result->labels.end());
+  EXPECT_EQ(used.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansSeedTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  auto points = ThreeBlobs(3);
+  KMeansOptions options;
+  options.seed = 99;
+  auto a = KMeans(points, 3, options);
+  auto b = KMeans(points, 3, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, MoreClustersLowerInertia) {
+  auto points = ThreeBlobs(5);
+  auto k2 = KMeans(points, 2);
+  auto k6 = KMeans(points, 6);
+  ASSERT_TRUE(k2.ok());
+  ASSERT_TRUE(k6.ok());
+  EXPECT_LT(k6->inertia, k2->inertia);
+}
+
+TEST(KMeansTest, LabelsPointToNearestCenter) {
+  auto points = ThreeBlobs(8);
+  auto result = KMeans(points, 3);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double own =
+        SquaredDistance(points[i], result->centers[result->labels[i]]);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_LE(own, SquaredDistance(points[i], result->centers[c]) + 1e-12);
+    }
+  }
+}
+
+TEST(DbscanTest, SeparatesBlobsAndFlagsNoise) {
+  auto points = ThreeBlobs(11);
+  points.push_back({10.0, 10.0});  // an outlier far from everything
+  DbscanOptions options;
+  options.eps = 0.3;
+  options.min_points = 4;
+  auto result = Dbscan(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 3);
+  EXPECT_EQ(result->labels.back(), kNoise);
+  EXPECT_GT(Purity({result->labels.begin(), result->labels.end() - 1}, 30),
+            0.97);
+}
+
+TEST(DbscanTest, TinyEpsMakesEverythingNoise) {
+  auto points = ThreeBlobs(12);
+  DbscanOptions options;
+  options.eps = 1e-9;
+  options.min_points = 3;
+  auto result = Dbscan(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 0);
+  for (int l : result->labels) EXPECT_EQ(l, kNoise);
+}
+
+TEST(DbscanTest, RejectsBadOptions) {
+  EXPECT_FALSE(Dbscan({{0, 0}}, {.eps = -1.0, .min_points = 3}).ok());
+  EXPECT_FALSE(Dbscan({{0, 0}}, {.eps = 1.0, .min_points = 0}).ok());
+}
+
+TEST(OpticsTest, ClustersMatchDbscanOnBlobs) {
+  auto points = ThreeBlobs(13);
+  OpticsOptions options;
+  options.cluster_eps = 0.3;
+  options.max_eps = 1.5;
+  options.min_points = 4;
+  auto result = Optics(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 3);
+  EXPECT_GT(Purity(result->labels, 30), 0.95);
+  // The ordering must be a permutation of all points.
+  std::set<int> seen(result->ordering.begin(), result->ordering.end());
+  EXPECT_EQ(seen.size(), points.size());
+}
+
+TEST(OpticsTest, ReachabilityLowInsideBlobsHighAcross) {
+  auto points = ThreeBlobs(14);
+  OpticsOptions options;
+  options.cluster_eps = 0.3;
+  options.max_eps = 5.0;
+  options.min_points = 4;
+  auto result = Optics(points, options);
+  ASSERT_TRUE(result.ok());
+  // Along the ordering, count large jumps in reachability: expect ~2-3
+  // (one per blob transition), not dozens.
+  int jumps = 0;
+  for (size_t i = 1; i < result->ordering.size(); ++i) {
+    if (result->reachability[result->ordering[i]] > 0.5) ++jumps;
+  }
+  EXPECT_GE(jumps, 2);
+  EXPECT_LE(jumps, 6);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace ealgap

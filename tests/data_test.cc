@@ -1,0 +1,559 @@
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/aggregate.h"
+#include "data/cleaning.h"
+#include "data/dataset.h"
+#include "data/dataset_configs.h"
+#include "data/partition.h"
+#include "data/scaler.h"
+#include "data/synthetic_city.h"
+#include "data/trip.h"
+
+namespace ealgap {
+namespace data {
+namespace {
+
+CityConfig SmallCity(uint64_t seed = 5) {
+  CityConfig config;
+  config.name = "test_city";
+  config.num_stations = 40;
+  config.num_regions = 8;
+  config.num_days = 30;
+  config.base_region_hour_rate = 6.0;
+  config.start_date = {2020, 6, 1};
+  config.seed = seed;
+  return config;
+}
+
+// --- generator ---------------------------------------------------------------
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  auto a = GenerateCity(SmallCity(9));
+  auto b = GenerateCity(SmallCity(9));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->trips.size(), b->trips.size());
+  for (size_t i = 0; i < a->trips.size(); ++i) {
+    EXPECT_EQ(a->trips[i].start_seconds, b->trips[i].start_seconds);
+    EXPECT_EQ(a->trips[i].start_station, b->trips[i].start_station);
+  }
+}
+
+TEST(GeneratorTest, RegionCountsMatchCleanTrips) {
+  auto city = GenerateCity(SmallCity());
+  ASSERT_TRUE(city.ok());
+  // Sum of region_counts == number of clean (non-injected) trips.
+  double total_counts = 0;
+  const float* p = city->region_counts.data();
+  for (int64_t i = 0; i < city->region_counts.numel(); ++i) {
+    total_counts += p[i];
+  }
+  const size_t dirty = static_cast<size_t>(
+      (total_counts / (1.0 - city->config.dirty_fraction)) -
+      total_counts + 0.5);
+  EXPECT_NEAR(static_cast<double>(city->trips.size()),
+              total_counts + dirty, 2.0);
+}
+
+TEST(GeneratorTest, WeekdaysShowCommutePeaks) {
+  auto config = SmallCity();
+  config.num_days = 28;
+  auto city = GenerateCity(config);
+  ASSERT_TRUE(city.ok());
+  // Aggregate citywide weekday and weekend hourly profiles.
+  std::vector<double> weekday(24, 0), weekend(24, 0);
+  int wd = 0, we = 0;
+  for (int d = 0; d < config.num_days; ++d) {
+    const bool is_we = IsWeekend(AddDays(config.start_date, d));
+    (is_we ? we : wd) += 1;
+    for (int h = 0; h < 24; ++h) {
+      double v = 0;
+      for (int r = 0; r < config.num_regions; ++r) {
+        v += city->region_counts.at(
+            {r, static_cast<int64_t>(d) * 24 + h});
+      }
+      (is_we ? weekend[h] : weekday[h]) += v;
+    }
+  }
+  for (auto& v : weekday) v /= wd;
+  for (auto& v : weekend) v /= we;
+  // Weekday morning rush (7-10am) well above pre-dawn (2-4am).
+  const double rush = weekday[8] + weekday[9];
+  const double night = weekday[2] + weekday[3];
+  EXPECT_GT(rush, 3.0 * night);
+  // Weekend peaks mid-day, not at commute hours.
+  double max_weekend = 0;
+  int argmax = 0;
+  for (int h = 0; h < 24; ++h) {
+    if (weekend[h] > max_weekend) {
+      max_weekend = weekend[h];
+      argmax = h;
+    }
+  }
+  EXPECT_GE(argmax, 10);
+  EXPECT_LE(argmax, 18);
+}
+
+TEST(GeneratorTest, HurricaneSuppressesEventDay) {
+  auto config = SmallCity(33);
+  config.num_days = 40;
+  AnomalyEvent e;
+  e.kind = EventKind::kHurricane;
+  e.start_date = AddDays(config.start_date, 30);
+  e.end_date = e.start_date;
+  e.severity = 0.3;
+  config.events.push_back(e);
+  auto with = GenerateCity(config);
+  config.events.clear();
+  auto without = GenerateCity(config);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  auto day_total = [&](const SyntheticCity& c, int day) {
+    double t = 0;
+    for (int r = 0; r < config.num_regions; ++r) {
+      for (int h = 0; h < 24; ++h) {
+        t += c.region_counts.at({r, static_cast<int64_t>(day) * 24 + h});
+      }
+    }
+    return t;
+  };
+  // Same seed -> identical non-event randomness; the event day must drop.
+  const double with_event = day_total(*with, 30);
+  const double baseline = day_total(*without, 30);
+  EXPECT_LT(with_event, 0.9 * baseline);
+  // A quiet day far from the event is unaffected in distribution.
+  EXPECT_NEAR(day_total(*with, 10), day_total(*without, 10),
+              0.25 * day_total(*without, 10) + 50);
+}
+
+TEST(GeneratorTest, PerRegionSeverityVaries) {
+  auto config = SmallCity(44);
+  AnomalyEvent e;
+  e.kind = EventKind::kRainstorm;
+  e.start_date = AddDays(config.start_date, 20);
+  e.end_date = e.start_date;
+  e.severity = DefaultSeverity(EventKind::kRainstorm);
+  config.events.push_back(e);
+  auto city = GenerateCity(config);
+  ASSERT_TRUE(city.ok());
+  std::set<double> distinct(city->region_event_severity.begin(),
+                            city->region_event_severity.end());
+  EXPECT_GT(distinct.size(), 4u);  // region-varying drops, as in Fig. 5
+  for (double s : city->region_event_severity) {
+    EXPECT_GE(s, 0.05);
+    EXPECT_LE(s, 0.6);
+  }
+}
+
+TEST(GeneratorTest, RejectsInvalidConfigs) {
+  auto config = SmallCity();
+  config.num_regions = 100;  // more regions than stations
+  EXPECT_FALSE(GenerateCity(config).ok());
+  config = SmallCity();
+  config.num_days = 0;
+  EXPECT_FALSE(GenerateCity(config).ok());
+}
+
+// --- trips CSV ---------------------------------------------------------------
+
+TEST(TripCsvTest, RoundTripPreservesCleanRecords) {
+  auto city = GenerateCity(SmallCity(2));
+  ASSERT_TRUE(city.ok());
+  const std::string trips_path = ::testing::TempDir() + "/trips.csv";
+  const std::string stations_path = ::testing::TempDir() + "/stations.csv";
+  std::vector<TripRecord> some(city->trips.begin(), city->trips.begin() + 500);
+  ASSERT_TRUE(WriteTripsCsv(trips_path, some).ok());
+  ASSERT_TRUE(WriteStationsCsv(stations_path, city->stations).ok());
+  auto trips = ReadTripsCsv(trips_path);
+  auto stations = ReadStationsCsv(stations_path);
+  ASSERT_TRUE(trips.ok());
+  ASSERT_TRUE(stations.ok());
+  ASSERT_EQ(trips->size(), some.size());
+  for (size_t i = 0; i < some.size(); ++i) {
+    EXPECT_EQ((*trips)[i].start_seconds, some[i].start_seconds);
+    EXPECT_EQ((*trips)[i].end_station, some[i].end_station);
+  }
+  ASSERT_EQ(stations->size(), city->stations.size());
+  EXPECT_NEAR((*stations)[3].lon, city->stations[3].lon, 1e-5);
+}
+
+TEST(TripCsvTest, MalformedTimestampSurvivesToCleaning) {
+  const std::string path = ::testing::TempDir() + "/bad_trips.csv";
+  {
+    std::ofstream out(path);
+    out << "started_at,ended_at,start_station_id,end_station_id\n";
+    out << "2020-06-01 10:00:00,2020-06-01 10:20:00,1,2\n";
+    out << "not-a-time,2020-06-01 10:20:00,1,2\n";
+  }
+  auto trips = ReadTripsCsv(path);
+  ASSERT_TRUE(trips.ok());
+  ASSERT_EQ(trips->size(), 2u);
+  EXPECT_EQ((*trips)[1].start_seconds, 0);  // flagged for the cleaner
+}
+
+// --- cleaning ----------------------------------------------------------------
+
+TEST(CleaningTest, RemovesPaperRuleViolations) {
+  auto city = GenerateCity(SmallCity(3));
+  ASSERT_TRUE(city.ok());
+  std::vector<Station> stations = city->stations;
+  CleaningOptions options;
+  CleaningReport report;
+  auto clean = CleanTrips(city->trips, stations, options, &report);
+  EXPECT_EQ(report.input_trips, city->trips.size());
+  EXPECT_GT(report.removed_bad_timestamps, 0u);
+  EXPECT_GT(report.removed_short, 0u);
+  EXPECT_EQ(report.kept, clean.size());
+  EXPECT_EQ(report.kept + report.removed_bad_timestamps + report.removed_short,
+            report.input_trips);
+  for (const TripRecord& t : clean) {
+    EXPECT_GT(t.end_seconds, t.start_seconds);
+    EXPECT_GE(t.end_seconds - t.start_seconds, 60);
+  }
+}
+
+TEST(CleaningTest, DeadStationRuleRemovesStationsAndTrips) {
+  auto city = GenerateCity(SmallCity(4));
+  ASSERT_TRUE(city.ok());
+  std::vector<Station> stations = city->stations;
+  const size_t before = stations.size();
+  CleaningOptions options;
+  options.min_avg_hourly_pickups = 0.35;  // aggressive: kills quiet docks
+  CleaningReport report;
+  auto clean = CleanTrips(city->trips, stations, options, &report);
+  EXPECT_LT(stations.size(), before);
+  EXPECT_EQ(before - stations.size(), report.removed_station_ids.size());
+  std::set<int> removed(report.removed_station_ids.begin(),
+                        report.removed_station_ids.end());
+  for (const TripRecord& t : clean) {
+    EXPECT_EQ(removed.count(t.start_station), 0u);
+  }
+}
+
+// --- partition ---------------------------------------------------------------
+
+TEST(PartitionTest, KMeansAssignsEveryStation) {
+  auto city = GenerateCity(SmallCity(6));
+  ASSERT_TRUE(city.ok());
+  PartitionOptions options;
+  options.num_regions = 8;
+  auto part = PartitionStations(city->stations, options);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part->num_regions, 8);
+  ASSERT_EQ(part->station_region.size(), city->stations.size());
+  for (int r : part->station_region) {
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, 8);
+  }
+}
+
+TEST(PartitionTest, KMeansRecoversGenerativeRegions) {
+  auto config = SmallCity(7);
+  config.num_stations = 80;
+  auto city = GenerateCity(config);
+  ASSERT_TRUE(city.ok());
+  PartitionOptions options;
+  options.num_regions = config.num_regions;
+  auto part = PartitionStations(city->stations, options);
+  ASSERT_TRUE(part.ok());
+  // Majority-label purity against the generator's ground truth.
+  std::map<int, std::map<int, int>> confusion;
+  for (size_t s = 0; s < city->stations.size(); ++s) {
+    ++confusion[part->station_region[s]][city->true_region[s]];
+  }
+  int correct = 0;
+  for (auto& [c, m] : confusion) {
+    int best = 0;
+    for (auto& [t, n] : m) best = std::max(best, n);
+    correct += best;
+  }
+  EXPECT_GT(static_cast<double>(correct) / city->stations.size(), 0.85);
+}
+
+TEST(PartitionTest, DensityMethodsAssignAllStations) {
+  auto city = GenerateCity(SmallCity(8));
+  ASSERT_TRUE(city.ok());
+  for (PartitionMethod method :
+       {PartitionMethod::kDbscan, PartitionMethod::kOptics}) {
+    PartitionOptions options;
+    options.method = method;
+    options.eps = 0.008;
+    options.min_points = 3;
+    auto part = PartitionStations(city->stations, options);
+    ASSERT_TRUE(part.ok());
+    EXPECT_GT(part->num_regions, 1);
+    for (int r : part->station_region) {
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, part->num_regions);
+    }
+  }
+}
+
+// --- aggregation -------------------------------------------------------------
+
+TEST(AggregateTest, MatchesGeneratorCountsUnderTruePartition) {
+  auto config = SmallCity(10);
+  config.dirty_fraction = 0.0;  // no injected noise for the exact check
+  auto city = GenerateCity(config);
+  ASSERT_TRUE(city.ok());
+  // Build the partition from ground truth so region indices align.
+  RegionPartition part;
+  part.num_regions = config.num_regions;
+  part.station_region = city->true_region;
+  part.region_centers.assign(config.num_regions, {});
+  auto series = AggregateTrips(city->trips, city->stations, part,
+                               config.start_date, config.num_days);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->counts.shape(), city->region_counts.shape());
+  for (int64_t i = 0; i < series->counts.numel(); ++i) {
+    EXPECT_EQ(series->counts.data()[i], city->region_counts.data()[i]);
+  }
+}
+
+TEST(AggregateTest, CalendarHelpers) {
+  MobilitySeries series;
+  series.num_regions = 1;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};  // a Monday
+  series.num_days = 10;
+  series.counts = Tensor::Zeros({1, 240});
+  EXPECT_EQ(series.DateOfStep(0), (CivilDate{2020, 6, 1}));
+  EXPECT_EQ(series.DateOfStep(47), (CivilDate{2020, 6, 2}));
+  EXPECT_EQ(series.HourOfStep(47), 23);
+  EXPECT_FALSE(series.IsWeekendStep(0));
+  EXPECT_TRUE(series.IsWeekendStep(5 * 24));  // Saturday 6/6
+}
+
+TEST(AggregateTest, DropsOutOfRangeAndUnknownStations) {
+  std::vector<Station> stations{{1, 0, 0}};
+  RegionPartition part;
+  part.num_regions = 1;
+  part.station_region = {0};
+  part.region_centers = {{0, 0}};
+  const CivilDate start{2020, 6, 1};
+  const int64_t base = DaysSinceEpoch(start) * 86400;
+  std::vector<TripRecord> trips{
+      {base + 100, base + 400, 1, 1},          // in range
+      {base - 100, base + 400, 1, 1},          // before window
+      {base + 86400 * 40, base + 86400 * 40 + 300, 1, 1},  // after window
+      {base + 100, base + 400, 99, 99},        // unknown station
+  };
+  size_t dropped = 0;
+  auto series = AggregateTrips(trips, stations, part, start, 2, &dropped);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(dropped, 3u);
+  EXPECT_EQ(series->At(0, 0), 1.f);
+}
+
+// --- sliding-window dataset ----------------------------------------------------
+
+MobilitySeries MakeRampSeries(int regions = 3, int days = 14) {
+  MobilitySeries series;
+  series.num_regions = regions;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = days;
+  series.counts = Tensor::Zeros({regions, days * 24});
+  for (int r = 0; r < regions; ++r) {
+    for (int64_t s = 0; s < days * 24; ++s) {
+      // Distinct per-region affine ramp: easy to verify alignment.
+      series.counts.data()[r * days * 24 + s] =
+          static_cast<float>(100 * (r + 1) + s);
+    }
+  }
+  return series;
+}
+
+TEST(DatasetTest, SampleAlignment) {
+  DatasetOptions options;
+  options.history_length = 5;
+  options.num_windows = 3;
+  options.norm_history = 2;
+  auto ds = SlidingWindowDataset::Create(MakeRampSeries(), options);
+  ASSERT_TRUE(ds.ok());
+  const int64_t t = ds->MinTargetStep() + 7;
+  WindowSample sample = ds->MakeSample(t);
+  EXPECT_EQ(sample.x.shape(), (Shape{3, 5}));
+  EXPECT_EQ(sample.f.shape(), (Shape{3, 3, 5}));
+  EXPECT_EQ(sample.target.shape(), (Shape{3}));
+  // target == X[:, t]
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(sample.target.at({r}), ds->series().At(r, t));
+    // x covers steps [t-5, t)
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(sample.x.at({r, j}), ds->series().At(r, t - 5 + j));
+    }
+  }
+  // The last window F_M equals x (paper Eq. for m = M).
+  for (int r = 0; r < 3; ++r) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(sample.f.at({2, r, j}), sample.x.at({r, j}));
+    }
+  }
+  // Window m is offset T*(M-m) steps back.
+  for (int r = 0; r < 3; ++r) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(sample.f.at({1, r, j}), ds->series().At(r, t - 24 - 5 + j));
+      EXPECT_EQ(sample.f.at({0, r, j}), ds->series().At(r, t - 48 - 5 + j));
+    }
+  }
+}
+
+TEST(DatasetTest, MatchedStatsUseSameHourSameDayType) {
+  // Weekday steps: mu over {s, s-24, s-48, ...} same-day-type entries. With
+  // the ramp series (slope 1/step, 24/day) the matched mean lags the value.
+  DatasetOptions options;
+  options.history_length = 2;
+  options.num_windows = 2;
+  options.norm_history = 2;
+  auto ds = SlidingWindowDataset::Create(MakeRampSeries(3, 21), options);
+  ASSERT_TRUE(ds.ok());
+  // Pick a Wednesday step (start date is a Monday): day 9 = Wednesday of
+  // week 2; previous same-type days are day 8 (Tue) and day 7 (Mon).
+  const int64_t s = 9 * 24 + 10;
+  const float x = ds->series().At(0, s);
+  const float expected_mu = (x + (x - 24) + (x - 48)) / 3.f;
+  EXPECT_NEAR(ds->mu().at({0, s}), expected_mu, 1e-3);
+  const float d0 = x - expected_mu, d1 = (x - 24) - expected_mu,
+              d2 = (x - 48) - expected_mu;
+  const float expected_sigma =
+      std::sqrt((d0 * d0 + d1 * d1 + d2 * d2) / 3.f);
+  EXPECT_NEAR(ds->sigma().at({0, s}), expected_sigma, 1e-3);
+}
+
+TEST(DatasetTest, WeekendStatsSkipWeekdays) {
+  DatasetOptions options;
+  options.norm_history = 1;
+  options.history_length = 2;
+  options.num_windows = 2;
+  auto ds = SlidingWindowDataset::Create(MakeRampSeries(1, 21), options);
+  ASSERT_TRUE(ds.ok());
+  // Saturday of week 2 (day 12; start Monday): the previous same-type day
+  // is Sunday day 6 (6 days back), not Friday (1 day back).
+  const int64_t s = 12 * 24 + 9;
+  const float x = ds->series().At(0, s);
+  const float expected_mu = (x + (x - 6 * 24)) / 2.f;
+  EXPECT_NEAR(ds->mu().at({0, s}), expected_mu, 1e-3);
+}
+
+TEST(DatasetTest, TargetStepsRespectBounds) {
+  DatasetOptions options;
+  auto ds = SlidingWindowDataset::Create(MakeRampSeries(2, 14), options);
+  ASSERT_TRUE(ds.ok());
+  auto steps = ds->TargetSteps(0, 1000000);
+  ASSERT_FALSE(steps.empty());
+  EXPECT_EQ(steps.front(), ds->MinTargetStep());
+  EXPECT_EQ(steps.back(), ds->series().total_steps() - 1);
+}
+
+TEST(DatasetTest, RejectsBadOptions) {
+  DatasetOptions options;
+  options.history_length = 0;
+  EXPECT_FALSE(
+      SlidingWindowDataset::Create(MakeRampSeries(), options).ok());
+}
+
+TEST(SplitTest, PaperHoldout) {
+  DatasetOptions options;
+  auto ds = SlidingWindowDataset::Create(MakeRampSeries(2, 40), options);
+  ASSERT_TRUE(ds.ok());
+  auto split = MakeChronoSplit(*ds);
+  ASSERT_TRUE(split.ok());
+  const int64_t total = ds->series().total_steps();
+  EXPECT_EQ(split->test_end, total);
+  EXPECT_EQ(split->test_end - split->test_begin, 10 * 24);
+  EXPECT_EQ(split->val_end - split->val_begin, 5 * 24);
+  EXPECT_EQ(split->train_end, split->val_begin);
+  EXPECT_EQ(split->train_begin, ds->MinTargetStep());
+}
+
+TEST(SplitTest, TooShortSeriesRejected) {
+  DatasetOptions options;
+  auto ds = SlidingWindowDataset::Create(MakeRampSeries(2, 20), options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(MakeChronoSplit(*ds).ok());
+}
+
+// --- scalers -------------------------------------------------------------------
+
+TEST(ScalerTest, MinMaxRoundTripAndRange) {
+  Rng rng(15);
+  Tensor t = Tensor::Rand({100}, rng, 5.f, 50.f);
+  MinMaxScaler scaler;
+  scaler.Fit(t);
+  Tensor scaled = scaler.Transform(t);
+  for (int64_t i = 0; i < scaled.numel(); ++i) {
+    EXPECT_GE(scaled.data()[i], -1.f);
+    EXPECT_LE(scaled.data()[i], 1.f);
+  }
+  Tensor back = scaler.Inverse(scaled);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_NEAR(back.data()[i], t.data()[i], 1e-3);
+  }
+}
+
+TEST(ScalerTest, StandardRoundTripAndMoments) {
+  Rng rng(16);
+  Tensor t = Tensor::Randn({2000}, rng, 30.f, 7.f);
+  StandardScaler scaler;
+  scaler.Fit(t);
+  EXPECT_NEAR(scaler.mean(), 30.f, 0.7f);
+  EXPECT_NEAR(scaler.stddev(), 7.f, 0.7f);
+  Tensor back = scaler.Inverse(scaler.Transform(t));
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR(back.data()[i], t.data()[i], 1e-3);
+  }
+}
+
+// --- configs -------------------------------------------------------------------
+
+TEST(ConfigTest, PaperParametersPerCity) {
+  auto nyc = MakePeriodConfig(City::kNycBike, Period::kWeather);
+  EXPECT_EQ(nyc.dataset.history_length, 5);
+  EXPECT_EQ(nyc.dataset.num_windows, 3);
+  EXPECT_EQ(nyc.partition.num_regions, 20);
+  EXPECT_EQ(nyc.label, "Hurricane");
+  auto chi = MakePeriodConfig(City::kChicagoBike, Period::kHoliday);
+  EXPECT_EQ(chi.dataset.history_length, 2);
+  EXPECT_EQ(chi.dataset.num_windows, 2);
+  EXPECT_EQ(chi.partition.num_regions, 18);
+  EXPECT_EQ(chi.label, "Thanksgiving");
+}
+
+TEST(ConfigTest, EventsLandInTestWindow) {
+  for (City city : AllCities()) {
+    for (Period period : {Period::kWeather, Period::kHoliday}) {
+      auto config = MakePeriodConfig(city, period);
+      bool found = false;
+      for (const auto& e : config.generator.events) {
+        if (e.kind == EventKind::kMildWeather) continue;
+        found = true;
+        const int64_t day = DaysSinceEpoch(e.start_date) -
+                            DaysSinceEpoch(config.generator.start_date);
+        EXPECT_GE(day, config.generator.num_days - 10) << CityName(city);
+        EXPECT_LT(day, config.generator.num_days) << CityName(city);
+      }
+      EXPECT_TRUE(found) << CityName(city);
+    }
+  }
+}
+
+TEST(ConfigTest, HurricaneOnHistoricalDate) {
+  auto config = MakePeriodConfig(City::kNycBike, Period::kWeather);
+  bool found = false;
+  for (const auto& e : config.generator.events) {
+    if (e.kind == EventKind::kHurricane) {
+      EXPECT_EQ(e.start_date, (CivilDate{2020, 8, 4}));  // Isaias
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace ealgap

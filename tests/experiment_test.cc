@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace ealgap {
+namespace core {
+namespace {
+
+// A fast variant of the NYC config for integration testing.
+data::PeriodConfig TinyConfig(data::Period period) {
+  data::PeriodConfig config = data::MakePeriodConfig(
+      data::City::kNycBike, period, /*seed=*/19, /*scale=*/0.5);
+  config.generator.num_stations = 48;
+  config.generator.num_regions = 6;
+  config.generator.num_days = 60;
+  config.partition.num_regions = 6;
+  // Move the headline event into the shortened test window.
+  for (auto& e : config.generator.events) {
+    if (e.kind == data::EventKind::kMildWeather) continue;
+    const int64_t span =
+        DaysSinceEpoch(e.end_date) - DaysSinceEpoch(e.start_date);
+    e.start_date = AddDays(config.generator.start_date, 55);
+    e.end_date = AddDays(e.start_date, span);
+  }
+  return config;
+}
+
+TEST(PrepareDataTest, FullPipelineProducesConsistentShapes) {
+  auto prepared = PrepareData(TinyConfig(data::Period::kWeather));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->partition.num_regions, 6);
+  EXPECT_EQ(prepared->dataset.series().num_regions, 6);
+  EXPECT_EQ(prepared->dataset.series().total_steps(), 60 * 24);
+  EXPECT_GT(prepared->cleaning.removed_bad_timestamps, 0u);
+  EXPECT_LT(prepared->split.train_end, prepared->split.val_begin + 1);
+  EXPECT_EQ(prepared->split.test_end, 60 * 24);
+}
+
+TEST(PrepareDataTest, PartitionOverrideIsApplied) {
+  data::PartitionOptions options;
+  options.method = data::PartitionMethod::kDbscan;
+  options.eps = 0.008;
+  options.min_points = 3;
+  auto prepared = PrepareData(TinyConfig(data::Period::kNormal), options);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_GT(prepared->partition.num_regions, 1);
+}
+
+TEST(MakeForecasterTest, AllPaperSchemesConstruct) {
+  auto prepared = PrepareData(TinyConfig(data::Period::kNormal));
+  ASSERT_TRUE(prepared.ok());
+  for (const std::string& scheme : PaperSchemes()) {
+    auto model = MakeForecaster(scheme, *prepared);
+    ASSERT_TRUE(model.ok()) << scheme;
+    EXPECT_EQ((*model)->name().empty(), false);
+  }
+  for (const std::string& extra :
+       {"HA", "EALGAP-G", "EALGAP-E", "EALGAP-N"}) {
+    EXPECT_TRUE(MakeForecaster(extra, *prepared).ok()) << extra;
+  }
+}
+
+TEST(MakeForecasterTest, UnknownSchemeRejected) {
+  auto prepared = PrepareData(TinyConfig(data::Period::kNormal));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(MakeForecaster("Prophet", *prepared).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RunSchemeTest, ProducesFiniteMetrics) {
+  auto prepared = PrepareData(TinyConfig(data::Period::kWeather));
+  ASSERT_TRUE(prepared.ok());
+  TrainConfig train;
+  train.epochs = 3;
+  train.learning_rate = 3e-3f;
+  auto result = RunScheme("EALGAP", *prepared, train);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.er, 0.0);
+  EXPECT_LT(result->metrics.er, 1.5);
+  EXPECT_GT(result->metrics.r2, -2.0);
+  EXPECT_GT(result->fit_seconds, 0.0);
+  EXPECT_GT(result->train_step_ms, 0.0);
+}
+
+TEST(RunSchemeTest, NonNeuralSchemeHasNoStepTime) {
+  auto prepared = PrepareData(TinyConfig(data::Period::kNormal));
+  ASSERT_TRUE(prepared.ok());
+  auto result = RunScheme("HA", *prepared, TrainConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->train_step_ms, 0.0);
+  EXPECT_LT(result->metrics.er, 0.6);
+}
+
+TEST(PaperSchemesTest, MatchesTableRoster) {
+  const auto schemes = PaperSchemes();
+  ASSERT_EQ(schemes.size(), 9u);
+  EXPECT_EQ(schemes.front(), "ARIMA");
+  EXPECT_EQ(schemes.back(), "EALGAP");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ealgap

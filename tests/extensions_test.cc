@@ -1,0 +1,271 @@
+// Tests for the extension features: time-series stats, silhouette,
+// dropout, dataset cloning/overwrite, multi-step rollout, J>1 attention,
+// and drop-off aggregation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/silhouette.h"
+#include "common/rng.h"
+#include "core/ealgap.h"
+#include "core/global_impact.h"
+#include "core/rollout.h"
+#include "data/aggregate.h"
+#include "data/dataset.h"
+#include "nn/dropout.h"
+#include "stats/distribution.h"
+#include "stats/timeseries.h"
+
+namespace ealgap {
+namespace {
+
+// --- stats/timeseries --------------------------------------------------------
+
+TEST(AutocorrelationTest, WhiteNoiseNearZeroArNearPhi) {
+  Rng rng(41);
+  std::vector<double> white(5000), ar(5000);
+  double state = 0;
+  for (size_t i = 0; i < white.size(); ++i) {
+    white[i] = rng.Normal();
+    state = 0.8 * state + rng.Normal();
+    ar[i] = state;
+  }
+  auto acf_white = stats::Autocorrelation(white, 3);
+  auto acf_ar = stats::Autocorrelation(ar, 3);
+  ASSERT_TRUE(acf_white.ok());
+  ASSERT_TRUE(acf_ar.ok());
+  EXPECT_DOUBLE_EQ((*acf_white)[0], 1.0);
+  EXPECT_NEAR((*acf_white)[1], 0.0, 0.05);
+  EXPECT_NEAR((*acf_ar)[1], 0.8, 0.05);
+  EXPECT_NEAR((*acf_ar)[2], 0.64, 0.07);
+}
+
+TEST(AutocorrelationTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(stats::Autocorrelation({1.0}, 1).ok());
+  EXPECT_FALSE(stats::Autocorrelation({1.0, 2.0}, 5).ok());
+  EXPECT_FALSE(stats::Autocorrelation({3.0, 3.0, 3.0}, 1).ok());
+}
+
+TEST(KsTest, ExponentialSampleFitsExponentialBetterThanNormal) {
+  Rng rng(42);
+  std::vector<double> sample(3000);
+  for (double& v : sample) v = rng.Exponential(0.1);
+  auto exp_fit = stats::ExponentialDistribution::Fit(sample);
+  auto norm_fit = stats::NormalDistribution::Fit(sample);
+  ASSERT_TRUE(exp_fit.ok());
+  ASSERT_TRUE(norm_fit.ok());
+  const double d_exp = stats::KolmogorovSmirnovStatistic(
+      sample, [&](double x) { return exp_fit->Cdf(x); });
+  const double d_norm = stats::KolmogorovSmirnovStatistic(
+      sample, [&](double x) { return norm_fit->Cdf(x); });
+  EXPECT_LT(d_exp, d_norm);
+  EXPECT_LT(d_exp, 0.05);
+}
+
+TEST(SeasonalNaiveTest, PerfectlyPeriodicSeriesHasZeroError) {
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(i % 24);
+  auto err = stats::SeasonalNaiveError(series, 24);
+  ASSERT_TRUE(err.ok());
+  EXPECT_DOUBLE_EQ(*err, 0.0);
+  EXPECT_FALSE(stats::SeasonalNaiveError(series, 200).ok());
+}
+
+// --- cluster/silhouette ------------------------------------------------------
+
+TEST(SilhouetteTest, SeparatedBlobsScoreHigh) {
+  Rng rng(43);
+  std::vector<cluster::Point2> points;
+  std::vector<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      points.push_back({c * 10.0 + rng.Normal(0, 0.3),
+                        c * 5.0 + rng.Normal(0, 0.3)});
+      labels.push_back(c);
+    }
+  }
+  auto good = cluster::MeanSilhouette(points, labels);
+  ASSERT_TRUE(good.ok());
+  EXPECT_GT(*good, 0.8);
+  // Random labels score much worse.
+  std::vector<int> shuffled = labels;
+  rng.Shuffle(shuffled);
+  auto bad = cluster::MeanSilhouette(points, shuffled);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_LT(*bad, *good - 0.3);
+}
+
+TEST(SilhouetteTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(cluster::MeanSilhouette({}, {}).ok());
+  EXPECT_FALSE(cluster::MeanSilhouette({{0, 0}, {1, 1}}, {0, 0}).ok());
+  EXPECT_FALSE(cluster::MeanSilhouette({{0, 0}}, {0, -1}).ok());
+}
+
+// --- nn/dropout ----------------------------------------------------------------
+
+TEST(DropoutTest, InferencePassesThrough) {
+  Rng rng(44);
+  Var x = Var::Leaf(Tensor::Ones({4, 4}));
+  NoGradGuard guard;
+  Var y = nn::Dropout(x, 0.5f, rng);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(y.value().data()[i], 1.f);
+}
+
+TEST(DropoutTest, TrainingDropsAndRescales) {
+  Rng rng(45);
+  Var x = Var::Leaf(Tensor::Ones({100, 100}), /*requires_grad=*/true);
+  Var y = nn::Dropout(x, 0.3f, rng);
+  int64_t zeros = 0;
+  double sum = 0;
+  for (int64_t i = 0; i < y.value().numel(); ++i) {
+    const float v = y.value().data()[i];
+    if (v == 0.f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.f / 0.7f, 1e-5);
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.value().numel(), 0.3, 0.02);
+  EXPECT_NEAR(sum / y.value().numel(), 1.0, 0.03);  // expectation preserved
+}
+
+// --- dataset clone / overwrite / rollout -----------------------------------------
+
+data::MobilitySeries RampSeries(int regions, int days) {
+  data::MobilitySeries series;
+  series.num_regions = regions;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = days;
+  series.counts = Tensor::Zeros({regions, static_cast<int64_t>(days) * 24});
+  for (int r = 0; r < regions; ++r) {
+    for (int64_t s = 0; s < days * 24; ++s) {
+      series.counts.data()[r * days * 24 + s] =
+          static_cast<float>(50 * (r + 1) + (s % 24));
+    }
+  }
+  return series;
+}
+
+TEST(DatasetCloneTest, CloneIsIndependent) {
+  data::DatasetOptions options;
+  auto ds = data::SlidingWindowDataset::Create(RampSeries(2, 20), options);
+  ASSERT_TRUE(ds.ok());
+  data::SlidingWindowDataset copy = ds->Clone();
+  const int64_t step = ds->MinTargetStep() + 3;
+  ASSERT_TRUE(copy.OverwriteStep(step, {999.0, 888.0}).ok());
+  EXPECT_EQ(copy.series().At(0, step), 999.f);
+  EXPECT_NE(ds->series().At(0, step), 999.f);  // original untouched
+}
+
+TEST(DatasetOverwriteTest, RefreshesMatchedStats) {
+  data::DatasetOptions options;
+  options.norm_history = 2;
+  auto ds = data::SlidingWindowDataset::Create(RampSeries(1, 30), options);
+  ASSERT_TRUE(ds.ok());
+  const int64_t step = 15 * 24 + 10;
+  const float mu_before = ds->mu().at({0, step});
+  ASSERT_TRUE(ds->OverwriteStep(step, {10000.0}).ok());
+  EXPECT_GT(ds->mu().at({0, step}), mu_before + 1000);
+  // Later same-hour step whose window includes `step` also refreshed.
+  const int64_t later = step + 24;
+  if (!ds->series().IsWeekendStep(later) ==
+      !ds->series().IsWeekendStep(step)) {
+    EXPECT_GT(ds->mu().at({0, later}), mu_before);
+  }
+  EXPECT_FALSE(ds->OverwriteStep(-1, {1.0}).ok());
+  EXPECT_FALSE(ds->OverwriteStep(step, {1.0, 2.0}).ok());
+}
+
+TEST(RolloutTest, MatchesSingleStepAtHorizonOne) {
+  data::DatasetOptions options;
+  auto ds = data::SlidingWindowDataset::Create(RampSeries(2, 40), options);
+  ASSERT_TRUE(ds.ok());
+  auto split = data::MakeChronoSplit(*ds);
+  ASSERT_TRUE(split.ok());
+  core::EalgapForecaster model;
+  TrainConfig train;
+  train.epochs = 2;
+  ASSERT_TRUE(model.Fit(*ds, *split, train).ok());
+  const int64_t start = split->test_begin;
+  auto rollout = core::RolloutForecast(model, *ds, start, 3);
+  ASSERT_TRUE(rollout.ok());
+  ASSERT_EQ(rollout->size(), 3u);
+  auto single = model.Predict(*ds, start);
+  ASSERT_TRUE(single.ok());
+  for (size_t r = 0; r < single->size(); ++r) {
+    EXPECT_DOUBLE_EQ((*rollout)[0][r], (*single)[r]);
+  }
+  EXPECT_FALSE(core::RolloutForecast(model, *ds, start, 0).ok());
+  EXPECT_FALSE(
+      core::RolloutForecast(model, *ds, ds->series().total_steps() - 1, 5)
+          .ok());
+}
+
+// --- J > 1 attention ---------------------------------------------------------------
+
+TEST(AttentionDimTest, WiderAttentionKeepsShapesAndGradients) {
+  Rng rng(46);
+  core::GlobalImpactModule module(6, 5, 16, rng,
+                                  stats::DistributionFamily::kExponential,
+                                  /*attention_dim=*/4);
+  Var x = Var::Leaf(Tensor::Rand({6, 5}, rng, 0.f, 3.f));
+  auto out = module.Forward(x);
+  EXPECT_EQ(out.xg_history.value().shape(), (Shape{6, 5}));
+  EXPECT_EQ(out.xg_next.value().shape(), (Shape{6}));
+  module.ZeroGrad();
+  Backward(SumAll(out.xg_next));
+  double grad_sum = 0;
+  for (Var& p : module.Parameters()) {
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      grad_sum += std::fabs(p.grad().data()[i]);
+    }
+  }
+  EXPECT_GT(grad_sum, 1e-4);
+}
+
+TEST(AttentionDimTest, EalgapTrainsWithJ4) {
+  data::DatasetOptions options;
+  auto ds = data::SlidingWindowDataset::Create(RampSeries(3, 40), options);
+  ASSERT_TRUE(ds.ok());
+  auto split = data::MakeChronoSplit(*ds);
+  ASSERT_TRUE(split.ok());
+  core::EalgapOptions opts;
+  opts.attention_dim = 4;
+  core::EalgapForecaster model(opts);
+  TrainConfig train;
+  train.epochs = 2;
+  ASSERT_TRUE(model.Fit(*ds, *split, train).ok());
+  auto pred = model.Predict(*ds, split->test_begin);
+  ASSERT_TRUE(pred.ok());
+  for (double v : *pred) EXPECT_TRUE(std::isfinite(v));
+}
+
+// --- drop-off aggregation -----------------------------------------------------------
+
+TEST(DropoffTest, CountsByEndStationAndEndTime) {
+  std::vector<data::Station> stations{{1, 0, 0}, {2, 1, 1}};
+  data::RegionPartition part;
+  part.num_regions = 2;
+  part.station_region = {0, 1};
+  part.region_centers = {{0, 0}, {1, 1}};
+  const CivilDate start{2020, 6, 1};
+  const int64_t base = DaysSinceEpoch(start) * 86400;
+  // One trip from station 1 (hour 0) to station 2 (hour 1).
+  std::vector<data::TripRecord> trips{{base + 1800, base + 4500, 1, 2}};
+  auto pickups = data::AggregateTrips(trips, stations, part, start, 1);
+  auto dropoffs =
+      data::AggregateTrips(trips, stations, part, start, 1, nullptr,
+                           data::CountKind::kDropoffs);
+  ASSERT_TRUE(pickups.ok());
+  ASSERT_TRUE(dropoffs.ok());
+  EXPECT_EQ(pickups->At(0, 0), 1.f);
+  EXPECT_EQ(pickups->At(1, 1), 0.f);
+  EXPECT_EQ(dropoffs->At(1, 1), 1.f);
+  EXPECT_EQ(dropoffs->At(0, 0), 0.f);
+}
+
+}  // namespace
+}  // namespace ealgap

@@ -1,0 +1,63 @@
+#ifndef EALGAP_TESTS_GRADCHECK_H_
+#define EALGAP_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+
+namespace ealgap {
+namespace testing {
+
+/// Checks analytic gradients against central finite differences.
+///
+/// `fn` maps the leaf Vars (built fresh from `inputs` on every call) to a
+/// scalar Var. Each input element is perturbed by +/-eps; the numeric slope
+/// must match the gradient from Backward() within `tol` (absolute +
+/// relative).
+inline void ExpectGradientsMatch(
+    std::vector<Tensor> inputs,
+    const std::function<Var(std::vector<Var>&)>& fn, float eps = 1e-3f,
+    float tol = 2e-2f) {
+  // Analytic pass.
+  std::vector<Var> leaves;
+  leaves.reserve(inputs.size());
+  for (Tensor& t : inputs) {
+    leaves.push_back(Var::Leaf(t.Clone(), /*requires_grad=*/true));
+  }
+  Var out = fn(leaves);
+  ASSERT_EQ(out.value().numel(), 1) << "gradcheck needs a scalar output";
+  Backward(out);
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Tensor& analytic = leaves[i].grad();
+    for (int64_t j = 0; j < inputs[i].numel(); ++j) {
+      const float orig = inputs[i].data()[j];
+      auto eval = [&](float v) {
+        NoGradGuard no_grad;
+        inputs[i].data()[j] = v;
+        std::vector<Var> ls;
+        ls.reserve(inputs.size());
+        for (Tensor& t : inputs) ls.push_back(Var::Leaf(t.Clone(), false));
+        Var o = fn(ls);
+        return o.value().data()[0];
+      };
+      const float up = eval(orig + eps);
+      const float down = eval(orig - eps);
+      inputs[i].data()[j] = orig;
+      const float numeric = (up - down) / (2 * eps);
+      const float got = analytic.data()[j];
+      const float scale = std::max({1.f, std::fabs(numeric), std::fabs(got)});
+      EXPECT_NEAR(got, numeric, tol * scale)
+          << "input " << i << " element " << j;
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace ealgap
+
+#endif  // EALGAP_TESTS_GRADCHECK_H_

@@ -1,0 +1,199 @@
+// Randomized property tests: algebraic identities of the tensor ops,
+// invariants of the normalization statistics, and metric properties, swept
+// over random shapes and seeds with TEST_P.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "stats/metrics.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+namespace {
+
+class PropertySeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySeedTest, AddSubRoundTrip) {
+  Rng rng(GetParam());
+  const Shape shape{int64_t(1 + rng.UniformInt(4)),
+                    int64_t(1 + rng.UniformInt(6))};
+  Tensor a = Tensor::Randn(shape, rng);
+  Tensor b = Tensor::Randn(shape, rng);
+  Tensor back = ops::Sub(ops::Add(a, b), b);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(back.data()[i], a.data()[i], 1e-5);
+  }
+}
+
+TEST_P(PropertySeedTest, ExpLogInverse) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Rand({3, 5}, rng, 0.1f, 10.f);
+  Tensor back = ops::Exp(ops::Log(a));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(back.data()[i], a.data()[i], 1e-4 * a.data()[i] + 1e-5);
+  }
+}
+
+TEST_P(PropertySeedTest, SoftmaxShiftInvariance) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({4, 6}, rng, 0.f, 2.f);
+  Tensor shifted = ops::AddScalar(a, 37.5f);
+  Tensor sa = ops::SoftmaxLastDim(a);
+  Tensor sb = ops::SoftmaxLastDim(shifted);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(sa.data()[i], sb.data()[i], 1e-5);
+  }
+}
+
+TEST_P(PropertySeedTest, MatMulIdentity) {
+  Rng rng(GetParam());
+  const int64_t n = 1 + rng.UniformInt(6);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor eye = Tensor::Zeros({n, n});
+  for (int64_t i = 0; i < n; ++i) eye.at({i, i}) = 1.f;
+  Tensor out = ops::MatMul(a, eye);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], a.data()[i]);
+  }
+}
+
+TEST_P(PropertySeedTest, MatMulDistributesOverAddition) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({3, 4}, rng);
+  Tensor b = Tensor::Randn({4, 2}, rng);
+  Tensor c = Tensor::Randn({4, 2}, rng);
+  Tensor lhs = ops::MatMul(a, ops::Add(b, c));
+  Tensor rhs = ops::Add(ops::MatMul(a, b), ops::MatMul(a, c));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4);
+  }
+}
+
+TEST_P(PropertySeedTest, TransposeIsInvolution) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor back = ops::TransposeLast2(ops::TransposeLast2(a));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(back.data()[i], a.data()[i]);
+  }
+}
+
+TEST_P(PropertySeedTest, SumAxisTotalsMatchSumAll) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({3, 4, 5}, rng);
+  const float total = ops::SumAll(a).data()[0];
+  Tensor partial = ops::SumAxis(ops::SumAxis(ops::SumAxis(a, 2), 1), 0);
+  EXPECT_NEAR(partial.data()[0], total, 1e-3);
+}
+
+TEST_P(PropertySeedTest, BackwardOfLinearFunctionIsConstant) {
+  // d/dx sum(3x + 7) == 3 regardless of x.
+  Rng rng(GetParam());
+  Tensor x = Tensor::Randn({4, 4}, rng);
+  Var vx = Var::Leaf(x, true);
+  Backward(SumAll(AddScalar(MulScalar(vx, 3.f), 7.f)));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(vx.grad().data()[i], 3.f);
+  }
+}
+
+TEST_P(PropertySeedTest, GradOfSquareNormIsTwiceInput) {
+  Rng rng(GetParam());
+  Tensor x = Tensor::Randn({5}, rng);
+  Var vx = Var::Leaf(x, true);
+  Backward(SumAll(Mul(vx, vx)));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(vx.grad().data()[i], 2.f * x.data()[i], 1e-5);
+  }
+}
+
+// --- metric properties -------------------------------------------------------
+
+TEST_P(PropertySeedTest, MetricsImproveWithBetterPredictions) {
+  Rng rng(GetParam());
+  std::vector<double> truth(200), good(200), bad(200);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.Uniform(10, 100);
+    good[i] = truth[i] + rng.Normal(0, 2);
+    bad[i] = truth[i] + rng.Normal(0, 20);
+  }
+  EXPECT_LT(stats::ErrorRate(good, truth), stats::ErrorRate(bad, truth));
+  EXPECT_LT(stats::Msle(good, truth), stats::Msle(bad, truth));
+  EXPECT_GT(stats::RSquared(good, truth), stats::RSquared(bad, truth));
+  EXPECT_LT(stats::Rmse(good, truth), stats::Rmse(bad, truth));
+}
+
+TEST_P(PropertySeedTest, RmseDominatesMae) {
+  Rng rng(GetParam());
+  std::vector<double> truth(100), pred(100);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.Uniform(0, 50);
+    pred[i] = truth[i] + rng.Normal(0, 5);
+  }
+  EXPECT_GE(stats::Rmse(pred, truth),
+            stats::MeanAbsoluteError(pred, truth) - 1e-12);
+}
+
+// --- dataset statistic invariants ----------------------------------------------
+
+TEST_P(PropertySeedTest, MatchedStatsWithinObservedRange) {
+  Rng rng(GetParam());
+  data::MobilitySeries series;
+  series.num_regions = 3;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = 21;
+  series.counts = Tensor::Rand({3, 21 * 24}, rng, 0.f, 50.f);
+  data::DatasetOptions options;
+  options.norm_history = 3;
+  auto ds = data::SlidingWindowDataset::Create(series, options);
+  ASSERT_TRUE(ds.ok());
+  float global_min = 1e9f, global_max = -1e9f;
+  for (int64_t i = 0; i < series.counts.numel(); ++i) {
+    global_min = std::min(global_min, series.counts.data()[i]);
+    global_max = std::max(global_max, series.counts.data()[i]);
+  }
+  for (int64_t i = 0; i < ds->mu().numel(); ++i) {
+    EXPECT_GE(ds->mu().data()[i], global_min - 1e-4);
+    EXPECT_LE(ds->mu().data()[i], global_max + 1e-4);
+    EXPECT_GE(ds->sigma().data()[i], 0.f);
+  }
+}
+
+TEST_P(PropertySeedTest, SampleWindowsComeFromSeries) {
+  Rng rng(GetParam());
+  data::MobilitySeries series;
+  series.num_regions = 2;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = 21;
+  series.counts = Tensor::Rand({2, 21 * 24}, rng, 0.f, 30.f);
+  data::DatasetOptions options;
+  auto ds = data::SlidingWindowDataset::Create(series, options);
+  ASSERT_TRUE(ds.ok());
+  const int64_t t = ds->MinTargetStep() +
+                    static_cast<int64_t>(rng.UniformInt(
+                        ds->series().total_steps() - ds->MinTargetStep()));
+  auto sample = ds->MakeSample(t);
+  // Every value in f appears in the series at its documented location.
+  const int64_t l = options.history_length;
+  const int64_t m = options.num_windows;
+  for (int64_t w = 0; w < m; ++w) {
+    const int64_t begin = t - 24 * (m - 1 - w) - l;
+    for (int r = 0; r < 2; ++r) {
+      for (int64_t j = 0; j < l; ++j) {
+        EXPECT_EQ(sample.f.at({w, r, j}), ds->series().At(r, begin + j));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeedTest,
+                         ::testing::Values(11, 97, 1234, 55555, 987654));
+
+}  // namespace
+}  // namespace ealgap

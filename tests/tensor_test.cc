@@ -1,0 +1,254 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ealgap {
+namespace {
+
+TEST(ShapeTest, NumelAndToString) {
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeNumel({}), 1);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+}
+
+TEST(ShapeTest, BroadcastRules) {
+  EXPECT_TRUE(BroadcastCompatible({2, 3}, {3}));
+  EXPECT_TRUE(BroadcastCompatible({2, 1}, {2, 5}));
+  EXPECT_TRUE(BroadcastCompatible({4, 1, 3}, {2, 1}));
+  EXPECT_FALSE(BroadcastCompatible({2, 3}, {4}));
+  EXPECT_EQ(BroadcastShape({2, 1}, {2, 5}), (Shape{2, 5}));
+  EXPECT_EQ(BroadcastShape({4, 1, 3}, {2, 1}), (Shape{4, 2, 3}));
+}
+
+TEST(TensorTest, FactoriesAndAccess) {
+  Tensor z = Tensor::Zeros({2, 3});
+  EXPECT_EQ(z.numel(), 6);
+  EXPECT_EQ(z.at({1, 2}), 0.f);
+  Tensor o = Tensor::Ones({2, 2});
+  EXPECT_EQ(o.at({0, 1}), 1.f);
+  Tensor f = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(f.at({1, 0}), 3.f);
+  Tensor a = Tensor::Arange(4, 1.f, 0.5f);
+  EXPECT_EQ(a.at({3}), 2.5f);
+}
+
+TEST(TensorTest, CopySharesStorageCloneDoesNot) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor b = a;        // shared
+  Tensor c = a.Clone();  // deep
+  a.data()[0] = 5.f;
+  EXPECT_EQ(b.data()[0], 5.f);
+  EXPECT_EQ(c.data()[0], 0.f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, 2});
+  b.data()[5] = 99.f;
+  EXPECT_EQ(a.at({1, 2}), 99.f);
+}
+
+TEST(TensorTest, FillScaleAdd) {
+  Tensor a = Tensor::Full({3}, 2.f);
+  a.ScaleInPlace(3.f);
+  EXPECT_EQ(a.at({1}), 6.f);
+  a.AddInPlace(Tensor::Ones({3}));
+  EXPECT_EQ(a.at({2}), 7.f);
+}
+
+TEST(TensorTest, RandWithinBoundsAndDeterministic) {
+  Rng r1(9), r2(9);
+  Tensor a = Tensor::Rand({100}, r1, -2.f, 2.f);
+  Tensor b = Tensor::Rand({100}, r2, -2.f, 2.f);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(a.data()[i], -2.f);
+    EXPECT_LT(a.data()[i], 2.f);
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+// --- ops --------------------------------------------------------------------
+
+TEST(OpsTest, ElementwiseSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  EXPECT_EQ(ops::Add(a, b).at({1, 1}), 12.f);
+  EXPECT_EQ(ops::Sub(a, b).at({0, 0}), -4.f);
+  EXPECT_EQ(ops::Mul(a, b).at({0, 1}), 12.f);
+  EXPECT_EQ(ops::Div(b, a).at({1, 0}), 7.f / 3.f);
+  EXPECT_EQ(ops::Maximum(a, b).at({0, 0}), 5.f);
+}
+
+TEST(OpsTest, BroadcastRowAndColumn) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = Tensor::FromVector({1, 3}, {10, 20, 30});
+  Tensor col = Tensor::FromVector({2, 1}, {100, 200});
+  Tensor r = ops::Add(a, row);
+  EXPECT_EQ(r.at({1, 2}), 36.f);
+  Tensor c = ops::Add(a, col);
+  EXPECT_EQ(c.at({1, 0}), 204.f);
+  // Vector (3) against matrix (2,3): numpy-style right alignment.
+  Tensor v = Tensor::FromVector({3}, {1, 1, 1});
+  EXPECT_EQ(ops::Add(a, v).at({0, 0}), 2.f);
+}
+
+TEST(OpsTest, BroadcastBothDirections) {
+  Tensor a = Tensor::FromVector({2, 1}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 3}, {10, 20, 30});
+  Tensor out = ops::Mul(a, b);
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  EXPECT_EQ(out.at({1, 2}), 60.f);
+}
+
+TEST(OpsTest, UnaryMath) {
+  Tensor a = Tensor::FromVector({4}, {-1.f, 0.f, 1.f, 4.f});
+  EXPECT_EQ(ops::Relu(a).at({0}), 0.f);
+  EXPECT_EQ(ops::Relu(a).at({3}), 4.f);
+  EXPECT_EQ(ops::Abs(a).at({0}), 1.f);
+  EXPECT_EQ(ops::Sign(a).at({0}), -1.f);
+  EXPECT_EQ(ops::Sign(a).at({1}), 0.f);
+  EXPECT_FLOAT_EQ(ops::Sqrt(a).at({3}), 2.f);
+  EXPECT_FLOAT_EQ(ops::Exp(Tensor::Zeros({1})).at({0}), 1.f);
+  EXPECT_NEAR(ops::Sigmoid(Tensor::Zeros({1})).at({0}), 0.5f, 1e-6);
+  EXPECT_NEAR(ops::Tanh(Tensor::Full({1}, 100.f)).at({0}), 1.f, 1e-6);
+  EXPECT_EQ(ops::Clamp(a, -0.5f, 2.f).at({0}), -0.5f);
+  EXPECT_EQ(ops::Clamp(a, -0.5f, 2.f).at({3}), 2.f);
+}
+
+TEST(OpsTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.at({0, 0}), 58.f);
+  EXPECT_EQ(c.at({0, 1}), 64.f);
+  EXPECT_EQ(c.at({1, 0}), 139.f);
+  EXPECT_EQ(c.at({1, 1}), 154.f);
+}
+
+TEST(OpsTest, BMatMulMatchesPerBatchMatMul) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 2, 3}, rng);
+  Tensor b = Tensor::Randn({4, 3, 5}, rng);
+  Tensor c = ops::BMatMul(a, b);
+  for (int64_t s = 0; s < 4; ++s) {
+    Tensor as = ops::Slice(a, 0, s, s + 1).Reshape({2, 3});
+    Tensor bs = ops::Slice(b, 0, s, s + 1).Reshape({3, 5});
+    Tensor cs = ops::MatMul(as, bs);
+    for (int64_t i = 0; i < 2; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        EXPECT_FLOAT_EQ(c.at({s, i, j}), cs.at({i, j}));
+      }
+    }
+  }
+}
+
+TEST(OpsTest, TransposeLast2) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::TransposeLast2(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at({2, 1}), 6.f);
+  // Batched.
+  Tensor b = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor tb = ops::TransposeLast2(b);
+  EXPECT_EQ(tb.shape(), (Shape{2, 2, 1}));
+  EXPECT_EQ(tb.at({1, 1, 0}), 4.f);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(ops::SumAll(a).at({0}), 21.f);
+  EXPECT_FLOAT_EQ(ops::MeanAll(a).at({0}), 3.5f);
+  EXPECT_EQ(ops::MaxAll(a).at({0}), 6.f);
+  Tensor s0 = ops::SumAxis(a, 0);
+  EXPECT_EQ(s0.shape(), (Shape{1, 3}));
+  EXPECT_EQ(s0.at({0, 1}), 7.f);
+  Tensor s1 = ops::SumAxis(a, 1, /*keepdim=*/false);
+  EXPECT_EQ(s1.shape(), (Shape{2}));
+  EXPECT_EQ(s1.at({1}), 15.f);
+  EXPECT_FLOAT_EQ(ops::MeanAxis(a, 1).at({0, 0}), 2.f);
+}
+
+class SoftmaxShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SoftmaxShapeTest, RowsSumToOneAndOrderPreserved) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn(GetParam(), rng, 0.f, 3.f);
+  Tensor s = ops::SoftmaxLastDim(a);
+  const int64_t n = a.dim(-1);
+  const int64_t rows = a.numel() / n;
+  for (int64_t r = 0; r < rows; ++r) {
+    float sum = 0.f;
+    for (int64_t i = 0; i < n; ++i) {
+      const float v = s.data()[r * n + i];
+      EXPECT_GT(v, 0.f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5);
+    // Monotone: larger logits map to larger probabilities.
+    for (int64_t i = 0; i + 1 < n; ++i) {
+      const bool logit_le = a.data()[r * n + i] <= a.data()[r * n + i + 1];
+      const bool prob_le = s.data()[r * n + i] <= s.data()[r * n + i + 1];
+      EXPECT_EQ(logit_le, prob_le);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxShapeTest,
+                         ::testing::Values(Shape{1, 4}, Shape{5, 8},
+                                           Shape{2, 3, 6}, Shape{16}));
+
+TEST(OpsTest, SoftmaxNumericallyStableOnLargeLogits) {
+  Tensor a = Tensor::FromVector({1, 3}, {1000.f, 1000.f, 999.f});
+  Tensor s = ops::SoftmaxLastDim(a);
+  EXPECT_FALSE(std::isnan(s.at({0, 0})));
+  EXPECT_NEAR(s.at({0, 0}), s.at({0, 1}), 1e-6);
+}
+
+TEST(OpsTest, SliceAndConcatRoundTrip) {
+  Tensor a = Tensor::FromVector({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor left = ops::Slice(a, 1, 0, 2);
+  Tensor right = ops::Slice(a, 1, 2, 4);
+  EXPECT_EQ(left.at({1, 1}), 6.f);
+  Tensor back = ops::Concat({left, right}, 1);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(back.at({i, j}), a.at({i, j}));
+    }
+  }
+  // Axis 0.
+  Tensor top = ops::Slice(a, 0, 0, 1);
+  Tensor bottom = ops::Slice(a, 0, 1, 2);
+  Tensor back0 = ops::Concat({top, bottom}, 0);
+  EXPECT_EQ(back0.at({1, 3}), 8.f);
+}
+
+TEST(OpsTest, StackAddsLeadingAxis) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor s = ops::Stack({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at({1, 0}), 3.f);
+}
+
+TEST(OpsTest, ReduceToShapeInvertsBroadcast) {
+  Rng rng(4);
+  Tensor small = Tensor::Randn({2, 1}, rng);
+  Tensor big = ops::BroadcastTo(small, {2, 5});
+  // Summing the broadcast tensor back must equal small * 5.
+  Tensor reduced = ops::ReduceToShape(big, {2, 1});
+  EXPECT_FLOAT_EQ(reduced.at({0, 0}), small.at({0, 0}) * 5);
+  EXPECT_FLOAT_EQ(reduced.at({1, 0}), small.at({1, 0}) * 5);
+  // Leading-dim reduction.
+  Tensor vec = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor mat = ops::BroadcastTo(vec, {4, 3});
+  Tensor r2 = ops::ReduceToShape(mat, {3});
+  EXPECT_FLOAT_EQ(r2.at({1}), 8.f);
+}
+
+}  // namespace
+}  // namespace ealgap

@@ -1,0 +1,175 @@
+// ealgap_tool — command-line front end for the library's pipeline.
+//
+// Subcommands:
+//   generate  --out-trips T.csv --out-stations S.csv [--city nyc_bike]
+//             [--period weather] [--seed N] [--scale F]
+//       Synthesizes a city and writes the raw trip/station feeds.
+//
+//   inspect   --trips T.csv --stations S.csv
+//       Prints feed statistics: record counts, date range, cleaning report.
+//
+//   evaluate  --trips T.csv --stations S.csv --start YYYY-MM-DD --days N
+//             [--regions K] [--scheme EALGAP] [--epochs N]
+//       Runs the full pipeline on a trip feed, trains the scheme, and
+//       reports the test metrics.
+//
+// Exit code 0 on success; errors go to stderr.
+
+#include <iostream>
+#include <map>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/ealgap.h"
+#include "core/experiment.h"
+#include "data/aggregate.h"
+#include "data/cleaning.h"
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "data/trip.h"
+#include "stats/metrics.h"
+
+namespace {
+
+using namespace ealgap;
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Generate(const Flags& flags) {
+  data::City city = data::City::kNycBike;
+  for (data::City c : data::AllCities()) {
+    if (flags.GetString("city", "nyc_bike") == data::CityName(c)) city = c;
+  }
+  data::Period period = data::Period::kNormal;
+  const std::string p = flags.GetString("period", "normal");
+  if (p == "weather") period = data::Period::kWeather;
+  if (p == "holiday") period = data::Period::kHoliday;
+  data::PeriodConfig config = data::MakePeriodConfig(
+      city, period, flags.GetInt("seed", 7), flags.GetDouble("scale", 1.0));
+  auto generated = data::GenerateCity(config.generator);
+  if (!generated.ok()) return Fail(generated.status());
+  const std::string trips = flags.GetString("out-trips", "trips.csv");
+  const std::string stations = flags.GetString("out-stations", "stations.csv");
+  Status s = data::WriteTripsCsv(trips, generated->trips);
+  if (!s.ok()) return Fail(s);
+  s = data::WriteStationsCsv(stations, generated->stations);
+  if (!s.ok()) return Fail(s);
+  std::cout << "wrote " << generated->trips.size() << " trips to " << trips
+            << " and " << generated->stations.size() << " stations to "
+            << stations << "\n";
+  std::cout << "series starts " << FormatDate(config.generator.start_date)
+            << " and spans " << config.generator.num_days << " days\n";
+  return 0;
+}
+
+int Inspect(const Flags& flags) {
+  auto trips = data::ReadTripsCsv(flags.GetString("trips", "trips.csv"));
+  if (!trips.ok()) return Fail(trips.status());
+  auto stations =
+      data::ReadStationsCsv(flags.GetString("stations", "stations.csv"));
+  if (!stations.ok()) return Fail(stations.status());
+  int64_t min_ts = INT64_MAX, max_ts = INT64_MIN;
+  for (const auto& t : *trips) {
+    if (t.start_seconds > 0) {
+      min_ts = std::min(min_ts, t.start_seconds);
+      max_ts = std::max(max_ts, t.start_seconds);
+    }
+  }
+  std::cout << "trips: " << trips->size() << "\n";
+  std::cout << "stations: " << stations->size() << "\n";
+  if (min_ts <= max_ts) {
+    std::cout << "first pick-up: " << FormatTimestamp(FromUnixSeconds(min_ts))
+              << "\nlast pick-up:  " << FormatTimestamp(FromUnixSeconds(max_ts))
+              << "\n";
+  }
+  std::vector<data::Station> station_copy = *stations;
+  data::CleaningOptions cleaning;
+  data::CleaningReport report;
+  auto clean = data::CleanTrips(*trips, station_copy, cleaning, &report);
+  std::cout << "cleaning would drop: " << report.removed_bad_timestamps
+            << " bad-timestamp, " << report.removed_short
+            << " sub-minute trips (keeping " << report.kept << ")\n";
+  return 0;
+}
+
+int Evaluate(const Flags& flags) {
+  auto trips = data::ReadTripsCsv(flags.GetString("trips", "trips.csv"));
+  if (!trips.ok()) return Fail(trips.status());
+  auto stations =
+      data::ReadStationsCsv(flags.GetString("stations", "stations.csv"));
+  if (!stations.ok()) return Fail(stations.status());
+  auto start = ParseDate(flags.GetString("start", ""));
+  if (!start.ok()) {
+    std::cerr << "error: --start YYYY-MM-DD is required\n";
+    return 1;
+  }
+  const int days = static_cast<int>(flags.GetInt("days", 90));
+
+  core::PreparedData prepared;
+  data::CleaningOptions cleaning;
+  cleaning.min_avg_hourly_pickups = flags.GetDouble("min-pickups", 0.0);
+  prepared.stations = *stations;
+  auto clean =
+      data::CleanTrips(*trips, prepared.stations, cleaning, &prepared.cleaning);
+  data::PartitionOptions popts;
+  popts.num_regions = static_cast<int>(flags.GetInt("regions", 20));
+  popts.seed = flags.GetInt("seed", 7);
+  auto partition = data::PartitionStations(prepared.stations, popts);
+  if (!partition.ok()) return Fail(partition.status());
+  prepared.partition = std::move(partition).value();
+  auto series = data::AggregateTrips(clean, prepared.stations,
+                                     prepared.partition, *start, days);
+  if (!series.ok()) return Fail(series.status());
+  data::DatasetOptions dopts;
+  dopts.history_length = static_cast<int>(flags.GetInt("L", 5));
+  dopts.num_windows = static_cast<int>(flags.GetInt("M", 3));
+  dopts.norm_history = dopts.num_windows;
+  auto dataset =
+      data::SlidingWindowDataset::Create(std::move(series).value(), dopts);
+  if (!dataset.ok()) return Fail(dataset.status());
+  prepared.dataset = std::move(dataset).value();
+  auto split = data::MakeChronoSplit(prepared.dataset);
+  if (!split.ok()) return Fail(split.status());
+  prepared.split = *split;
+
+  TrainConfig train;
+  train.epochs = static_cast<int>(flags.GetInt("epochs", 20));
+  train.learning_rate = static_cast<float>(flags.GetDouble("lr", 2e-3));
+  train.seed = flags.GetInt("seed", 7);
+  const std::string scheme = flags.GetString("scheme", "EALGAP");
+  auto model = core::MakeForecaster(scheme, prepared);
+  if (!model.ok()) return Fail(model.status());
+  Status fit = (*model)->Fit(prepared.dataset, prepared.split, train);
+  if (!fit.ok()) return Fail(fit);
+  std::vector<double> pred, truth;
+  Status ps = (*model)->PredictRange(prepared.dataset, prepared.split.test_begin,
+                                     prepared.split.test_end, &pred, &truth);
+  if (!ps.ok()) return Fail(ps);
+  auto metrics = stats::ComputeMetrics(pred, truth);
+  TablePrinter table("test metrics (" + scheme + ")",
+                     {"ER", "MSLE", "R2", "RMSE", "MAE"});
+  table.AddRow({TablePrinter::Num(metrics.er), TablePrinter::Num(metrics.msle),
+                TablePrinter::Num(metrics.r2), TablePrinter::Num(metrics.rmse),
+                TablePrinter::Num(metrics.mae)});
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: ealgap_tool <generate|inspect|evaluate> [flags]\n";
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  ealgap::Flags flags(argc - 1, argv + 1);
+  if (cmd == "generate") return Generate(flags);
+  if (cmd == "inspect") return Inspect(flags);
+  if (cmd == "evaluate") return Evaluate(flags);
+  std::cerr << "unknown subcommand: " << cmd << "\n";
+  return 1;
+}
