@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dropoffs.dir/ext_dropoffs.cpp.o"
+  "CMakeFiles/ext_dropoffs.dir/ext_dropoffs.cpp.o.d"
+  "ext_dropoffs"
+  "ext_dropoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dropoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multistep.dir/ext_multistep.cpp.o"
+  "CMakeFiles/ext_multistep.dir/ext_multistep.cpp.o.d"
+  "ext_multistep"
+  "ext_multistep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multistep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_region_count.dir/ext_region_count.cpp.o"
+  "CMakeFiles/ext_region_count.dir/ext_region_count.cpp.o.d"
+  "ext_region_count"
+  "ext_region_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_region_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

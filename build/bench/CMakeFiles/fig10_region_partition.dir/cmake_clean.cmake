@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_region_partition.dir/fig10_region_partition.cpp.o"
+  "CMakeFiles/fig10_region_partition.dir/fig10_region_partition.cpp.o.d"
+  "fig10_region_partition"
+  "fig10_region_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_region_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

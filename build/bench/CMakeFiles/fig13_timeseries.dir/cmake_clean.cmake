@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_timeseries.dir/fig13_timeseries.cpp.o"
+  "CMakeFiles/fig13_timeseries.dir/fig13_timeseries.cpp.o.d"
+  "fig13_timeseries"
+  "fig13_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_15_heatmaps.cpp" "bench/CMakeFiles/fig14_15_heatmaps.dir/fig14_15_heatmaps.cpp.o" "gcc" "bench/CMakeFiles/fig14_15_heatmaps.dir/fig14_15_heatmaps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ealgap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ealgap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ealgap_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ealgap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ealgap_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ealgap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ealgap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ealgap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_heatmaps.dir/fig14_15_heatmaps.cpp.o"
+  "CMakeFiles/fig14_15_heatmaps.dir/fig14_15_heatmaps.cpp.o.d"
+  "fig14_15_heatmaps"
+  "fig14_15_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

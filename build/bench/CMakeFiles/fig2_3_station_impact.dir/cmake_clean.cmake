@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_3_station_impact.dir/fig2_3_station_impact.cpp.o"
+  "CMakeFiles/fig2_3_station_impact.dir/fig2_3_station_impact.cpp.o.d"
+  "fig2_3_station_impact"
+  "fig2_3_station_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_3_station_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

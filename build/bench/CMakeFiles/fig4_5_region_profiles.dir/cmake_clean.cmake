@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_5_region_profiles.dir/fig4_5_region_profiles.cpp.o"
+  "CMakeFiles/fig4_5_region_profiles.dir/fig4_5_region_profiles.cpp.o.d"
+  "fig4_5_region_profiles"
+  "fig4_5_region_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_region_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

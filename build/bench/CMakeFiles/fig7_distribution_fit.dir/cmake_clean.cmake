@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_distribution_fit.dir/fig7_distribution_fit.cpp.o"
+  "CMakeFiles/fig7_distribution_fit.dir/fig7_distribution_fit.cpp.o.d"
+  "fig7_distribution_fit"
+  "fig7_distribution_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_distribution_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_train_step.dir/micro_train_step.cpp.o"
+  "CMakeFiles/micro_train_step.dir/micro_train_step.cpp.o.d"
+  "micro_train_step"
+  "micro_train_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_train_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nyc_bike.dir/table2_nyc_bike.cpp.o"
+  "CMakeFiles/table2_nyc_bike.dir/table2_nyc_bike.cpp.o.d"
+  "CMakeFiles/table2_nyc_bike.dir/table_common.cc.o"
+  "CMakeFiles/table2_nyc_bike.dir/table_common.cc.o.d"
+  "table2_nyc_bike"
+  "table2_nyc_bike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nyc_bike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

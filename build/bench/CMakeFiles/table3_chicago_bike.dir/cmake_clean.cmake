@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_chicago_bike.dir/table3_chicago_bike.cpp.o"
+  "CMakeFiles/table3_chicago_bike.dir/table3_chicago_bike.cpp.o.d"
+  "CMakeFiles/table3_chicago_bike.dir/table_common.cc.o"
+  "CMakeFiles/table3_chicago_bike.dir/table_common.cc.o.d"
+  "table3_chicago_bike"
+  "table3_chicago_bike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_chicago_bike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_nyc_taxi.dir/table4_nyc_taxi.cpp.o"
+  "CMakeFiles/table4_nyc_taxi.dir/table4_nyc_taxi.cpp.o.d"
+  "CMakeFiles/table4_nyc_taxi.dir/table_common.cc.o"
+  "CMakeFiles/table4_nyc_taxi.dir/table_common.cc.o.d"
+  "table4_nyc_taxi"
+  "table4_nyc_taxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_nyc_taxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

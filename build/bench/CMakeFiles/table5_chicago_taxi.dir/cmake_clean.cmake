@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_chicago_taxi.dir/table5_chicago_taxi.cpp.o"
+  "CMakeFiles/table5_chicago_taxi.dir/table5_chicago_taxi.cpp.o.d"
+  "CMakeFiles/table5_chicago_taxi.dir/table_common.cc.o"
+  "CMakeFiles/table5_chicago_taxi.dir/table_common.cc.o.d"
+  "table5_chicago_taxi"
+  "table5_chicago_taxi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_chicago_taxi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

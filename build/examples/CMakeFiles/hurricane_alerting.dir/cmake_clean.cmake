@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hurricane_alerting.dir/hurricane_alerting.cpp.o"
+  "CMakeFiles/hurricane_alerting.dir/hurricane_alerting.cpp.o.d"
+  "hurricane_alerting"
+  "hurricane_alerting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hurricane_alerting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/arima.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/arima.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/arima.cc.o.d"
+  "/root/repo/src/baselines/chat.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/chat.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/chat.cc.o.d"
+  "/root/repo/src/baselines/evl.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/evl.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/evl.cc.o.d"
+  "/root/repo/src/baselines/forecaster.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/forecaster.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/forecaster.cc.o.d"
+  "/root/repo/src/baselines/historical_average.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/historical_average.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/historical_average.cc.o.d"
+  "/root/repo/src/baselines/neural.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/neural.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/neural.cc.o.d"
+  "/root/repo/src/baselines/recurrent.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/recurrent.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/recurrent.cc.o.d"
+  "/root/repo/src/baselines/st_norm.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/st_norm.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/st_norm.cc.o.d"
+  "/root/repo/src/baselines/st_resnet.cc" "src/baselines/CMakeFiles/ealgap_baselines.dir/st_resnet.cc.o" "gcc" "src/baselines/CMakeFiles/ealgap_baselines.dir/st_resnet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ealgap_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ealgap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ealgap_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ealgap_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ealgap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ealgap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

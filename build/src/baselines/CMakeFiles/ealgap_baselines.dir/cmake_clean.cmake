@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_baselines.dir/arima.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/arima.cc.o.d"
+  "CMakeFiles/ealgap_baselines.dir/chat.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/chat.cc.o.d"
+  "CMakeFiles/ealgap_baselines.dir/evl.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/evl.cc.o.d"
+  "CMakeFiles/ealgap_baselines.dir/forecaster.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/forecaster.cc.o.d"
+  "CMakeFiles/ealgap_baselines.dir/historical_average.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/historical_average.cc.o.d"
+  "CMakeFiles/ealgap_baselines.dir/neural.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/neural.cc.o.d"
+  "CMakeFiles/ealgap_baselines.dir/recurrent.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/recurrent.cc.o.d"
+  "CMakeFiles/ealgap_baselines.dir/st_norm.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/st_norm.cc.o.d"
+  "CMakeFiles/ealgap_baselines.dir/st_resnet.cc.o"
+  "CMakeFiles/ealgap_baselines.dir/st_resnet.cc.o.d"
+  "libealgap_baselines.a"
+  "libealgap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

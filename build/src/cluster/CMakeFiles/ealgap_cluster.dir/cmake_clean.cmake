@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_cluster.dir/dbscan.cc.o"
+  "CMakeFiles/ealgap_cluster.dir/dbscan.cc.o.d"
+  "CMakeFiles/ealgap_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/ealgap_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/ealgap_cluster.dir/optics.cc.o"
+  "CMakeFiles/ealgap_cluster.dir/optics.cc.o.d"
+  "CMakeFiles/ealgap_cluster.dir/silhouette.cc.o"
+  "CMakeFiles/ealgap_cluster.dir/silhouette.cc.o.d"
+  "libealgap_cluster.a"
+  "libealgap_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_common.dir/csv.cc.o"
+  "CMakeFiles/ealgap_common.dir/csv.cc.o.d"
+  "CMakeFiles/ealgap_common.dir/flags.cc.o"
+  "CMakeFiles/ealgap_common.dir/flags.cc.o.d"
+  "CMakeFiles/ealgap_common.dir/logging.cc.o"
+  "CMakeFiles/ealgap_common.dir/logging.cc.o.d"
+  "CMakeFiles/ealgap_common.dir/rng.cc.o"
+  "CMakeFiles/ealgap_common.dir/rng.cc.o.d"
+  "CMakeFiles/ealgap_common.dir/status.cc.o"
+  "CMakeFiles/ealgap_common.dir/status.cc.o.d"
+  "CMakeFiles/ealgap_common.dir/table_printer.cc.o"
+  "CMakeFiles/ealgap_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/ealgap_common.dir/time_util.cc.o"
+  "CMakeFiles/ealgap_common.dir/time_util.cc.o.d"
+  "libealgap_common.a"
+  "libealgap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

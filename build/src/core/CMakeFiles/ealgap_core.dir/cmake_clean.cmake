@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_core.dir/ealgap.cc.o"
+  "CMakeFiles/ealgap_core.dir/ealgap.cc.o.d"
+  "CMakeFiles/ealgap_core.dir/experiment.cc.o"
+  "CMakeFiles/ealgap_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ealgap_core.dir/extreme_degree.cc.o"
+  "CMakeFiles/ealgap_core.dir/extreme_degree.cc.o.d"
+  "CMakeFiles/ealgap_core.dir/global_impact.cc.o"
+  "CMakeFiles/ealgap_core.dir/global_impact.cc.o.d"
+  "CMakeFiles/ealgap_core.dir/rollout.cc.o"
+  "CMakeFiles/ealgap_core.dir/rollout.cc.o.d"
+  "libealgap_core.a"
+  "libealgap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

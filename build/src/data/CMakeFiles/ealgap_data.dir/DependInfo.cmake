@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/aggregate.cc" "src/data/CMakeFiles/ealgap_data.dir/aggregate.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/aggregate.cc.o.d"
+  "/root/repo/src/data/cleaning.cc" "src/data/CMakeFiles/ealgap_data.dir/cleaning.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/cleaning.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/ealgap_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_configs.cc" "src/data/CMakeFiles/ealgap_data.dir/dataset_configs.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/dataset_configs.cc.o.d"
+  "/root/repo/src/data/event.cc" "src/data/CMakeFiles/ealgap_data.dir/event.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/event.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/data/CMakeFiles/ealgap_data.dir/partition.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/partition.cc.o.d"
+  "/root/repo/src/data/scaler.cc" "src/data/CMakeFiles/ealgap_data.dir/scaler.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/scaler.cc.o.d"
+  "/root/repo/src/data/synthetic_city.cc" "src/data/CMakeFiles/ealgap_data.dir/synthetic_city.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/synthetic_city.cc.o.d"
+  "/root/repo/src/data/trip.cc" "src/data/CMakeFiles/ealgap_data.dir/trip.cc.o" "gcc" "src/data/CMakeFiles/ealgap_data.dir/trip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ealgap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ealgap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ealgap_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_data.dir/aggregate.cc.o"
+  "CMakeFiles/ealgap_data.dir/aggregate.cc.o.d"
+  "CMakeFiles/ealgap_data.dir/cleaning.cc.o"
+  "CMakeFiles/ealgap_data.dir/cleaning.cc.o.d"
+  "CMakeFiles/ealgap_data.dir/dataset.cc.o"
+  "CMakeFiles/ealgap_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ealgap_data.dir/dataset_configs.cc.o"
+  "CMakeFiles/ealgap_data.dir/dataset_configs.cc.o.d"
+  "CMakeFiles/ealgap_data.dir/event.cc.o"
+  "CMakeFiles/ealgap_data.dir/event.cc.o.d"
+  "CMakeFiles/ealgap_data.dir/partition.cc.o"
+  "CMakeFiles/ealgap_data.dir/partition.cc.o.d"
+  "CMakeFiles/ealgap_data.dir/scaler.cc.o"
+  "CMakeFiles/ealgap_data.dir/scaler.cc.o.d"
+  "CMakeFiles/ealgap_data.dir/synthetic_city.cc.o"
+  "CMakeFiles/ealgap_data.dir/synthetic_city.cc.o.d"
+  "CMakeFiles/ealgap_data.dir/trip.cc.o"
+  "CMakeFiles/ealgap_data.dir/trip.cc.o.d"
+  "libealgap_data.a"
+  "libealgap_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libealgap_data.a"
+)

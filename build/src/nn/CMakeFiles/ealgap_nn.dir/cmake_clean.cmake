@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_nn.dir/conv2d.cc.o"
+  "CMakeFiles/ealgap_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/ealgap_nn.dir/dropout.cc.o"
+  "CMakeFiles/ealgap_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/ealgap_nn.dir/init.cc.o"
+  "CMakeFiles/ealgap_nn.dir/init.cc.o.d"
+  "CMakeFiles/ealgap_nn.dir/linear.cc.o"
+  "CMakeFiles/ealgap_nn.dir/linear.cc.o.d"
+  "CMakeFiles/ealgap_nn.dir/loss.cc.o"
+  "CMakeFiles/ealgap_nn.dir/loss.cc.o.d"
+  "CMakeFiles/ealgap_nn.dir/module.cc.o"
+  "CMakeFiles/ealgap_nn.dir/module.cc.o.d"
+  "CMakeFiles/ealgap_nn.dir/optimizer.cc.o"
+  "CMakeFiles/ealgap_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/ealgap_nn.dir/rnn_cells.cc.o"
+  "CMakeFiles/ealgap_nn.dir/rnn_cells.cc.o.d"
+  "CMakeFiles/ealgap_nn.dir/serialize.cc.o"
+  "CMakeFiles/ealgap_nn.dir/serialize.cc.o.d"
+  "libealgap_nn.a"
+  "libealgap_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

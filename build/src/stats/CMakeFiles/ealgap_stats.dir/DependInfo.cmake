@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/ealgap_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/ealgap_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distribution.cc" "src/stats/CMakeFiles/ealgap_stats.dir/distribution.cc.o" "gcc" "src/stats/CMakeFiles/ealgap_stats.dir/distribution.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/ealgap_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/ealgap_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/stats/CMakeFiles/ealgap_stats.dir/metrics.cc.o" "gcc" "src/stats/CMakeFiles/ealgap_stats.dir/metrics.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/stats/CMakeFiles/ealgap_stats.dir/timeseries.cc.o" "gcc" "src/stats/CMakeFiles/ealgap_stats.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ealgap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ealgap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ealgap_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ealgap_stats.dir/distribution.cc.o"
+  "CMakeFiles/ealgap_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/ealgap_stats.dir/histogram.cc.o"
+  "CMakeFiles/ealgap_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ealgap_stats.dir/metrics.cc.o"
+  "CMakeFiles/ealgap_stats.dir/metrics.cc.o.d"
+  "CMakeFiles/ealgap_stats.dir/timeseries.cc.o"
+  "CMakeFiles/ealgap_stats.dir/timeseries.cc.o.d"
+  "libealgap_stats.a"
+  "libealgap_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_tensor.dir/autograd.cc.o"
+  "CMakeFiles/ealgap_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/ealgap_tensor.dir/ops.cc.o"
+  "CMakeFiles/ealgap_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/ealgap_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ealgap_tensor.dir/tensor.cc.o.d"
+  "libealgap_tensor.a"
+  "libealgap_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_test.dir/ealgap_test.cc.o"
+  "CMakeFiles/ealgap_test.dir/ealgap_test.cc.o.d"
+  "ealgap_test"
+  "ealgap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ealgap_tool.dir/ealgap_tool.cpp.o"
+  "CMakeFiles/ealgap_tool.dir/ealgap_tool.cpp.o.d"
+  "ealgap_tool"
+  "ealgap_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ealgap_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
