@@ -5,6 +5,7 @@
 
 #include "cluster/kmeans.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/linear.h"
 #include "nn/rnn_cells.h"
 #include "stats/distribution.h"
@@ -14,6 +15,18 @@
 namespace {
 
 using namespace ealgap;
+
+/// Pins the pool size for one benchmark run, restoring it afterwards. The
+/// *Threads benches sweep 1/2/4/8 so BENCH_tensor_ops.json records the
+/// scaling curve of each kernel.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(GetNumThreads()) { SetNumThreads(n); }
+  ~ScopedThreads() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -26,6 +39,79 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulThreads(benchmark::State& state) {
+  const int64_t n = 128;
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BMatMulThreads(benchmark::State& state) {
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  // Attention-shaped batch: many small per-region matrices.
+  Tensor a = Tensor::Randn({64, 24, 24}, rng);
+  Tensor b = Tensor::Randn({64, 24, 24}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::BMatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 24 * 24 * 24);
+}
+BENCHMARK(BM_BMatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ElementwiseAddThreads(benchmark::State& state) {
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({1 << 20}, rng);
+  Tensor b = Tensor::Randn({1 << 20}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_ElementwiseAddThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BroadcastAddThreads(benchmark::State& state) {
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  // Exercises the strided-row broadcast path (b constant per row block).
+  Tensor a = Tensor::Randn({128, 128, 64}, rng);
+  Tensor b = Tensor::Randn({128, 1, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 64);
+}
+BENCHMARK(BM_BroadcastAddThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SumAxisThreads(benchmark::State& state) {
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({512, 64, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::SumAxis(a, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * 64 * 32);
+}
+BENCHMARK(BM_SumAxisThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SoftmaxThreads(benchmark::State& state) {
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({4096, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::SoftmaxLastDim(a));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096 * 64);
+}
+BENCHMARK(BM_SoftmaxThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_BatchedMatMul(benchmark::State& state) {
   Rng rng(1);

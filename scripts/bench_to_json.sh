@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the tensor-op microbenchmarks with google-benchmark's JSON reporter
+# and records the result as BENCH_tensor_ops.json at the repo root, so the
+# perf trajectory of the compute substrate is tracked in-tree PR over PR.
+#
+# Usage: scripts/bench_to_json.sh [out.json]
+#   BUILD_DIR=<dir>  build directory (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_tensor_ops.json}"
+BIN="$BUILD_DIR/bench/micro_tensor_ops"
+
+if [[ ! -x "$BIN" ]]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" --target micro_tensor_ops -j
+fi
+
+"$BIN" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "Wrote $OUT"

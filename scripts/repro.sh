@@ -17,6 +17,16 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Thread-sanitizer pass over the parallel substrate: the pool itself plus
+# the tensor kernels that run on it, with more threads than cores to force
+# interleavings.
+cmake -B build-tsan -G Ninja -DEALGAP_SANITIZE=thread
+cmake --build build-tsan --target thread_pool_test ops_parallel_test tensor_test
+for t in thread_pool_test ops_parallel_test tensor_test; do
+  echo "===== TSan: $t ====="
+  EALGAP_NUM_THREADS=4 "./build-tsan/tests/$t"
+done
+
 (for b in build/bench/*; do
   [[ -x "$b" && -f "$b" ]] || continue
   echo "===== $b ====="

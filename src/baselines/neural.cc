@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/loss.h"
 #include "nn/serialize.h"
 
@@ -50,19 +51,30 @@ Tensor NeuralForecaster::StackTargets(
 double NeuralForecaster::EvaluateLoss(const data::SlidingWindowDataset& dataset,
                                       const std::vector<int64_t>& steps,
                                       int batch_size) {
-  NoGradGuard no_grad;
+  if (steps.empty()) return 0.0;
+  // Evaluation batches are independent: forward passes read only const
+  // model parameters (grad recording is off, a thread-local flag), so they
+  // fan out across the pool. Per-batch losses land in slots indexed by
+  // batch and are combined in batch order, keeping the result identical to
+  // the serial loop for any thread count.
+  const size_t bs = static_cast<size_t>(batch_size);
+  const int64_t nbatches = static_cast<int64_t>((steps.size() + bs - 1) / bs);
+  std::vector<double> batch_total(nbatches, 0.0);
+  ParallelFor(0, nbatches, 1, [&](int64_t b0, int64_t b1) {
+    NoGradGuard no_grad;
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      const size_t begin = static_cast<size_t>(bi) * bs;
+      const size_t end = std::min(steps.size(), begin + bs);
+      auto batch = MakeBatch(dataset, steps, begin, end);
+      Var pred = ForwardBatch(batch);
+      Tensor scaled = ScaleTargets(StackTargets(batch));
+      Var loss = ComputeLoss(pred, scaled);
+      batch_total[bi] = loss.value().data()[0] * static_cast<double>(end - begin);
+    }
+  });
   double total = 0.0;
-  int64_t count = 0;
-  for (size_t i = 0; i < steps.size(); i += batch_size) {
-    const size_t end = std::min(steps.size(), i + batch_size);
-    auto batch = MakeBatch(dataset, steps, i, end);
-    Var pred = ForwardBatch(batch);
-    Tensor scaled = ScaleTargets(StackTargets(batch));
-    Var loss = ComputeLoss(pred, scaled);
-    total += loss.value().data()[0] * static_cast<double>(end - i);
-    count += static_cast<int64_t>(end - i);
-  }
-  return count > 0 ? total / static_cast<double>(count) : 0.0;
+  for (double v : batch_total) total += v;
+  return total / static_cast<double>(steps.size());
 }
 
 Status NeuralForecaster::Fit(const data::SlidingWindowDataset& dataset,

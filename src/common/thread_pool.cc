@@ -1,0 +1,185 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ealgap {
+namespace {
+
+thread_local bool t_in_parallel = false;
+
+int InitialThreads() {
+  if (const char* env = std::getenv("EALGAP_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// One dispatched ParallelFor: workers and the caller claim task indices
+/// with an atomic counter. Heap-held via shared_ptr so a worker that wakes
+/// late and observes an already-finished job never touches freed memory.
+struct Job {
+  const std::function<void(int)>* fn = nullptr;
+  int ntasks = 0;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+};
+
+class Pool {
+ public:
+  static Pool& Instance() {
+    // Leaked intentionally: worker threads must never outlive the pool, and
+    // static destruction order across translation units is unknowable.
+    static Pool* pool = new Pool();
+    return *pool;
+  }
+
+  int num_threads() const { return num_threads_.load(std::memory_order_acquire); }
+
+  void Resize(int n) {
+    n = std::max(n, 1);
+    // Resizing from inside a chunk would self-deadlock on run_mu_; refuse.
+    if (t_in_parallel) return;
+    std::lock_guard<std::mutex> resize_lock(resize_mu_);
+    if (n == num_threads()) return;
+    // Drain any in-flight dispatch before touching the workers.
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    StopWorkers();
+    num_threads_.store(n, std::memory_order_release);
+    StartWorkers();
+  }
+
+  /// Runs fn(i) for every i in [0, ntasks), the caller participating.
+  /// Returns false without running anything when another dispatch is in
+  /// flight (concurrent caller); the caller then falls back to serial.
+  bool TryRun(int ntasks, const std::function<void(int)>& fn) {
+    std::unique_lock<std::mutex> run_lock(run_mu_, std::try_to_lock);
+    if (!run_lock.owns_lock()) return false;
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->ntasks = ntasks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+      ++seq_;
+    }
+    work_cv_.notify_all();
+    RunTasks(*job);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) >= job->ntasks;
+      });
+      job_.reset();
+    }
+    return true;
+  }
+
+ private:
+  Pool() : num_threads_(InitialThreads()) { StartWorkers(); }
+
+  void StartWorkers() {
+    // The dispatching caller counts as one executor.
+    for (int i = 0; i < num_threads() - 1; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = false;
+  }
+
+  void WorkerLoop() {
+    uint64_t last_seq = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          return shutdown_ || (job_ != nullptr && seq_ != last_seq);
+        });
+        if (shutdown_) return;
+        last_seq = seq_;
+        job = job_;
+      }
+      RunTasks(*job);
+    }
+  }
+
+  void RunTasks(Job& job) {
+    t_in_parallel = true;
+    for (;;) {
+      const int i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.ntasks) break;
+      (*job.fn)(i);
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.ntasks) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+    t_in_parallel = false;
+  }
+
+  std::mutex resize_mu_;  // serializes Resize calls
+  std::mutex run_mu_;     // one dispatch at a time; Resize drains through it
+  std::mutex mu_;         // guards job_, seq_, shutdown_, and both cvs
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  uint64_t seq_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<int> num_threads_{1};
+};
+
+}  // namespace
+
+int GetNumThreads() { return Pool::Instance().num_threads(); }
+
+void SetNumThreads(int n) { Pool::Instance().Resize(n); }
+
+bool InParallelRegion() { return t_in_parallel; }
+
+namespace internal {
+
+bool ShouldParallelize(int64_t n, int64_t grain) {
+  // Nested calls must not touch pool state at all.
+  if (t_in_parallel) return false;
+  return Pool::Instance().num_threads() > 1 && n >= 2 * grain;
+}
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  Pool& pool = Pool::Instance();
+  const int64_t n = end - begin;
+  const int nt = pool.num_threads();
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int nchunks = static_cast<int>(std::min<int64_t>(nt, max_chunks));
+  const int64_t chunk = (n + nchunks - 1) / nchunks;
+  const auto task = [&](int c) {
+    const int64_t b = begin + c * chunk;
+    const int64_t e = std::min(end, b + chunk);
+    if (b < e) fn(b, e);
+  };
+  if (!pool.TryRun(nchunks, task)) fn(begin, end);
+}
+
+}  // namespace internal
+
+}  // namespace ealgap

@@ -1,0 +1,59 @@
+#ifndef EALGAP_COMMON_THREAD_POOL_H_
+#define EALGAP_COMMON_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace ealgap {
+
+/// Process-wide worker-pool size. Initialized on first use from the
+/// EALGAP_NUM_THREADS environment variable, falling back to
+/// std::thread::hardware_concurrency().
+int GetNumThreads();
+
+/// Resizes the process-wide pool; n < 1 is clamped to 1 (fully serial).
+void SetNumThreads(int n);
+
+/// True when the calling thread is already executing inside a ParallelFor
+/// chunk (on a worker or on a participating caller). Nested ParallelFor
+/// calls from such a thread run serially.
+bool InParallelRegion();
+
+namespace internal {
+/// True when [0, n) with the given grain should be split across the pool:
+/// more than one thread, n >= 2 * grain, and not already inside a chunk.
+bool ShouldParallelize(int64_t n, int64_t grain);
+/// Type-erased dispatch; only reached when ShouldParallelize said yes.
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn);
+}  // namespace internal
+
+/// Runs fn(chunk_begin, chunk_end) over a static contiguous partition of
+/// [begin, end), blocking until every chunk has run.
+///
+/// Contract:
+///  - Chunks are contiguous, in order, and cover [begin, end) exactly once.
+///  - When end - begin < 2 * grain, the pool has one thread, or the caller
+///    is already inside a parallel region, fn(begin, end) runs inline on the
+///    calling thread — small ranges pay zero threading overhead (no
+///    std::function erasure, no pool traffic) and nested parallelism
+///    degrades to serial instead of deadlocking.
+///  - Chunk boundaries depend on the pool size, so callers must not let the
+///    *value* of an output depend on the split: write each output element
+///    from exactly one index, and for reductions combine fixed-size blocks
+///    in index order (see ops::SumAll for the idiom).
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (!internal::ShouldParallelize(n, grain)) {
+    fn(begin, end);
+    return;
+  }
+  internal::ParallelForImpl(begin, end, grain, fn);
+}
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_THREAD_POOL_H_

@@ -2,8 +2,16 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+
 namespace ealgap {
 namespace nn {
+
+namespace {
+// Optimizer updates are elementwise; chunks below this stay serial.
+constexpr int64_t kStepGrain = 1 << 12;
+}  // namespace
 
 void Optimizer::ZeroGrad() {
   for (Var& p : params_) p.ZeroGrad();
@@ -31,12 +39,16 @@ void Sgd::Step() {
     const int64_t n = w.numel();
     if (momentum_ != 0.f) {
       float* pv = velocity_[i].data();
-      for (int64_t j = 0; j < n; ++j) {
-        pv[j] = momentum_ * pv[j] + pg[j];
-        pw[j] -= lr_ * pv[j];
-      }
+      ParallelFor(0, n, kStepGrain, [&](int64_t j0, int64_t j1) {
+        for (int64_t j = j0; j < j1; ++j) {
+          pv[j] = momentum_ * pv[j] + pg[j];
+          pw[j] -= lr_ * pv[j];
+        }
+      });
     } else {
-      for (int64_t j = 0; j < n; ++j) pw[j] -= lr_ * pg[j];
+      ParallelFor(0, n, kStepGrain, [&](int64_t j0, int64_t j1) {
+        for (int64_t j = j0; j < j1; ++j) pw[j] -= lr_ * pg[j];
+      });
     }
   }
 }
@@ -69,27 +81,25 @@ void Adam::Step() {
     float* pm = m_[i].data();
     float* pv = v_[i].data();
     const int64_t n = w.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      pm[j] = beta1_ * pm[j] + (1.f - beta1_) * pg[j];
-      pv[j] = beta2_ * pv[j] + (1.f - beta2_) * pg[j] * pg[j];
-      const float mhat = pm[j] / bc1;
-      const float vhat = pv[j] / bc2;
-      pw[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    ParallelFor(0, n, kStepGrain, [&](int64_t j0, int64_t j1) {
+      for (int64_t j = j0; j < j1; ++j) {
+        pm[j] = beta1_ * pm[j] + (1.f - beta1_) * pg[j];
+        pv[j] = beta2_ * pv[j] + (1.f - beta2_) * pg[j] * pg[j];
+        const float mhat = pm[j] / bc1;
+        const float vhat = pv[j] / bc2;
+        pw[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    });
   }
 }
 
 float ClipGradNorm(std::vector<Var>& params, float max_norm) {
   double total = 0.0;
-  for (Var& p : params) {
-    const Tensor& g = p.grad();
-    const float* pg = g.data();
-    for (int64_t j = 0; j < g.numel(); ++j) total += double(pg[j]) * pg[j];
-  }
+  for (Var& p : params) total += ops::SumSquares(p.grad());
   const float norm = static_cast<float>(std::sqrt(total));
   if (norm > max_norm && norm > 0.f) {
     const float scale = max_norm / norm;
-    for (Var& p : params) p.grad().ScaleInPlace(scale);
+    for (Var& p : params) ops::ScaleInPlace(p.grad(), scale);
   }
   return norm;
 }

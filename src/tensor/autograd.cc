@@ -11,18 +11,35 @@ namespace autograd {
 
 void Node::AccumulateGrad(const Tensor& g) {
   if (!requires_grad) return;
+  if (g.SameShape(value)) {
+    // Hot path: no broadcast to undo. Reuse the existing gradient buffer;
+    // the first accumulation copies instead of zero-fill + add.
+    if (!grad.defined()) {
+      grad = Tensor(value.shape());
+      grad.CopyFrom(g);
+    } else {
+      ops::AddInPlace(grad, g);
+    }
+    return;
+  }
+  // ReduceToShape goes through SumAxis here (shapes differ), so `reduced`
+  // is freshly allocated and safe to adopt as the gradient buffer.
   Tensor reduced = ops::ReduceToShape(g, value.shape());
   if (!grad.defined()) {
-    grad = Tensor::Zeros(value.shape());
+    grad = std::move(reduced);
+  } else {
+    ops::AddInPlace(grad, reduced);
   }
-  grad.AddInPlace(reduced);
 }
 
 }  // namespace autograd
 
 namespace {
 
-bool g_grad_enabled = true;
+// Thread-local so independent evaluation threads (see
+// NeuralForecaster::EvaluateLoss) can each hold a NoGradGuard without
+// racing on a shared flag.
+thread_local bool g_grad_enabled = true;
 
 using NodePtr = std::shared_ptr<autograd::Node>;
 

@@ -2,14 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace ealgap {
 namespace ops {
 
 namespace {
+
+/// Elementwise kernels split into chunks of at least this many elements;
+/// anything smaller runs serially with zero threading overhead.
+constexpr int64_t kElemGrain = 1 << 12;
+
+/// MatMul-family kernels parallelize only when one chunk carries at least
+/// this many multiply-adds.
+constexpr int64_t kMatMulGrainOps = 1 << 15;
+
+/// Fixed reduction block size. Chunk boundaries of reductions must NOT
+/// depend on the thread count, or results would change with it; partial
+/// sums over these fixed blocks are combined in block order.
+constexpr int64_t kReduceBlock = 1 << 14;
 
 // Applies `f` elementwise over the broadcast of a and b.
 template <typename F>
@@ -19,49 +34,79 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, F f) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = out.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    ParallelFor(0, out.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
+    });
     return out;
   }
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
   Tensor out(out_shape);
   const int64_t rank = out.ndim();
-  // Right-aligned shapes/strides for a and b.
-  std::vector<int64_t> sa(rank, 1), sb(rank, 1);  // dim sizes
-  std::vector<int64_t> ta(rank, 0), tb(rank, 0);  // strides (0 = broadcast)
-  {
-    int64_t stride = 1;
-    for (int64_t i = a.ndim() - 1, j = rank - 1; i >= 0; --i, --j) {
-      sa[j] = a.shape()[i];
-      ta[j] = sa[j] == 1 ? 0 : stride;
-      stride *= sa[j];
-    }
-    stride = 1;
-    for (int64_t i = b.ndim() - 1, j = rank - 1; i >= 0; --i, --j) {
-      sb[j] = b.shape()[i];
-      tb[j] = sb[j] == 1 ? 0 : stride;
-      stride *= sb[j];
-    }
-  }
-  std::vector<int64_t> idx(rank, 0);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  const int64_t n = out.numel();
-  int64_t oa = 0, ob = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = f(pa[oa], pb[ob]);
-    // Increment the multi-index (row-major) and the two offsets.
-    for (int64_t d = rank - 1; d >= 0; --d) {
-      ++idx[d];
-      oa += ta[d];
-      ob += tb[d];
-      if (idx[d] < out_shape[d]) break;
-      idx[d] = 0;
-      oa -= ta[d] * out_shape[d];
-      ob -= tb[d] * out_shape[d];
+  if (rank == 0) {  // two rank-0 scalars
+    po[0] = f(pa[0], pb[0]);
+    return out;
+  }
+  // Right-aligned strides for a and b (0 = broadcast along that dim).
+  std::vector<int64_t> ta(rank, 0), tb(rank, 0);
+  {
+    int64_t stride = 1;
+    for (int64_t i = a.ndim() - 1, j = rank - 1; i >= 0; --i, --j) {
+      ta[j] = a.shape()[i] == 1 ? 0 : stride;
+      stride *= a.shape()[i];
+    }
+    stride = 1;
+    for (int64_t i = b.ndim() - 1, j = rank - 1; i >= 0; --i, --j) {
+      tb[j] = b.shape()[i] == 1 ? 0 : stride;
+      stride *= b.shape()[i];
     }
   }
+  // The innermost dim is contiguous (stride 1) or broadcast (stride 0) for
+  // both inputs, so each output row is a plain inner loop; the multi-index
+  // bookkeeping only ever walks the outer dims, once per row.
+  const int64_t inner = out_shape[rank - 1];
+  const int64_t rows = out.numel() / inner;
+  const int64_t sa = ta[rank - 1], sb = tb[rank - 1];
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / inner);
+  ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+    // Seed the outer multi-index and input offsets for row r0.
+    std::vector<int64_t> idx(rank - 1, 0);
+    int64_t oa = 0, ob = 0;
+    for (int64_t d = rank - 2, rem = r0; d >= 0; --d) {
+      idx[d] = rem % out_shape[d];
+      rem /= out_shape[d];
+      oa += idx[d] * ta[d];
+      ob += idx[d] * tb[d];
+    }
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* ra = pa + oa;
+      const float* rb = pb + ob;
+      float* ro = po + r * inner;
+      if (sa == 1 && sb == 1) {
+        for (int64_t j = 0; j < inner; ++j) ro[j] = f(ra[j], rb[j]);
+      } else if (sa == 1) {  // b constant along the inner dim
+        const float bv = rb[0];
+        for (int64_t j = 0; j < inner; ++j) ro[j] = f(ra[j], bv);
+      } else if (sb == 1) {  // a constant along the inner dim
+        const float av = ra[0];
+        for (int64_t j = 0; j < inner; ++j) ro[j] = f(av, rb[j]);
+      } else {  // both broadcast => inner == 1
+        for (int64_t j = 0; j < inner; ++j) ro[j] = f(ra[0], rb[0]);
+      }
+      // Advance the outer multi-index (row-major) and the two offsets.
+      for (int64_t d = rank - 2; d >= 0; --d) {
+        ++idx[d];
+        oa += ta[d];
+        ob += tb[d];
+        if (idx[d] < out_shape[d]) break;
+        idx[d] = 0;
+        oa -= ta[d] * out_shape[d];
+        ob -= tb[d] * out_shape[d];
+      }
+    }
+  });
   return out;
 }
 
@@ -70,9 +115,63 @@ Tensor Unary(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i]);
+  });
   return out;
+}
+
+/// Computes rows [i0, i1) of the (m,k)x(k,n) product into po. i-k-j order
+/// with the k loop unrolled by 4 (register-held A values) over column
+/// blocks sized to keep the touched B panel cache-resident. Every output
+/// row is produced by exactly one chunk with a fixed accumulation order, so
+/// results are bit-identical for any thread count.
+void MatMulRows(const float* pa, const float* pb, float* po, int64_t i0,
+                int64_t i1, int64_t k, int64_t n) {
+  constexpr int64_t kColBlock = 256;
+  for (int64_t j0 = 0; j0 < n; j0 += kColBlock) {
+    const int64_t j1 = std::min(n, j0 + kColBlock);
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = pa + i * k;
+      float* orow = po + i * n;
+      int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float a0 = arow[p + 0], a1 = arow[p + 1];
+        const float a2 = arow[p + 2], a3 = arow[p + 3];
+        const float* b0 = pb + (p + 0) * n;
+        const float* b1 = pb + (p + 1) * n;
+        const float* b2 = pb + (p + 2) * n;
+        const float* b3 = pb + (p + 3) * n;
+        for (int64_t j = j0; j < j1; ++j) {
+          orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+      }
+      for (; p < k; ++p) {
+        const float av = arow[p];
+        const float* brow = pb + p * n;
+        for (int64_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+/// Deterministic parallel reduction: partial results over fixed-size blocks
+/// (independent of the thread count), combined in block order.
+template <typename BlockFn>
+double BlockedReduce(int64_t n, BlockFn block_sum) {
+  if (n <= 0) return 0.0;
+  const int64_t nblocks = (n + kReduceBlock - 1) / kReduceBlock;
+  if (nblocks <= 1 || InParallelRegion()) return block_sum(0, n);
+  std::vector<double> partial(nblocks, 0.0);
+  ParallelFor(0, nblocks, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t b = c * kReduceBlock;
+      partial[c] = block_sum(b, std::min(n, b + kReduceBlock));
+    }
+  });
+  double acc = 0.0;
+  for (double v : partial) acc += v;
+  return acc;
 }
 
 }  // namespace
@@ -137,6 +236,42 @@ Tensor Sign(const Tensor& a) {
   return Unary(a, [](float x) { return x > 0.f ? 1.f : (x < 0.f ? -1.f : 0.f); });
 }
 
+void AddInPlace(Tensor& a, const Tensor& b) {
+  EALGAP_CHECK(a.SameShape(b))
+      << ShapeToString(a.shape()) << " += " << ShapeToString(b.shape());
+  float* pa = a.data();
+  const float* pb = b.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) pa[i] += pb[i];
+  });
+}
+
+void AxpyInPlace(Tensor& a, float alpha, const Tensor& b) {
+  EALGAP_CHECK(a.SameShape(b))
+      << ShapeToString(a.shape()) << " += a*" << ShapeToString(b.shape());
+  float* pa = a.data();
+  const float* pb = b.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) pa[i] += alpha * pb[i];
+  });
+}
+
+void ScaleInPlace(Tensor& a, float s) {
+  float* pa = a.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) pa[i] *= s;
+  });
+}
+
+double SumSquares(const Tensor& a) {
+  const float* p = a.data();
+  return BlockedReduce(a.numel(), [p](int64_t b, int64_t e) {
+    double acc = 0.0;
+    for (int64_t i = b; i < e; ++i) acc += double(p[i]) * p[i];
+    return acc;
+  });
+}
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   EALGAP_CHECK_EQ(a.ndim(), 2);
   EALGAP_CHECK_EQ(b.ndim(), 2);
@@ -147,15 +282,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.f) continue;
-      const float* brow = pb + p * n;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  const int64_t row_ops = std::max<int64_t>(1, k * n);
+  const int64_t grain = std::max<int64_t>(1, kMatMulGrainOps / row_ops);
+  ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
+    MatMulRows(pa, pb, po, i0, i1, k, n);
+  });
   return out;
 }
 
@@ -170,20 +301,20 @@ Tensor BMatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t s = 0; s < bs; ++s) {
-    const float* sa = pa + s * m * k;
-    const float* sb = pb + s * k * n;
-    float* so = po + s * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = sa[i * k + p];
-        if (av == 0.f) continue;
-        const float* brow = sb + p * n;
-        float* orow = so + i * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
+  // Parallel over the flattened (batch, row) space so a few large matrices
+  // and many small ones both split well.
+  const int64_t row_ops = std::max<int64_t>(1, k * n);
+  const int64_t grain = std::max<int64_t>(1, kMatMulGrainOps / row_ops);
+  ParallelFor(0, bs * m, grain, [&](int64_t r0, int64_t r1) {
+    int64_t r = r0;
+    while (r < r1) {
+      const int64_t s = r / m;
+      const int64_t i = r % m;
+      const int64_t i1 = std::min(m, i + (r1 - r));
+      MatMulRows(pa + s * m * k, pb + s * k * n, po + s * m * n, i, i1, k, n);
+      r += i1 - i;
     }
-  }
+  });
   return out;
 }
 
@@ -196,20 +327,26 @@ Tensor TransposeLast2(const Tensor& a) {
   const int64_t batch = a.numel() / (r * c);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t s = 0; s < batch; ++s) {
-    const float* sa = pa + s * r * c;
-    float* so = po + s * r * c;
-    for (int64_t i = 0; i < r; ++i) {
-      for (int64_t j = 0; j < c; ++j) so[j * r + i] = sa[i * c + j];
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / (r * c));
+  ParallelFor(0, batch, grain, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s) {
+      const float* sa = pa + s * r * c;
+      float* so = po + s * r * c;
+      for (int64_t i = 0; i < r; ++i) {
+        for (int64_t j = 0; j < c; ++j) so[j * r + i] = sa[i * c + j];
+      }
     }
-  }
+  });
   return out;
 }
 
 Tensor SumAll(const Tensor& a) {
-  double acc = 0.0;
   const float* p = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  const double acc = BlockedReduce(a.numel(), [p](int64_t b, int64_t e) {
+    double s = 0.0;
+    for (int64_t i = b; i < e; ++i) s += p[i];
+    return s;
+  });
   return Tensor::Scalar(static_cast<float>(acc));
 }
 
@@ -223,8 +360,21 @@ Tensor MeanAll(const Tensor& a) {
 Tensor MaxAll(const Tensor& a) {
   EALGAP_CHECK_GT(a.numel(), 0);
   const float* p = a.data();
-  float m = p[0];
-  for (int64_t i = 1; i < a.numel(); ++i) m = std::max(m, p[i]);
+  // Max is insensitive to the combine order, so fixed blocks + ordered
+  // combine keeps it bit-stable across thread counts like the sums.
+  const int64_t n = a.numel();
+  const int64_t nblocks = (n + kReduceBlock - 1) / kReduceBlock;
+  std::vector<float> partial(nblocks, p[0]);
+  ParallelFor(0, nblocks, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t e = std::min(n, (c + 1) * kReduceBlock);
+      float m = p[c * kReduceBlock];
+      for (int64_t i = c * kReduceBlock + 1; i < e; ++i) m = std::max(m, p[i]);
+      partial[c] = m;
+    }
+  });
+  float m = partial[0];
+  for (float v : partial) m = std::max(m, v);
   return Tensor::Scalar(m);
 }
 
@@ -254,13 +404,18 @@ Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t k = 0; k < n; ++k) {
-      const float* src = pa + (o * n + k) * inner;
+  // Each output segment [o*inner, (o+1)*inner) is owned by one chunk and
+  // accumulated in fixed k order: deterministic for any thread count.
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / (n * inner));
+  ParallelFor(0, outer, grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
       float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      for (int64_t k = 0; k < n; ++k) {
+        const float* src = pa + (o * n + k) * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -278,19 +433,22 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* src = pa + r * n;
-    float* dst = po + r * n;
-    float mx = src[0];
-    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, src[i]);
-    float denom = 0.f;
-    for (int64_t i = 0; i < n; ++i) {
-      dst[i] = std::exp(src[i] - mx);
-      denom += dst[i];
+  const int64_t grain = std::max<int64_t>(1, kElemGrain / n);
+  ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* src = pa + r * n;
+      float* dst = po + r * n;
+      float mx = src[0];
+      for (int64_t i = 1; i < n; ++i) mx = std::max(mx, src[i]);
+      float denom = 0.f;
+      for (int64_t i = 0; i < n; ++i) {
+        dst[i] = std::exp(src[i] - mx);
+        denom += dst[i];
+      }
+      const float inv = 1.f / denom;
+      for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
     }
-    const float inv = 1.f / denom;
-    for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
-  }
+  });
   return out;
 }
 

@@ -36,6 +36,17 @@ Tensor Relu(const Tensor& a);
 Tensor Abs(const Tensor& a);
 Tensor Sign(const Tensor& a);  ///< -1/0/+1
 
+// --- in-place (allocation-free; used by the optimizer / grad accumulation) ---
+/// a += b. Shapes must match exactly (no broadcasting).
+void AddInPlace(Tensor& a, const Tensor& b);
+/// a += alpha * b. Shapes must match exactly.
+void AxpyInPlace(Tensor& a, float alpha, const Tensor& b);
+/// a *= s.
+void ScaleInPlace(Tensor& a, float s);
+/// Sum of squared elements, accumulated in double with a deterministic
+/// blocked reduction (bit-identical for any thread count).
+double SumSquares(const Tensor& a);
+
 // --- linear algebra ---
 /// 2-D matrix product: (m,k) x (k,n) -> (m,n).
 Tensor MatMul(const Tensor& a, const Tensor& b);

@@ -1,0 +1,233 @@
+// Parity tests for the parallel tensor kernels: every op must produce
+// bit-identical results for any EALGAP_NUM_THREADS setting (the determinism
+// guarantee documented in DESIGN.md), and the rewritten kernels must agree
+// with naive references.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace ealgap {
+namespace {
+
+class OpsParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = GetNumThreads(); }
+  void TearDown() override { SetNumThreads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+void ExpectBitIdentical(const Tensor& want, const Tensor& got,
+                        const std::string& what) {
+  ASSERT_EQ(want.shape(), got.shape()) << what;
+  EXPECT_EQ(std::memcmp(want.data(), got.data(),
+                        static_cast<size_t>(want.numel()) * sizeof(float)),
+            0)
+      << what << ": result differs between thread counts";
+}
+
+/// Runs `compute` under 1, 2, and 8 threads and asserts all three results
+/// are bit-identical.
+void CheckThreadParity(const std::string& what,
+                       const std::function<Tensor()>& compute) {
+  SetNumThreads(1);
+  Tensor ref = compute();
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    Tensor got = compute();
+    ExpectBitIdentical(ref, got, what + " @" + std::to_string(threads));
+  }
+}
+
+TEST_F(OpsParallelTest, ElementwiseSameShape) {
+  Rng rng(7);
+  // Odd length: not divisible by any chunk or grain size.
+  Tensor a = Tensor::Randn({10007}, rng);
+  Tensor b = Tensor::Randn({10007}, rng);
+  CheckThreadParity("Add", [&] { return ops::Add(a, b); });
+  CheckThreadParity("Mul", [&] { return ops::Mul(a, b); });
+  CheckThreadParity("Div", [&] { return ops::Div(a, b); });
+  CheckThreadParity("Maximum", [&] { return ops::Maximum(a, b); });
+}
+
+TEST_F(OpsParallelTest, Unary) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({9973}, rng);
+  CheckThreadParity("Exp", [&] { return ops::Exp(a); });
+  CheckThreadParity("Tanh", [&] { return ops::Tanh(a); });
+  CheckThreadParity("Sigmoid", [&] { return ops::Sigmoid(a); });
+  CheckThreadParity("Relu", [&] { return ops::Relu(a); });
+  CheckThreadParity("MulScalar", [&] { return ops::MulScalar(a, 0.37f); });
+  CheckThreadParity("Clamp", [&] { return ops::Clamp(a, -0.5f, 0.5f); });
+}
+
+TEST_F(OpsParallelTest, BroadcastOddShapes) {
+  Rng rng(13);
+  Tensor a = Tensor::Randn({7, 3, 5}, rng);
+  Tensor b = Tensor::Randn({3, 1}, rng);
+  CheckThreadParity("Add bcast {7,3,5}+{3,1}",
+                    [&] { return ops::Add(a, b); });
+  Tensor c = Tensor::Randn({5, 1, 7}, rng);
+  Tensor d = Tensor::Randn({1, 9, 1}, rng);
+  CheckThreadParity("Mul bcast {5,1,7}*{1,9,1}",
+                    [&] { return ops::Mul(c, d); });
+  Tensor e = Tensor::Randn({1}, rng);
+  Tensor g = Tensor::Randn({6}, rng);
+  CheckThreadParity("Add bcast rank1 {1}+{6}",
+                    [&] { return ops::Add(e, g); });
+  // Large enough to actually split across threads.
+  Tensor h = Tensor::Randn({129, 65, 33}, rng);
+  Tensor i = Tensor::Randn({65, 1}, rng);
+  CheckThreadParity("Sub bcast {129,65,33}-{65,1}",
+                    [&] { return ops::Sub(h, i); });
+}
+
+TEST_F(OpsParallelTest, BroadcastMatchesNaiveReference) {
+  Rng rng(17);
+  Tensor a = Tensor::Randn({4, 3, 5}, rng);
+  Tensor b = Tensor::Randn({3, 1}, rng);
+  Tensor got = ops::Add(a, b);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      for (int64_t k = 0; k < 5; ++k) {
+        EXPECT_FLOAT_EQ(got.at({i, j, k}), a.at({i, j, k}) + b.at({j, 0}));
+      }
+    }
+  }
+}
+
+TEST_F(OpsParallelTest, MatMulThreadParity) {
+  Rng rng(19);
+  Tensor a = Tensor::Randn({37, 53}, rng);
+  Tensor b = Tensor::Randn({53, 29}, rng);
+  CheckThreadParity("MatMul 37x53x29", [&] { return ops::MatMul(a, b); });
+  Tensor c = Tensor::Randn({128, 128}, rng);
+  Tensor d = Tensor::Randn({128, 128}, rng);
+  CheckThreadParity("MatMul 128", [&] { return ops::MatMul(c, d); });
+  Tensor e = Tensor::Randn({1, 300}, rng);
+  Tensor f = Tensor::Randn({300, 1}, rng);
+  CheckThreadParity("MatMul 1x300x1", [&] { return ops::MatMul(e, f); });
+}
+
+TEST_F(OpsParallelTest, MatMulMatchesNaiveReference) {
+  Rng rng(23);
+  Tensor a = Tensor::Randn({13, 21}, rng);
+  Tensor b = Tensor::Randn({21, 17}, rng);
+  Tensor got = ops::MatMul(a, b);
+  for (int64_t i = 0; i < 13; ++i) {
+    for (int64_t j = 0; j < 17; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < 21; ++p) acc += a.at({i, p}) * b.at({p, j});
+      EXPECT_NEAR(got.at({i, j}), acc, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST_F(OpsParallelTest, BMatMulThreadParity) {
+  Rng rng(29);
+  Tensor a = Tensor::Randn({5, 17, 9}, rng);
+  Tensor b = Tensor::Randn({5, 9, 13}, rng);
+  CheckThreadParity("BMatMul 5x17x9x13", [&] { return ops::BMatMul(a, b); });
+  Tensor c = Tensor::Randn({33, 24, 24}, rng);
+  Tensor d = Tensor::Randn({33, 24, 24}, rng);
+  CheckThreadParity("BMatMul 33x24^3", [&] { return ops::BMatMul(c, d); });
+}
+
+TEST_F(OpsParallelTest, BMatMulMatchesMatMulPerBatch) {
+  Rng rng(31);
+  Tensor a = Tensor::Randn({4, 6, 7}, rng);
+  Tensor b = Tensor::Randn({4, 7, 5}, rng);
+  Tensor got = ops::BMatMul(a, b);
+  for (int64_t s = 0; s < 4; ++s) {
+    Tensor as = ops::Slice(a, 0, s, s + 1).Reshape({6, 7});
+    Tensor bs = ops::Slice(b, 0, s, s + 1).Reshape({7, 5});
+    Tensor want = ops::MatMul(as, bs);
+    for (int64_t i = 0; i < 6; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        EXPECT_FLOAT_EQ(got.at({s, i, j}), want.at({i, j}));
+      }
+    }
+  }
+}
+
+TEST_F(OpsParallelTest, ReductionsThreadParity) {
+  Rng rng(37);
+  Tensor a = Tensor::Randn({7, 9, 11}, rng);
+  for (int64_t axis : {0, 1, 2}) {
+    for (bool keepdim : {true, false}) {
+      CheckThreadParity(
+          "SumAxis axis=" + std::to_string(axis),
+          [&, axis, keepdim] { return ops::SumAxis(a, axis, keepdim); });
+      CheckThreadParity(
+          "MeanAxis axis=" + std::to_string(axis),
+          [&, axis, keepdim] { return ops::MeanAxis(a, axis, keepdim); });
+    }
+  }
+  // Big flat reductions cross several fixed reduction blocks.
+  Tensor big = Tensor::Randn({100003}, rng);
+  CheckThreadParity("SumAll", [&] { return ops::SumAll(big); });
+  CheckThreadParity("MeanAll", [&] { return ops::MeanAll(big); });
+  CheckThreadParity("MaxAll", [&] { return ops::MaxAll(big); });
+}
+
+TEST_F(OpsParallelTest, SumSquaresThreadParity) {
+  Rng rng(41);
+  Tensor a = Tensor::Randn({70001}, rng);
+  SetNumThreads(1);
+  const double ref = ops::SumSquares(a);
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    EXPECT_EQ(ops::SumSquares(a), ref) << threads << " threads";
+  }
+}
+
+TEST_F(OpsParallelTest, SoftmaxThreadParity) {
+  Rng rng(43);
+  Tensor a = Tensor::Randn({33, 17}, rng);
+  CheckThreadParity("Softmax 33x17", [&] { return ops::SoftmaxLastDim(a); });
+  Tensor b = Tensor::Randn({4097, 63}, rng);
+  CheckThreadParity("Softmax 4097x63",
+                    [&] { return ops::SoftmaxLastDim(b); });
+}
+
+TEST_F(OpsParallelTest, InPlaceOpsThreadParityAndCorrectness) {
+  Rng rng(47);
+  Tensor base = Tensor::Randn({10007}, rng);
+  Tensor delta = Tensor::Randn({10007}, rng);
+  SetNumThreads(1);
+  Tensor ref = base.Clone();
+  ops::AddInPlace(ref, delta);
+  ops::AxpyInPlace(ref, -0.25f, delta);
+  ops::ScaleInPlace(ref, 1.5f);
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    Tensor got = base.Clone();
+    ops::AddInPlace(got, delta);
+    ops::AxpyInPlace(got, -0.25f, delta);
+    ops::ScaleInPlace(got, 1.5f);
+    ExpectBitIdentical(ref, got, "in-place chain @" + std::to_string(threads));
+  }
+  // Spot-check the math itself.
+  for (int64_t i : {int64_t{0}, int64_t{5000}, int64_t{10006}}) {
+    const float want =
+        (base.data()[i] + delta.data()[i] - 0.25f * delta.data()[i]) * 1.5f;
+    EXPECT_FLOAT_EQ(ref.data()[i], want);
+  }
+}
+
+TEST_F(OpsParallelTest, TransposeThreadParity) {
+  Rng rng(53);
+  Tensor a = Tensor::Randn({17, 31, 23}, rng);
+  CheckThreadParity("TransposeLast2",
+                    [&] { return ops::TransposeLast2(a); });
+}
+
+}  // namespace
+}  // namespace ealgap

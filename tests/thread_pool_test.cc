@@ -1,0 +1,155 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ealgap {
+namespace {
+
+/// Restores the process-wide thread count after each test.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = GetNumThreads(); }
+  void TearDown() override { SetNumThreads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+TEST_F(ThreadPoolTest, SetNumThreadsRoundTrips) {
+  SetNumThreads(4);
+  EXPECT_EQ(GetNumThreads(), 4);
+  SetNumThreads(1);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(0);  // clamped
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(-3);  // clamped
+  EXPECT_EQ(GetNumThreads(), 1);
+}
+
+TEST_F(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  const std::vector<std::pair<int64_t, int64_t>> cases = {
+      {1000, 1}, {1000, 7}, {1, 100}, {1023, 256}, {7, 1}, {4096, 4096}};
+  for (int threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    for (const auto& [n, grain] : cases) {
+      std::vector<int> hits(n, 0);
+      ParallelFor(0, n, grain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) ++hits[i];
+      });
+      EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                              [](int h) { return h == 1; }))
+          << "threads=" << threads << " n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+TEST_F(ThreadPoolTest, NonZeroBeginCovered) {
+  SetNumThreads(4);
+  std::vector<int> hits(50, 0);
+  ParallelFor(10, 50, 3, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(hits[i], i >= 10 ? 1 : 0) << i;
+}
+
+TEST_F(ThreadPoolTest, EmptyRangeIsNoop) {
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ThreadPoolTest, ChunksAreContiguousOrderedPartition) {
+  SetNumThreads(8);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(0, 1001, 10, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back({b, e});
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0);
+  EXPECT_EQ(chunks.back().second, 1001);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+TEST_F(ThreadPoolTest, SmallRangeRunsInlineOnCaller) {
+  SetNumThreads(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  // n < 2 * grain => serial fallback on the calling thread, one chunk.
+  ParallelFor(0, 100, 64, [&](int64_t b, int64_t e) {
+    ++calls;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 100);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ThreadPoolTest, NestedCallsRunSeriallyWithoutDeadlock) {
+  SetNumThreads(4);
+  const int64_t outer_n = 8, inner_n = 500;
+  std::vector<std::atomic<int>> hits(outer_n * inner_n);
+  ParallelFor(0, outer_n, 1, [&](int64_t b, int64_t e) {
+    for (int64_t o = b; o < e; ++o) {
+      EXPECT_TRUE(InParallelRegion());
+      ParallelFor(0, inner_n, 1, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          hits[o * inner_n + i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(InParallelRegion());
+}
+
+TEST_F(ThreadPoolTest, ConcurrentExternalCallersAllComplete) {
+  SetNumThreads(4);
+  constexpr int kCallers = 4;
+  constexpr int64_t kN = 20000;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kN, 0));
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      ParallelFor(0, kN, 64, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) ++hits[c][i];
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_TRUE(std::all_of(hits[c].begin(), hits[c].end(),
+                            [](int h) { return h == 1; }))
+        << "caller " << c;
+  }
+}
+
+TEST_F(ThreadPoolTest, RepeatedResizeWithWorkInBetween) {
+  for (int round = 0; round < 3; ++round) {
+    for (int threads : {1, 3, 8, 2}) {
+      SetNumThreads(threads);
+      std::atomic<int64_t> sum{0};
+      ParallelFor(0, 1000, 16, [&](int64_t b, int64_t e) {
+        int64_t local = 0;
+        for (int64_t i = b; i < e; ++i) local += i;
+        sum.fetch_add(local, std::memory_order_relaxed);
+      });
+      EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ealgap
