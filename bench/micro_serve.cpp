@@ -1,0 +1,159 @@
+// google-benchmark microbenchmarks of the online serving path: per-step
+// Observe(), single-stream PredictNext() latency (the number a serving SLO
+// cares about), pool-fanned PredictMany() across fleet sizes, and the
+// mid-stream SaveState/LoadState checkpoint cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/ealgap.h"
+#include "data/dataset.h"
+#include "serve/online_predictor.h"
+
+namespace {
+
+using namespace ealgap;
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(GetNumThreads()) { SetNumThreads(n); }
+  ~ScopedThreads() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+data::MobilitySeries MakeSeries(int regions, int days) {
+  Rng rng(5);
+  data::MobilitySeries series;
+  series.num_regions = regions;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = days;
+  series.counts = Tensor::Zeros({regions, static_cast<int64_t>(days) * 24});
+  for (int r = 0; r < regions; ++r) {
+    double ar = 0.0;
+    for (int64_t s = 0; s < days * 24; ++s) {
+      const int h = static_cast<int>(s % 24);
+      const double base =
+          20.0 + 15.0 * std::exp(-0.5 * std::pow((h - 8.5) / 2.5, 2)) +
+          18.0 * std::exp(-0.5 * std::pow((h - 17.5) / 2.5, 2));
+      ar = 0.9 * ar + rng.Normal(0.0, 1.5);
+      series.counts.data()[r * days * 24 + s] = static_cast<float>(
+          std::max(0.0, base * (1.0 + 0.1 * r) + ar));
+    }
+  }
+  return series;
+}
+
+/// One fitted model + dataset per region count, shared across iterations.
+struct Fixture {
+  data::SlidingWindowDataset dataset;
+  data::StepRanges split;
+  std::unique_ptr<core::EalgapForecaster> model;
+};
+
+Fixture& GetFixture(int regions) {
+  static std::map<int, Fixture> cache;
+  auto it = cache.find(regions);
+  if (it != cache.end()) return it->second;
+  Fixture f;
+  data::DatasetOptions options;
+  options.history_length = 5;
+  options.num_windows = 3;
+  options.norm_history = 3;
+  f.dataset = data::SlidingWindowDataset::Create(MakeSeries(regions, 40),
+                                                 options)
+                  .value();
+  f.split = data::MakeChronoSplit(f.dataset).value();
+  f.model = std::make_unique<core::EalgapForecaster>();
+  TrainConfig train;
+  train.epochs = 2;
+  train.seed = 11;
+  train.learning_rate = 3e-3f;
+  EALGAP_CHECK(f.model->Fit(f.dataset, f.split, train).ok());
+  return cache.emplace(regions, std::move(f)).first->second;
+}
+
+std::vector<double> Truth(const data::SlidingWindowDataset& ds, int64_t s) {
+  const std::vector<float> row = ds.StepCounts(s);
+  return std::vector<double>(row.begin(), row.end());
+}
+
+/// The serving SLO number: one PredictNext() on a live stream.
+void BM_ServePredictNext(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  auto predictor = serve::OnlinePredictor::Create(f.model.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.PredictNext());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServePredictNext)->Arg(4)->Arg(16)->Arg(64);
+
+/// Per-step ingest: matched-stat refresh + ring/rolling-sum update.
+void BM_ServeObserve(benchmark::State& state) {
+  Fixture& f = GetFixture(static_cast<int>(state.range(0)));
+  auto predictor = serve::OnlinePredictor::Create(f.model.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  int64_t step = f.split.test_begin;
+  const std::vector<double> row = Truth(f.dataset, step);
+  for (auto _ : state) {
+    // Replays the same realized row; the work is identical per step.
+    benchmark::DoNotOptimize(predictor.Observe(row));
+    ++step;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeObserve)->Arg(4)->Arg(16)->Arg(64);
+
+/// A fleet of concurrent streams served through the thread pool.
+void BM_ServePredictManyThreads(benchmark::State& state) {
+  ScopedThreads threads(static_cast<int>(state.range(0)));
+  Fixture& f = GetFixture(16);
+  const int kFleet = 8;
+  std::vector<serve::OnlinePredictor> fleet;
+  for (int i = 0; i < kFleet; ++i) {
+    fleet.push_back(serve::OnlinePredictor::Create(f.model.get(), f.dataset,
+                                                   f.split.test_begin)
+                        .value());
+  }
+  std::vector<serve::OnlinePredictor*> ptrs;
+  for (auto& p : fleet) ptrs.push_back(&p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::OnlinePredictor::PredictMany(ptrs));
+  }
+  state.SetItemsProcessed(state.iterations() * kFleet);
+}
+BENCHMARK(BM_ServePredictManyThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Mid-stream state checkpoint round trip (restartable serving nodes).
+void BM_ServeStateRoundTrip(benchmark::State& state) {
+  Fixture& f = GetFixture(16);
+  auto predictor = serve::OnlinePredictor::Create(f.model.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  const std::string path = "/tmp/ealgap_bench_serve.state";
+  for (auto _ : state) {
+    EALGAP_CHECK(predictor.SaveState(path).ok());
+    auto restored = serve::OnlinePredictor::LoadState(path, f.model.get());
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeStateRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
-# Runs the tensor-op microbenchmarks with google-benchmark's JSON reporter
-# and records the result as BENCH_tensor_ops.json at the repo root, so the
-# perf trajectory of the compute substrate is tracked in-tree PR over PR.
+# Runs a microbenchmark binary with google-benchmark's JSON reporter and
+# records the result as BENCH_<name>.json at the repo root, so the perf
+# trajectory (compute substrate, serving latency, ...) is tracked in-tree
+# PR over PR.
 #
-# Usage: scripts/bench_to_json.sh [out.json]
+# Usage: scripts/bench_to_json.sh [target [out.json]]
+#   target           bench binary name (default: micro_tensor_ops)
+#   out.json         output path (default: BENCH_<target minus micro_>.json)
 #   BUILD_DIR=<dir>  build directory (default: build)
+#
+# Examples:
+#   scripts/bench_to_json.sh                      # -> BENCH_tensor_ops.json
+#   scripts/bench_to_json.sh micro_serve          # -> BENCH_serve.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${1:-BENCH_tensor_ops.json}"
-BIN="$BUILD_DIR/bench/micro_tensor_ops"
+TARGET="${1:-micro_tensor_ops}"
+OUT="${2:-BENCH_${TARGET#micro_}.json}"
+BIN="$BUILD_DIR/bench/$TARGET"
 
 if [[ ! -x "$BIN" ]]; then
   cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" --target micro_tensor_ops -j
+  cmake --build "$BUILD_DIR" --target "$TARGET" -j
 fi
 
 "$BIN" \

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, run the full test suite, TSan the concurrent
+# serving paths, and record serving latency as BENCH_serve.json.
+#
+# Usage: scripts/ci.sh
+#   BUILD_DIR=<dir>       main build directory   (default: build)
+#   TSAN_BUILD_DIR=<dir>  TSan build directory   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+
+echo "===== tier-1: build + full test suite ====="
+cmake -B "$BUILD_DIR" -S . -G Ninja
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "===== TSan: concurrent serving + training paths ====="
+# PredictMany fans samples across the pool and EvaluateLoss fans batches;
+# run both under ThreadSanitizer with more threads than the tiny models
+# need, to force interleavings.
+cmake -B "$TSAN_BUILD_DIR" -S . -G Ninja -DEALGAP_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j --target \
+  serve_parity_test determinism_test thread_pool_test ops_parallel_test
+for t in serve_parity_test determinism_test thread_pool_test \
+         ops_parallel_test; do
+  echo "----- TSan: $t -----"
+  EALGAP_NUM_THREADS=4 "./$TSAN_BUILD_DIR/tests/$t"
+done
+
+echo "===== serving latency snapshot ====="
+BUILD_DIR="$BUILD_DIR" scripts/bench_to_json.sh micro_serve
+
+echo "ci.sh: all gates green"

@@ -29,6 +29,16 @@ class ChatForecaster : public NeuralForecaster {
 
   std::string name() const override { return "CHAT"; }
 
+  /// ForwardBatch reads the attached dataset's calendar for the day-of-week
+  /// embedding — a bare WindowSample is not enough.
+  bool SupportsStreaming() const override { return false; }
+  Result<std::vector<double>> PredictSample(
+      const data::WindowSample& sample) override {
+    (void)sample;
+    return Status::NotImplemented(
+        "CHAT needs the dataset calendar; it cannot serve from samples");
+  }
+
  protected:
   void Initialize(const data::SlidingWindowDataset& dataset,
                   const data::StepRanges& split,

@@ -2,6 +2,13 @@
 
 namespace ealgap {
 
+Result<std::vector<double>> Forecaster::PredictSample(
+    const data::WindowSample& sample) {
+  (void)sample;
+  return Status::NotImplemented(name() +
+                                " cannot predict from a bare sample");
+}
+
 Status Forecaster::PredictRange(const data::SlidingWindowDataset& dataset,
                                 int64_t begin, int64_t end,
                                 std::vector<double>* predictions,

@@ -40,6 +40,19 @@ class Forecaster {
   virtual Result<std::vector<double>> Predict(
       const data::SlidingWindowDataset& dataset, int64_t target_step) = 0;
 
+  /// True when the forecaster can predict from a self-contained
+  /// WindowSample (no dataset attached) — the contract serve::OnlinePredictor
+  /// relies on. Forecasters that read arbitrary history beyond the sample
+  /// (ST-ResNet, CHAT) or bypass windows entirely (ARIMA, HA) return false.
+  virtual bool SupportsStreaming() const { return false; }
+
+  /// Predicts from one assembled sample. Unlike Predict(), this reads no
+  /// shared forecaster state besides the (const) fitted parameters, so
+  /// concurrent calls from different threads are safe. Default:
+  /// NotImplemented (see SupportsStreaming()).
+  virtual Result<std::vector<double>> PredictSample(
+      const data::WindowSample& sample);
+
   /// Convenience: predictions and truths flattened over [begin, end),
   /// ready for stats::ComputeMetrics.
   Status PredictRange(const data::SlidingWindowDataset& dataset,

@@ -7,6 +7,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -175,6 +178,168 @@ Result<std::vector<double>> NeuralForecaster::Predict(
     out[i] = std::max(0.0, static_cast<double>(p[i]));
   }
   return out;
+}
+
+Result<std::vector<double>> NeuralForecaster::PredictSample(
+    const data::WindowSample& sample) {
+  if (!fitted_) return Status::FailedPrecondition("PredictSample before Fit");
+  NoGradGuard no_grad;
+  std::vector<data::WindowSample> batch = {sample};
+  Var pred = ForwardBatch(batch);
+  Tensor counts = InverseScale(pred.value());
+  const float* p = counts.data();
+  std::vector<double> out(counts.numel());
+  for (int64_t i = 0; i < counts.numel(); ++i) {
+    out[i] = std::max(0.0, static_cast<double>(p[i]));
+  }
+  return out;
+}
+
+// --- Checkpointing ----------------------------------------------------------
+
+namespace {
+constexpr char kCheckpointMagic[] = "ealgap-checkpoint";
+constexpr int kCheckpointVersion = 1;
+}  // namespace
+
+Status NeuralForecaster::EncodeConfig(CheckpointConfig* config) const {
+  (void)config;
+  return Status::NotImplemented(name() + " does not support checkpointing");
+}
+
+Status NeuralForecaster::DecodeConfig(
+    const std::map<std::string, std::string>& config) {
+  (void)config;
+  return Status::NotImplemented(name() + " does not support checkpointing");
+}
+
+Status NeuralForecaster::ConfigInt(
+    const std::map<std::string, std::string>& config, const std::string& key,
+    int64_t lo, int64_t hi, int64_t* out) {
+  auto it = config.find(key);
+  if (it == config.end()) {
+    return Status::ParseError("checkpoint config missing key " + key);
+  }
+  std::istringstream is(it->second);
+  int64_t v = 0;
+  if (!(is >> v)) {
+    return Status::ParseError("checkpoint config key " + key +
+                              " is not an integer: " + it->second);
+  }
+  if (v < lo || v > hi) {
+    return Status::InvalidArgument(
+        "checkpoint config key " + key + " out of range: " + it->second);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status NeuralForecaster::ConfigFloat(
+    const std::map<std::string, std::string>& config, const std::string& key,
+    float* out) {
+  auto it = config.find(key);
+  if (it == config.end()) {
+    return Status::ParseError("checkpoint config missing key " + key);
+  }
+  std::istringstream is(it->second);
+  float v = 0.f;
+  if (!(is >> v)) {
+    return Status::ParseError("checkpoint config key " + key +
+                              " is not a number: " + it->second);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status NeuralForecaster::SaveCheckpoint(const std::string& path) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SaveCheckpoint before Fit");
+  }
+  CheckpointConfig config;
+  EALGAP_RETURN_IF_ERROR(EncodeConfig(&config));
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << kCheckpointMagic << " " << kCheckpointVersion << "\n";
+  out << "model " << name() << "\n";
+  out.precision(std::numeric_limits<float>::max_digits10);
+  for (const auto& [key, value] : config) {
+    out << "config " << key << " " << value << "\n";
+  }
+  int64_t count = 0;
+  {
+    std::ostringstream params;
+    nn::WriteParameterBlock(params, *module(), &count);
+    out << "params " << count << "\n" << params.str();
+  }
+  out << "end\n";
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status NeuralForecaster::LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kCheckpointMagic) {
+    return Status::ParseError(path + " is not an ealgap checkpoint");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  std::string key, model;
+  if (!(in >> key >> model) || key != "model") {
+    return Status::ParseError("missing model line in " + path);
+  }
+  if (model != name()) {
+    return Status::InvalidArgument("checkpoint holds model " + model +
+                                   " but this forecaster is " + name());
+  }
+  // Config echo, then the parameter count.
+  std::map<std::string, std::string> config;
+  int64_t param_count = -1;
+  std::string line;
+  std::getline(in, line);  // finish the model line
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "config") {
+      std::string k;
+      if (!(is >> k)) return Status::ParseError("bad config line in " + path);
+      std::string v;
+      std::getline(is, v);
+      const size_t start = v.find_first_not_of(' ');
+      config[k] = start == std::string::npos ? "" : v.substr(start);
+    } else if (tag == "params") {
+      if (!(is >> param_count) || param_count < 0 || param_count > 100000) {
+        return Status::ParseError("bad params count in " + path);
+      }
+      break;
+    } else {
+      return Status::ParseError("unexpected checkpoint tag '" + tag +
+                                "' in " + path);
+    }
+  }
+  if (param_count < 0) {
+    return Status::ParseError("truncated checkpoint (no params block) in " +
+                              path);
+  }
+  // Rebuild the network from the config echo, then load the weights.
+  EALGAP_RETURN_IF_ERROR(DecodeConfig(config));
+  std::map<std::string, Tensor> loaded;
+  EALGAP_RETURN_IF_ERROR(
+      nn::ReadParameterBlock(in, param_count, &loaded, path));
+  std::string tail;
+  if (!std::getline(in, tail) || tail != "end") {
+    return Status::ParseError("truncated checkpoint (missing end marker) in " +
+                              path);
+  }
+  EALGAP_RETURN_IF_ERROR(nn::ApplyParameters(*module(), loaded, path));
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace ealgap

@@ -1,7 +1,10 @@
 #ifndef EALGAP_BASELINES_NEURAL_H_
 #define EALGAP_BASELINES_NEURAL_H_
 
+#include <map>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/forecaster.h"
@@ -10,6 +13,9 @@
 #include "tensor/autograd.h"
 
 namespace ealgap {
+
+/// Ordered key/value pairs a forecaster echoes into its checkpoint header.
+using CheckpointConfig = std::vector<std::pair<std::string, std::string>>;
 
 /// Shared skeleton for every gradient-trained forecaster (the recurrent
 /// family, ST-Norm, ST-ResNet, EVL, CHAT, and EALGAP itself).
@@ -24,6 +30,28 @@ class NeuralForecaster : public Forecaster {
 
   Result<std::vector<double>> Predict(const data::SlidingWindowDataset& dataset,
                                       int64_t target_step) final;
+
+  /// Every gradient-trained forecaster predicts from a bare sample unless a
+  /// subclass (ST-ResNet, CHAT) needs dataset-wide history and opts out.
+  bool SupportsStreaming() const override { return true; }
+
+  /// Bit-identical to Predict() on the sample MakeSample would build, but
+  /// touches no mutable forecaster state: safe to call concurrently.
+  Result<std::vector<double>> PredictSample(
+      const data::WindowSample& sample) override;
+
+  /// Writes a versioned checkpoint: header, model name, the EncodeConfig
+  /// echo, every parameter, and a trailing end marker (so truncation is
+  /// detectable). Requires Fit() or LoadCheckpoint() first.
+  Status SaveCheckpoint(const std::string& path);
+
+  /// Restores a forecaster from SaveCheckpoint output without a Fit() call:
+  /// validates the header version and model name, rebuilds the network from
+  /// the config echo (DecodeConfig), and loads the parameters with shape
+  /// validation. A corrupted, truncated, or mismatched file yields a Status
+  /// error and leaves no partially-initialized state behind on the happy
+  /// path's fitted flag.
+  Status LoadCheckpoint(const std::string& path);
 
   /// Mean validation loss of the best epoch (for diagnostics).
   double best_validation_loss() const { return best_val_loss_; }
@@ -50,6 +78,23 @@ class NeuralForecaster : public Forecaster {
 
   /// The module whose parameters are optimized.
   virtual nn::Module* module() = 0;
+
+  /// Checkpoint hooks. EncodeConfig appends everything DecodeConfig needs
+  /// to rebuild the network and scalers without a dataset (options, input
+  /// dims, scaler state); DecodeConfig validates the echoed values and
+  /// reconstructs the model. Defaults return NotImplemented, which makes
+  /// SaveCheckpoint/LoadCheckpoint report the forecaster as
+  /// non-checkpointable instead of writing a half-restorable file.
+  virtual Status EncodeConfig(CheckpointConfig* config) const;
+  virtual Status DecodeConfig(const std::map<std::string, std::string>& config);
+
+  /// Range-checked lookups for DecodeConfig implementations: missing keys,
+  /// unparseable values, and out-of-range numbers all become Status errors.
+  static Status ConfigInt(const std::map<std::string, std::string>& config,
+                          const std::string& key, int64_t lo, int64_t hi,
+                          int64_t* out);
+  static Status ConfigFloat(const std::map<std::string, std::string>& config,
+                            const std::string& key, float* out);
 
   /// The dataset of the in-flight Fit/Predict call; valid inside
   /// ForwardBatch for forecasters (ST-ResNet) that need more history than

@@ -1,5 +1,9 @@
 #include "baselines/recurrent.h"
 
+#include <cmath>
+#include <limits>
+#include <sstream>
+
 #include "common/logging.h"
 #include "tensor/ops.h"
 
@@ -106,6 +110,66 @@ Tensor RecurrentForecaster::ScaleTargets(const Tensor& targets) const {
 
 Tensor RecurrentForecaster::InverseScale(const Tensor& predictions) const {
   return scaler_.Inverse(predictions);
+}
+
+namespace {
+
+const char* KindName(RecurrentKind kind) {
+  switch (kind) {
+    case RecurrentKind::kRnn:
+      return "rnn";
+    case RecurrentKind::kGru:
+      return "gru";
+    case RecurrentKind::kLstm:
+      return "lstm";
+  }
+  return "?";
+}
+
+std::string FloatString(float v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<float>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Status RecurrentForecaster::EncodeConfig(CheckpointConfig* config) const {
+  config->emplace_back("kind", KindName(kind_));
+  config->emplace_back("hidden_size", std::to_string(hidden_size_));
+  config->emplace_back("scaler_mean", FloatString(scaler_.mean()));
+  config->emplace_back("scaler_stddev", FloatString(scaler_.stddev()));
+  return Status::OK();
+}
+
+Status RecurrentForecaster::DecodeConfig(
+    const std::map<std::string, std::string>& config) {
+  auto kind = config.find("kind");
+  if (kind == config.end()) {
+    return Status::ParseError("checkpoint config missing key kind");
+  }
+  // The cell kind is structural: loading e.g. an LSTM checkpoint into a GRU
+  // forecaster is an error even though the model line may agree (EVL).
+  if (kind->second != KindName(kind_)) {
+    return Status::InvalidArgument("checkpoint cell kind " + kind->second +
+                                   " does not match this forecaster's " +
+                                   KindName(kind_));
+  }
+  int64_t hidden = 0;
+  EALGAP_RETURN_IF_ERROR(
+      ConfigInt(config, "hidden_size", 1, 1 << 16, &hidden));
+  float mean = 0.f, stddev = 1.f;
+  EALGAP_RETURN_IF_ERROR(ConfigFloat(config, "scaler_mean", &mean));
+  EALGAP_RETURN_IF_ERROR(ConfigFloat(config, "scaler_stddev", &stddev));
+  if (!(stddev > 0.f) || !std::isfinite(stddev) || !std::isfinite(mean)) {
+    return Status::InvalidArgument("checkpoint scaler state is not finite");
+  }
+  hidden_size_ = hidden;
+  scaler_.Restore(mean, stddev);
+  Rng rng(0);
+  net_ = std::make_unique<Net>(kind_, hidden_size_, rng);
+  return Status::OK();
 }
 
 }  // namespace ealgap

@@ -33,6 +33,11 @@ class RecurrentForecaster : public NeuralForecaster {
   Tensor ScaleTargets(const Tensor& targets) const override;
   Tensor InverseScale(const Tensor& predictions) const override;
   nn::Module* module() override;
+  /// Checkpointing (inherited by EVL, whose serving state is the same GRU
+  /// net + scaler; the EVL loss thresholds only matter during Fit).
+  Status EncodeConfig(CheckpointConfig* config) const override;
+  Status DecodeConfig(
+      const std::map<std::string, std::string>& config) override;
 
   struct Net;
   RecurrentKind kind_;

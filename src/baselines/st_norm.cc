@@ -1,6 +1,8 @@
 #include "baselines/st_norm.h"
 
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "nn/linear.h"
 #include "tensor/ops.h"
@@ -84,9 +86,9 @@ void StNormForecaster::Initialize(const data::SlidingWindowDataset& dataset,
   Tensor train_slice =
       ops::Slice(dataset.series().counts, 1, 0, split.train_end);
   scaler_.Fit(train_slice);
+  history_length_ = dataset.options().history_length;
   Rng rng(config.seed);
-  net_ = std::make_unique<Net>(dataset.options().history_length, hidden_size_,
-                               rng);
+  net_ = std::make_unique<Net>(history_length_, hidden_size_, rng);
 }
 
 Var StNormForecaster::ForwardBatch(
@@ -120,6 +122,40 @@ Tensor StNormForecaster::ScaleTargets(const Tensor& targets) const {
 
 Tensor StNormForecaster::InverseScale(const Tensor& predictions) const {
   return scaler_.Inverse(predictions);
+}
+
+Status StNormForecaster::EncodeConfig(CheckpointConfig* config) const {
+  std::ostringstream mean, stddev;
+  mean.precision(std::numeric_limits<float>::max_digits10);
+  stddev.precision(std::numeric_limits<float>::max_digits10);
+  mean << scaler_.mean();
+  stddev << scaler_.stddev();
+  config->emplace_back("hidden_size", std::to_string(hidden_size_));
+  config->emplace_back("history_length", std::to_string(history_length_));
+  config->emplace_back("scaler_mean", mean.str());
+  config->emplace_back("scaler_stddev", stddev.str());
+  return Status::OK();
+}
+
+Status StNormForecaster::DecodeConfig(
+    const std::map<std::string, std::string>& config) {
+  int64_t hidden = 0, l = 0;
+  EALGAP_RETURN_IF_ERROR(
+      ConfigInt(config, "hidden_size", 1, 1 << 16, &hidden));
+  EALGAP_RETURN_IF_ERROR(
+      ConfigInt(config, "history_length", 1, 1 << 16, &l));
+  float mean = 0.f, stddev = 1.f;
+  EALGAP_RETURN_IF_ERROR(ConfigFloat(config, "scaler_mean", &mean));
+  EALGAP_RETURN_IF_ERROR(ConfigFloat(config, "scaler_stddev", &stddev));
+  if (!(stddev > 0.f) || !std::isfinite(stddev) || !std::isfinite(mean)) {
+    return Status::InvalidArgument("checkpoint scaler state is not finite");
+  }
+  hidden_size_ = hidden;
+  history_length_ = l;
+  scaler_.Restore(mean, stddev);
+  Rng rng(0);
+  net_ = std::make_unique<Net>(history_length_, hidden_size_, rng);
+  return Status::OK();
 }
 
 }  // namespace ealgap

@@ -33,10 +33,14 @@ class StNormForecaster : public NeuralForecaster {
   Tensor ScaleTargets(const Tensor& targets) const override;
   Tensor InverseScale(const Tensor& predictions) const override;
   nn::Module* module() override;
+  Status EncodeConfig(CheckpointConfig* config) const override;
+  Status DecodeConfig(
+      const std::map<std::string, std::string>& config) override;
 
  private:
   struct Net;
   int64_t hidden_size_;
+  int64_t history_length_ = 0;  ///< L the net was built for
   data::StandardScaler scaler_;
   std::unique_ptr<Net> net_;
 };

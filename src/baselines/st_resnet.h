@@ -38,6 +38,16 @@ class StResNetForecaster : public NeuralForecaster {
 
   std::string name() const override { return "ST-ResNet"; }
 
+  /// ForwardBatch gathers period/trend frames straight from the attached
+  /// dataset — a bare WindowSample is not enough history.
+  bool SupportsStreaming() const override { return false; }
+  Result<std::vector<double>> PredictSample(
+      const data::WindowSample& sample) override {
+    (void)sample;
+    return Status::NotImplemented(
+        "ST-ResNet needs dataset-wide history; it cannot serve from samples");
+  }
+
   int grid_rows() const { return grid_rows_; }
   int grid_cols() const { return grid_cols_; }
   /// Raster cell (row * cols + col) of each region; cells are unique.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "common/logging.h"
 #include "core/extreme_degree.h"
@@ -85,9 +87,10 @@ void EalgapForecaster::Initialize(const data::SlidingWindowDataset& dataset,
   for (int64_t i = 0; i < train_slice.numel(); ++i) ss += double(p[i]) * p[i];
   scale_ = static_cast<float>(
       std::sqrt(std::max(ss / train_slice.numel(), 1e-12)));
+  num_regions_ = dataset.series().num_regions;
+  history_length_ = dataset.options().history_length;
   Rng rng(config.seed);
-  net_ = std::make_unique<Net>(options_, dataset.series().num_regions,
-                               dataset.options().history_length, rng);
+  net_ = std::make_unique<Net>(options_, num_regions_, history_length_, rng);
 }
 
 Var EalgapForecaster::ForwardBatch(
@@ -126,6 +129,10 @@ Var EalgapForecaster::ForwardBatch(
       }
     }
   }
+  // pending_degree_loss_ is only touched while gradients are recorded: the
+  // no-grad evaluation/serving paths (EvaluateLoss, PredictSample) call
+  // ForwardBatch concurrently from the thread pool, and an unconditional
+  // reset here would be a data race.
   if (!degree_losses.empty()) {
     Var total = degree_losses[0];
     for (size_t i = 1; i < degree_losses.size(); ++i) {
@@ -133,7 +140,7 @@ Var EalgapForecaster::ForwardBatch(
     }
     pending_degree_loss_ =
         MulScalar(total, 1.f / static_cast<float>(degree_losses.size()));
-  } else {
+  } else if (GradEnabled()) {
     pending_degree_loss_ = Var();
   }
   return Concat(outs, 0);  // (B, N)
@@ -156,6 +163,77 @@ Tensor EalgapForecaster::ScaleTargets(const Tensor& targets) const {
 
 Tensor EalgapForecaster::InverseScale(const Tensor& predictions) const {
   return ops::MaximumScalar(ops::MulScalar(predictions, scale_), 0.f);
+}
+
+Status EalgapForecaster::EncodeConfig(CheckpointConfig* config) const {
+  std::ostringstream scale;
+  scale.precision(std::numeric_limits<float>::max_digits10);
+  scale << scale_;
+  std::ostringstream dlw;
+  dlw.precision(std::numeric_limits<float>::max_digits10);
+  dlw << options_.degree_loss_weight;
+  config->emplace_back("use_global_attention",
+                       options_.use_global_attention ? "1" : "0");
+  config->emplace_back("use_extreme", options_.use_extreme ? "1" : "0");
+  config->emplace_back(
+      "family", options_.family == stats::DistributionFamily::kNormal
+                    ? "normal"
+                    : "exponential");
+  config->emplace_back("hidden", std::to_string(options_.hidden));
+  config->emplace_back("gru_hidden", std::to_string(options_.gru_hidden));
+  config->emplace_back("attention_dim",
+                       std::to_string(options_.attention_dim));
+  config->emplace_back("degree_loss_weight", dlw.str());
+  config->emplace_back("num_regions", std::to_string(num_regions_));
+  config->emplace_back("history_length", std::to_string(history_length_));
+  config->emplace_back("scale", scale.str());
+  return Status::OK();
+}
+
+Status EalgapForecaster::DecodeConfig(
+    const std::map<std::string, std::string>& config) {
+  EalgapOptions opts;
+  int64_t v = 0;
+  EALGAP_RETURN_IF_ERROR(ConfigInt(config, "use_global_attention", 0, 1, &v));
+  opts.use_global_attention = v == 1;
+  EALGAP_RETURN_IF_ERROR(ConfigInt(config, "use_extreme", 0, 1, &v));
+  opts.use_extreme = v == 1;
+  auto family = config.find("family");
+  if (family == config.end()) {
+    return Status::ParseError("checkpoint config missing key family");
+  }
+  if (family->second == "exponential") {
+    opts.family = stats::DistributionFamily::kExponential;
+  } else if (family->second == "normal") {
+    opts.family = stats::DistributionFamily::kNormal;
+  } else {
+    return Status::InvalidArgument("unknown distribution family " +
+                                   family->second);
+  }
+  EALGAP_RETURN_IF_ERROR(ConfigInt(config, "hidden", 1, 1 << 16, &opts.hidden));
+  EALGAP_RETURN_IF_ERROR(
+      ConfigInt(config, "gru_hidden", 1, 1 << 16, &opts.gru_hidden));
+  EALGAP_RETURN_IF_ERROR(
+      ConfigInt(config, "attention_dim", 1, 1 << 10, &opts.attention_dim));
+  EALGAP_RETURN_IF_ERROR(
+      ConfigFloat(config, "degree_loss_weight", &opts.degree_loss_weight));
+  int64_t n = 0, l = 0;
+  EALGAP_RETURN_IF_ERROR(ConfigInt(config, "num_regions", 1, 1 << 20, &n));
+  EALGAP_RETURN_IF_ERROR(ConfigInt(config, "history_length", 1, 1 << 16, &l));
+  float scale = 1.f;
+  EALGAP_RETURN_IF_ERROR(ConfigFloat(config, "scale", &scale));
+  if (!(scale > 0.f) || !std::isfinite(scale)) {
+    return Status::InvalidArgument("checkpoint scale must be positive");
+  }
+  options_ = opts;
+  num_regions_ = n;
+  history_length_ = l;
+  scale_ = scale;
+  // The initializer RNG is irrelevant: every parameter is overwritten by
+  // the checkpoint's values right after this rebuild.
+  Rng rng(0);
+  net_ = std::make_unique<Net>(options_, num_regions_, history_length_, rng);
+  return Status::OK();
 }
 
 }  // namespace core

@@ -57,10 +57,15 @@ class EalgapForecaster : public NeuralForecaster {
   Tensor ScaleTargets(const Tensor& targets) const override;
   Tensor InverseScale(const Tensor& predictions) const override;
   nn::Module* module() override;
+  Status EncodeConfig(CheckpointConfig* config) const override;
+  Status DecodeConfig(
+      const std::map<std::string, std::string>& config) override;
 
  private:
   struct Net;
   EalgapOptions options_;
+  int64_t num_regions_ = 0;      ///< N the net was built for
+  int64_t history_length_ = 0;   ///< L the net was built for
   float scale_ = 1.f;  ///< training-data std used to normalize counts
   /// Auxiliary Eq. (10) loss from the most recent ForwardBatch; consumed by
   /// the immediately following ComputeLoss call.

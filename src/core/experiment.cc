@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <chrono>
+#include <fstream>
 
 #include "baselines/arima.h"
 #include "baselines/chat.h"
@@ -120,6 +121,41 @@ Result<std::unique_ptr<Forecaster>> MakeForecaster(const std::string& scheme,
     return std::unique_ptr<Forecaster>(new EalgapForecaster(opts));
   }
   return Status::InvalidArgument("unknown scheme: " + scheme);
+}
+
+Result<std::unique_ptr<Forecaster>> LoadForecasterFromCheckpoint(
+    const std::string& path) {
+  // Peek the header to learn which forecaster wrote the file; the model
+  // itself re-validates the full header in LoadCheckpoint.
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic, tag, model_name;
+  int version = 0;
+  if (!(in >> magic >> version >> tag >> model_name) ||
+      magic != "ealgap-checkpoint" || tag != "model") {
+    return Status::ParseError(path + " is not an ealgap checkpoint");
+  }
+  in.close();
+
+  std::unique_ptr<NeuralForecaster> model;
+  if (model_name == "EALGAP") {
+    model = std::make_unique<EalgapForecaster>();
+  } else if (model_name == "GRU") {
+    model = std::make_unique<RecurrentForecaster>(RecurrentKind::kGru);
+  } else if (model_name == "LSTM") {
+    model = std::make_unique<RecurrentForecaster>(RecurrentKind::kLstm);
+  } else if (model_name == "RNN") {
+    model = std::make_unique<RecurrentForecaster>(RecurrentKind::kRnn);
+  } else if (model_name == "EVL") {
+    model = std::make_unique<EvlForecaster>();
+  } else if (model_name == "ST-Norm") {
+    model = std::make_unique<StNormForecaster>();
+  } else {
+    return Status::InvalidArgument("checkpoint is for model " + model_name +
+                                   ", which has no checkpoint loader");
+  }
+  EALGAP_RETURN_IF_ERROR(model->LoadCheckpoint(path));
+  return std::unique_ptr<Forecaster>(std::move(model));
 }
 
 Result<SchemeResult> RunScheme(const std::string& scheme,

@@ -47,6 +47,14 @@ std::vector<std::string> PaperSchemes();
 Result<std::unique_ptr<Forecaster>> MakeForecaster(const std::string& scheme,
                                                    const PreparedData& data);
 
+/// Reconstructs a fitted forecaster from a checkpoint written by
+/// NeuralForecaster::SaveCheckpoint: peeks the `model` line of the header,
+/// constructs the matching forecaster ("EALGAP", "GRU", "LSTM", "RNN",
+/// "EVL", "ST-Norm"), and loads configuration plus parameters. Corrupted
+/// or unknown-model files yield a Status error.
+Result<std::unique_ptr<Forecaster>> LoadForecasterFromCheckpoint(
+    const std::string& path);
+
 /// One table cell group: a scheme evaluated on the test range.
 struct SchemeResult {
   std::string scheme;

@@ -1,16 +1,35 @@
 #include "core/rollout.h"
 
+#include "serve/online_predictor.h"
+
 namespace ealgap {
 namespace core {
 
-Result<std::vector<std::vector<double>>> RolloutForecast(
+namespace {
+
+/// Streaming rollout: O(norm_history) incremental state refresh per step
+/// instead of cloning the whole dataset and re-walking matched statistics.
+Result<std::vector<std::vector<double>>> RolloutStreaming(
     Forecaster& model, const data::SlidingWindowDataset& dataset,
     int64_t start_step, int horizon) {
-  if (horizon <= 0) return Status::InvalidArgument("horizon must be > 0");
-  if (start_step < dataset.MinTargetStep() ||
-      start_step + horizon > dataset.series().total_steps()) {
-    return Status::OutOfRange("rollout window out of range");
+  EALGAP_ASSIGN_OR_RETURN(
+      serve::OnlinePredictor predictor,
+      serve::OnlinePredictor::Create(&model, dataset, start_step));
+  std::vector<std::vector<double>> out;
+  out.reserve(horizon);
+  for (int h = 0; h < horizon; ++h) {
+    EALGAP_ASSIGN_OR_RETURN(std::vector<double> pred, predictor.PredictNext());
+    EALGAP_RETURN_IF_ERROR(predictor.Observe(pred));
+    out.push_back(std::move(pred));
   }
+  return out;
+}
+
+/// Legacy rollout for models whose prediction needs the whole dataset
+/// (ARIMA, HA, ST-ResNet, CHAT): clone, overwrite, re-predict.
+Result<std::vector<std::vector<double>>> RolloutByCloning(
+    Forecaster& model, const data::SlidingWindowDataset& dataset,
+    int64_t start_step, int horizon) {
   data::SlidingWindowDataset working = dataset.Clone();
   std::vector<std::vector<double>> out;
   out.reserve(horizon);
@@ -22,6 +41,22 @@ Result<std::vector<std::vector<double>>> RolloutForecast(
     out.push_back(std::move(pred));
   }
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<double>>> RolloutForecast(
+    Forecaster& model, const data::SlidingWindowDataset& dataset,
+    int64_t start_step, int horizon) {
+  if (horizon <= 0) return Status::InvalidArgument("horizon must be > 0");
+  if (start_step < dataset.MinTargetStep() ||
+      start_step + horizon > dataset.series().total_steps()) {
+    return Status::OutOfRange("rollout window out of range");
+  }
+  if (model.SupportsStreaming()) {
+    return RolloutStreaming(model, dataset, start_step, horizon);
+  }
+  return RolloutByCloning(model, dataset, start_step, horizon);
 }
 
 }  // namespace core

@@ -99,6 +99,35 @@ Status SlidingWindowDataset::OverwriteStep(int64_t step,
   return Status::OK();
 }
 
+namespace {
+std::vector<float> StepRow(const Tensor& t, int n, int64_t steps,
+                           int64_t step) {
+  std::vector<float> out(n);
+  const float* p = t.data();
+  for (int r = 0; r < n; ++r) out[r] = p[r * steps + step];
+  return out;
+}
+}  // namespace
+
+std::vector<float> SlidingWindowDataset::StepCounts(int64_t step) const {
+  EALGAP_CHECK_GE(step, 0);
+  EALGAP_CHECK_LT(step, series_.total_steps());
+  return StepRow(series_.counts, series_.num_regions, series_.total_steps(),
+                 step);
+}
+
+std::vector<float> SlidingWindowDataset::StepMu(int64_t step) const {
+  EALGAP_CHECK_GE(step, 0);
+  EALGAP_CHECK_LT(step, series_.total_steps());
+  return StepRow(mu_, series_.num_regions, series_.total_steps(), step);
+}
+
+std::vector<float> SlidingWindowDataset::StepSigma(int64_t step) const {
+  EALGAP_CHECK_GE(step, 0);
+  EALGAP_CHECK_LT(step, series_.total_steps());
+  return StepRow(sigma_, series_.num_regions, series_.total_steps(), step);
+}
+
 int64_t SlidingWindowDataset::MinTargetStep() const {
   const int64_t t_day = series_.steps_per_day;
   const int64_t l = options_.history_length;

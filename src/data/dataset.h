@@ -81,6 +81,14 @@ class SlidingWindowDataset {
   const Tensor& mu() const { return mu_; }
   const Tensor& sigma() const { return sigma_; }
 
+  /// Dense per-region rows of one step — counts and the matched Eq. (9)
+  /// statistics. The seeding interface of serve::OnlinePredictor, which
+  /// copies a history prefix into its incremental accumulators. Requires
+  /// step in [0, total_steps).
+  std::vector<float> StepCounts(int64_t step) const;
+  std::vector<float> StepMu(int64_t step) const;
+  std::vector<float> StepSigma(int64_t step) const;
+
  private:
   /// Recomputes mu_/sigma_ for all regions at one step.
   void RefreshMatchedStats(int64_t step);

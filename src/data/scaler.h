@@ -30,6 +30,11 @@ class StandardScaler {
   Tensor Inverse(const Tensor& t) const;
   float mean() const { return mean_; }
   float stddev() const { return stddev_; }
+  /// Reinstates a previously fitted state (checkpoint restore).
+  void Restore(float mean, float stddev) {
+    mean_ = mean;
+    stddev_ = stddev;
+  }
 
  private:
   float mean_ = 0.f;

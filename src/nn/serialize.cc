@@ -1,17 +1,24 @@
 #include "nn/serialize.h"
 
 #include <fstream>
-#include <map>
+#include <limits>
 #include <sstream>
 #include <vector>
 
 namespace ealgap {
 namespace nn {
 
-Status SaveParameters(const Module& module, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out.precision(9);
+namespace {
+/// Ceiling on a single parameter's element count: far above any model in
+/// this repo, low enough that a corrupted shape cannot drive a multi-GB
+/// allocation before the value parse fails.
+constexpr int64_t kMaxParameterNumel = int64_t{1} << 28;
+}  // namespace
+
+void WriteParameterBlock(std::ostream& out, const Module& module,
+                         int64_t* count) {
+  out.precision(std::numeric_limits<float>::max_digits10);
+  int64_t n = 0;
   for (const auto& [name, p] : module.NamedParameters()) {
     const Tensor& t = p.value();
     out << name << " " << t.ndim();
@@ -19,41 +26,60 @@ Status SaveParameters(const Module& module, const std::string& path) {
     const float* data = t.data();
     for (int64_t i = 0; i < t.numel(); ++i) out << " " << data[i];
     out << "\n";
+    ++n;
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  if (count != nullptr) *count = n;
 }
 
-Status LoadParameters(Module& module, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::map<std::string, Tensor> loaded;
+Status ReadParameterBlock(std::istream& in, int64_t count,
+                          std::map<std::string, Tensor>* loaded,
+                          const std::string& context) {
   std::string line;
-  while (std::getline(in, line)) {
+  int64_t read = 0;
+  while ((count < 0 || read < count) && std::getline(in, line)) {
     if (line.empty()) continue;
     std::istringstream is(line);
     std::string name;
     int64_t rank = 0;
     if (!(is >> name >> rank) || rank < 0 || rank > 8) {
-      return Status::ParseError("bad checkpoint line in " + path);
+      return Status::ParseError("bad checkpoint line in " + context);
     }
     Shape shape(rank);
+    int64_t numel = 1;
     for (int64_t i = 0; i < rank; ++i) {
-      if (!(is >> shape[i])) return Status::ParseError("bad shape in " + path);
+      if (!(is >> shape[i]) || shape[i] < 0 ||
+          shape[i] > kMaxParameterNumel || numel * shape[i] > kMaxParameterNumel) {
+        return Status::ParseError("bad shape for " + name + " in " + context);
+      }
+      numel *= shape[i];
     }
     const int64_t n = ShapeNumel(shape);
     std::vector<float> values(n);
     for (int64_t i = 0; i < n; ++i) {
       if (!(is >> values[i])) {
-        return Status::ParseError("truncated values for " + name);
+        return Status::ParseError("truncated values for " + name + " in " +
+                                  context);
       }
     }
-    loaded.emplace(name, Tensor::FromVector(shape, std::move(values)));
+    loaded->insert_or_assign(name, Tensor::FromVector(shape, std::move(values)));
+    ++read;
   }
+  if (count >= 0 && read < count) {
+    return Status::ParseError("expected " + std::to_string(count) +
+                              " parameters, found " + std::to_string(read) +
+                              " in " + context);
+  }
+  return Status::OK();
+}
+
+Status ApplyParameters(Module& module,
+                       const std::map<std::string, Tensor>& loaded,
+                       const std::string& context) {
   for (auto& [name, p] : module.NamedParameters()) {
     auto it = loaded.find(name);
     if (it == loaded.end()) {
-      return Status::NotFound("checkpoint missing parameter " + name);
+      return Status::NotFound("checkpoint missing parameter " + name + " in " +
+                              context);
     }
     if (!(it->second.shape() == p.value().shape())) {
       return Status::InvalidArgument(
@@ -64,6 +90,22 @@ Status LoadParameters(Module& module, const std::string& path) {
     const_cast<Tensor&>(p.value()).CopyFrom(it->second);
   }
   return Status::OK();
+}
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteParameterBlock(out, module);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::map<std::string, Tensor> loaded;
+  EALGAP_RETURN_IF_ERROR(ReadParameterBlock(in, -1, &loaded, path));
+  return ApplyParameters(module, loaded, path);
 }
 
 }  // namespace nn

@@ -1,6 +1,8 @@
 #ifndef EALGAP_NN_SERIALIZE_H_
 #define EALGAP_NN_SERIALIZE_H_
 
+#include <iosfwd>
+#include <map>
 #include <string>
 
 #include "common/status.h"
@@ -12,12 +14,38 @@ namespace nn {
 /// Saves all named parameters of `module` to a plain-text checkpoint:
 ///   <name> <rank> <d0> ... <dk> <v0> <v1> ...
 /// one parameter per line. Portable and diff-able; fine at our model sizes.
+/// Values are written with float max_digits10 precision, so a save/load
+/// round-trip restores every parameter bit-exactly.
 Status SaveParameters(const Module& module, const std::string& path);
 
 /// Loads a checkpoint produced by SaveParameters into `module`. Every
 /// parameter in the module must be present in the file with a matching
 /// shape (extra file entries are ignored).
 Status LoadParameters(Module& module, const std::string& path);
+
+/// Stream-level building blocks shared by SaveParameters/LoadParameters and
+/// the versioned model checkpoints of NeuralForecaster::SaveCheckpoint.
+
+/// Writes every named parameter of `module` to `out`, one per line in the
+/// format above. Returns the number of lines written via `count` when
+/// non-null.
+void WriteParameterBlock(std::ostream& out, const Module& module,
+                         int64_t* count = nullptr);
+
+/// Reads exactly `count` parameter lines (or, when count < 0, every
+/// remaining non-empty line) from `in` into `loaded`. Malformed lines,
+/// absurd shapes, and truncated value lists produce a Status error —
+/// never a crash or an unbounded allocation. `context` names the source
+/// in error messages.
+Status ReadParameterBlock(std::istream& in, int64_t count,
+                          std::map<std::string, Tensor>* loaded,
+                          const std::string& context);
+
+/// Copies `loaded` entries into the matching parameters of `module`.
+/// Every module parameter must be present with an identical shape.
+Status ApplyParameters(Module& module,
+                       const std::map<std::string, Tensor>& loaded,
+                       const std::string& context);
 
 }  // namespace nn
 }  // namespace ealgap

@@ -1,0 +1,399 @@
+#include "serve/online_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace ealgap {
+namespace serve {
+
+namespace {
+constexpr char kStateMagic[] = "ealgap-serve-state";
+constexpr int kStateVersion = 1;
+}  // namespace
+
+bool OnlinePredictor::IsWeekendStep(int64_t s) const {
+  return IsWeekend(AddDays(start_date_, s / steps_per_day_));
+}
+
+int64_t OnlinePredictor::MinFirstTarget() const {
+  const int64_t t_day = steps_per_day_;
+  const int64_t window_floor =
+      t_day * (options_.num_windows - 1) + options_.history_length;
+  const int64_t norm_floor = t_day * (options_.norm_history + 2);
+  return std::max(window_floor, norm_floor);
+}
+
+Result<OnlinePredictor> OnlinePredictor::Create(
+    Forecaster* model, const data::SlidingWindowDataset& history,
+    int64_t history_end) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("OnlinePredictor needs a model");
+  }
+  if (!model->SupportsStreaming()) {
+    return Status::InvalidArgument(model->name() +
+                                   " does not support streaming prediction");
+  }
+  const auto& series = history.series();
+  OnlinePredictor p;
+  p.model_ = model;
+  p.options_ = history.options();
+  p.num_regions_ = series.num_regions;
+  p.steps_per_day_ = series.steps_per_day;
+  p.start_date_ = series.start_date;
+  p.window_span_ = static_cast<int64_t>(p.steps_per_day_) *
+                       (p.options_.num_windows - 1) +
+                   p.options_.history_length;
+  if (history_end < history.MinTargetStep() ||
+      history_end > series.total_steps()) {
+    return Status::OutOfRange(
+        "history_end must lie in [MinTargetStep, total_steps]");
+  }
+  p.next_step_ = history_end;
+  const int n = p.num_regions_;
+  p.ring_x_.assign(p.window_span_ * n, 0.f);
+  p.ring_mu_.assign(p.window_span_ * n, 0.f);
+  p.ring_sigma_.assign(p.window_span_ * n, 0.f);
+  p.slots_.assign(2 * p.steps_per_day_, {});
+  p.window_sum_.assign(n, 0.0);
+
+  for (int64_t s = 0; s < history_end; ++s) {
+    std::vector<float> x_row = history.StepCounts(s);
+    if (s >= history_end - p.window_span_) {
+      std::vector<float> mu_row = history.StepMu(s);
+      std::vector<float> sigma_row = history.StepSigma(s);
+      const int64_t base = p.RingIndex(s);
+      std::copy(x_row.begin(), x_row.end(), p.ring_x_.begin() + base);
+      std::copy(mu_row.begin(), mu_row.end(), p.ring_mu_.begin() + base);
+      std::copy(sigma_row.begin(), sigma_row.end(),
+                p.ring_sigma_.begin() + base);
+    }
+    if (s >= history_end - p.options_.history_length) {
+      for (int r = 0; r < n; ++r) p.window_sum_[r] += x_row[r];
+    }
+    auto& slot = p.slots_[(s % p.steps_per_day_) * 2 +
+                          (p.IsWeekendStep(s) ? 1 : 0)];
+    slot.push_back(std::move(x_row));
+    if (static_cast<int>(slot.size()) > p.options_.norm_history) {
+      slot.erase(slot.begin());
+    }
+  }
+  return p;
+}
+
+void OnlinePredictor::MatchedStats(int64_t s, const std::vector<float>& x_row,
+                                   std::vector<float>* mu_row,
+                                   std::vector<float>* sigma_row) const {
+  // Mirrors SlidingWindowDataset::RefreshMatchedStats: the matched set is
+  // the step itself plus the newest `norm_history` same-slot observations,
+  // accumulated newest-to-oldest in double precision — the identical
+  // floating-point summation order is what makes streaming bit-identical
+  // to the batch pipeline.
+  const auto& slot =
+      slots_[(s % steps_per_day_) * 2 + (IsWeekendStep(s) ? 1 : 0)];
+  const int prior = std::min<int>(options_.norm_history,
+                                  static_cast<int>(slot.size()));
+  const double inv = 1.0 / static_cast<double>(1 + prior);
+  const int n = num_regions_;
+  mu_row->resize(n);
+  sigma_row->resize(n);
+  for (int r = 0; r < n; ++r) {
+    double m = x_row[r];
+    for (int k = 0; k < prior; ++k) {
+      m += slot[slot.size() - 1 - k][r];
+    }
+    m *= inv;
+    double ss = 0.0;
+    {
+      const double d = x_row[r] - m;
+      ss += d * d;
+    }
+    for (int k = 0; k < prior; ++k) {
+      const double d = slot[slot.size() - 1 - k][r] - m;
+      ss += d * d;
+    }
+    (*mu_row)[r] = static_cast<float>(m);
+    (*sigma_row)[r] = static_cast<float>(std::sqrt(ss * inv));
+  }
+}
+
+Status OnlinePredictor::Observe(const std::vector<double>& counts) {
+  const int n = num_regions_;
+  if (static_cast<int>(counts.size()) != n) {
+    return Status::InvalidArgument("expected one count per region");
+  }
+  const int64_t s = next_step_;
+  std::vector<float> x_row(n);
+  for (int r = 0; r < n; ++r) x_row[r] = static_cast<float>(counts[r]);
+
+  std::vector<float> mu_row, sigma_row;
+  MatchedStats(s, x_row, &mu_row, &sigma_row);
+
+  // O(1) exponential-MLE refresh: slide the L-window sum before the ring
+  // slot of step s-L is overwritten (they coincide when M == 1).
+  const int64_t leaving = RingIndex(s - options_.history_length);
+  for (int r = 0; r < n; ++r) {
+    // Widen before subtracting: float arithmetic here would round each
+    // slide and drift the sum off the exact value.
+    window_sum_[r] += static_cast<double>(x_row[r]) -
+                      static_cast<double>(ring_x_[leaving + r]);
+  }
+
+  const int64_t base = RingIndex(s);
+  std::copy(x_row.begin(), x_row.end(), ring_x_.begin() + base);
+  std::copy(mu_row.begin(), mu_row.end(), ring_mu_.begin() + base);
+  std::copy(sigma_row.begin(), sigma_row.end(), ring_sigma_.begin() + base);
+
+  auto& slot =
+      slots_[(s % steps_per_day_) * 2 + (IsWeekendStep(s) ? 1 : 0)];
+  slot.push_back(std::move(x_row));
+  if (static_cast<int>(slot.size()) > options_.norm_history) {
+    slot.erase(slot.begin());
+  }
+  ++next_step_;
+  return Status::OK();
+}
+
+Result<std::vector<double>> OnlinePredictor::PredictNext() {
+  const int64_t t = next_step_;  // target step
+  const int n = num_regions_;
+  const int64_t l = options_.history_length;
+  const int64_t m = options_.num_windows;
+  const int64_t t_day = steps_per_day_;
+
+  // Assemble the exact WindowSample MakeSample(t) would build, reading the
+  // ring buffer instead of the full series.
+  data::WindowSample sample;
+  sample.target_step = t;
+  sample.x = Tensor::Zeros({n, l});
+  sample.f = Tensor::Zeros({m, n, l});
+  sample.f_mu = Tensor::Zeros({m, n, l});
+  sample.f_sigma = Tensor::Zeros({m, n, l});
+  sample.target = Tensor::Zeros({n});
+  sample.w_next = Tensor::Zeros({m, n});
+  sample.w_next_mu = Tensor::Zeros({m, n});
+  sample.w_next_sigma = Tensor::Zeros({m, n});
+
+  float* px = sample.x.data();
+  for (int r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < l; ++j) {
+      px[r * l + j] = ring_x_[RingIndex(t - l + j) + r];
+    }
+  }
+  float* pf = sample.f.data();
+  float* pfm = sample.f_mu.data();
+  float* pfs = sample.f_sigma.data();
+  float* pwn = sample.w_next.data();
+  float* pwm = sample.w_next_mu.data();
+  float* pws = sample.w_next_sigma.data();
+  for (int64_t w = 0; w < m; ++w) {
+    const int64_t offset = t_day * (m - 1 - w);
+    const int64_t begin = t - offset - l;
+    for (int r = 0; r < n; ++r) {
+      for (int64_t j = 0; j < l; ++j) {
+        const int64_t src = RingIndex(begin + j) + r;
+        const int64_t dst = (w * n + r) * l + j;
+        pf[dst] = ring_x_[src];
+        pfm[dst] = ring_mu_[src];
+        pfs[dst] = ring_sigma_[src];
+      }
+      // Step following window w. For the last window that is the target
+      // itself — unobserved, and unused by the no-grad sample path; it
+      // stays zero exactly as sample.target does.
+      if (offset > 0) {
+        const int64_t src = RingIndex(t - offset) + r;
+        pwn[w * n + r] = ring_x_[src];
+        pwm[w * n + r] = ring_mu_[src];
+        pws[w * n + r] = ring_sigma_[src];
+      }
+    }
+  }
+  return model_->PredictSample(sample);
+}
+
+std::vector<Result<std::vector<double>>> OnlinePredictor::PredictMany(
+    const std::vector<OnlinePredictor*>& predictors) {
+  const int64_t k = static_cast<int64_t>(predictors.size());
+  std::vector<std::optional<Result<std::vector<double>>>> scratch(k);
+  // Each slot is written by exactly one index, so the result cannot depend
+  // on how the pool splits the range; the model's internal kernels detect
+  // the nested region and run serially per request.
+  ParallelFor(0, k, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (predictors[i] == nullptr) {
+        scratch[i].emplace(Status::InvalidArgument("null predictor"));
+      } else {
+        scratch[i].emplace(predictors[i]->PredictNext());
+      }
+    }
+  });
+  std::vector<Result<std::vector<double>>> out;
+  out.reserve(k);
+  for (auto& s : scratch) out.push_back(std::move(*s));
+  return out;
+}
+
+double OnlinePredictor::ExponentialRate(int region) const {
+  EALGAP_CHECK_GE(region, 0);
+  EALGAP_CHECK_LT(region, num_regions_);
+  const double mean = std::max(
+      window_sum_[region] / static_cast<double>(options_.history_length),
+      1e-12);
+  return 1.0 / mean;
+}
+
+Status OnlinePredictor::SaveState(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << kStateMagic << " " << kStateVersion << "\n";
+  out << "model " << model_->name() << "\n";
+  out << "geometry " << num_regions_ << " " << steps_per_day_ << " "
+      << options_.history_length << " " << options_.num_windows << " "
+      << options_.norm_history << "\n";
+  out << "start " << start_date_.year << " " << start_date_.month << " "
+      << start_date_.day << "\n";
+  out << "next_step " << next_step_ << "\n";
+  out.precision(std::numeric_limits<float>::max_digits10);
+  // Ring rows for steps [next_step - W, next_step), oldest first.
+  for (int64_t s = next_step_ - window_span_; s < next_step_; ++s) {
+    const int64_t base = RingIndex(s);
+    out << "ring";
+    for (int r = 0; r < num_regions_; ++r) out << " " << ring_x_[base + r];
+    for (int r = 0; r < num_regions_; ++r) out << " " << ring_mu_[base + r];
+    for (int r = 0; r < num_regions_; ++r) out << " " << ring_sigma_[base + r];
+    out << "\n";
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    out << "slot " << i << " " << slots_[i].size();
+    for (const auto& row : slots_[i]) {
+      for (float v : row) out << " " << v;
+    }
+    out << "\n";
+  }
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "window_sum";
+  for (double v : window_sum_) out << " " << v;
+  out << "\nend\n";
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
+                                                   Forecaster* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("OnlinePredictor needs a model");
+  }
+  if (!model->SupportsStreaming()) {
+    return Status::InvalidArgument(model->name() +
+                                   " does not support streaming prediction");
+  }
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic, tag;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kStateMagic) {
+    return Status::ParseError(path + " is not a serve-state file");
+  }
+  if (version != kStateVersion) {
+    return Status::InvalidArgument("unsupported serve-state version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  std::string model_name;
+  if (!(in >> tag >> model_name) || tag != "model") {
+    return Status::ParseError("missing model line in " + path);
+  }
+  if (model_name != model->name()) {
+    return Status::InvalidArgument("state was captured for model " +
+                                   model_name + " but this model is " +
+                                   model->name());
+  }
+  OnlinePredictor p;
+  p.model_ = model;
+  int64_t l = 0, m = 0, nh = 0;
+  if (!(in >> tag >> p.num_regions_ >> p.steps_per_day_ >> l >> m >> nh) ||
+      tag != "geometry" || p.num_regions_ < 1 || p.num_regions_ > (1 << 20) ||
+      p.steps_per_day_ < 1 || p.steps_per_day_ > 1440 || l < 1 || l > 4096 ||
+      m < 1 || m > 4096 || nh < 1 || nh > 4096) {
+    return Status::ParseError("bad geometry line in " + path);
+  }
+  p.options_.history_length = static_cast<int>(l);
+  p.options_.num_windows = static_cast<int>(m);
+  p.options_.norm_history = static_cast<int>(nh);
+  if (!(in >> tag >> p.start_date_.year >> p.start_date_.month >>
+        p.start_date_.day) ||
+      tag != "start" || p.start_date_.month < 1 || p.start_date_.month > 12 ||
+      p.start_date_.day < 1 || p.start_date_.day > 31) {
+    return Status::ParseError("bad start line in " + path);
+  }
+  if (!(in >> tag >> p.next_step_) || tag != "next_step") {
+    return Status::ParseError("bad next_step line in " + path);
+  }
+  p.window_span_ = static_cast<int64_t>(p.steps_per_day_) * (m - 1) + l;
+  if (p.next_step_ < p.MinFirstTarget()) {
+    return Status::InvalidArgument("serve state has too little history");
+  }
+  const int n = p.num_regions_;
+  p.ring_x_.assign(p.window_span_ * n, 0.f);
+  p.ring_mu_.assign(p.window_span_ * n, 0.f);
+  p.ring_sigma_.assign(p.window_span_ * n, 0.f);
+  for (int64_t s = p.next_step_ - p.window_span_; s < p.next_step_; ++s) {
+    if (!(in >> tag) || tag != "ring") {
+      return Status::ParseError("truncated ring block in " + path);
+    }
+    const int64_t base = p.RingIndex(s);
+    for (int r = 0; r < n; ++r) {
+      if (!(in >> p.ring_x_[base + r])) {
+        return Status::ParseError("truncated ring row in " + path);
+      }
+    }
+    for (int r = 0; r < n; ++r) {
+      if (!(in >> p.ring_mu_[base + r])) {
+        return Status::ParseError("truncated ring row in " + path);
+      }
+    }
+    for (int r = 0; r < n; ++r) {
+      if (!(in >> p.ring_sigma_[base + r])) {
+        return Status::ParseError("truncated ring row in " + path);
+      }
+    }
+  }
+  p.slots_.assign(2 * p.steps_per_day_, {});
+  for (size_t i = 0; i < p.slots_.size(); ++i) {
+    size_t idx = 0, count = 0;
+    if (!(in >> tag >> idx >> count) || tag != "slot" || idx != i ||
+        count > static_cast<size_t>(nh)) {
+      return Status::ParseError("bad slot header in " + path);
+    }
+    p.slots_[i].assign(count, std::vector<float>(n));
+    for (auto& row : p.slots_[i]) {
+      for (int r = 0; r < n; ++r) {
+        if (!(in >> row[r])) {
+          return Status::ParseError("truncated slot row in " + path);
+        }
+      }
+    }
+  }
+  if (!(in >> tag) || tag != "window_sum") {
+    return Status::ParseError("missing window_sum in " + path);
+  }
+  p.window_sum_.assign(n, 0.0);
+  for (int r = 0; r < n; ++r) {
+    if (!(in >> p.window_sum_[r])) {
+      return Status::ParseError("truncated window_sum in " + path);
+    }
+  }
+  if (!(in >> tag) || tag != "end") {
+    return Status::ParseError("truncated serve state (missing end marker) in " +
+                              path);
+  }
+  return p;
+}
+
+}  // namespace serve
+}  // namespace ealgap

@@ -1,0 +1,124 @@
+#ifndef EALGAP_SERVE_ONLINE_PREDICTOR_H_
+#define EALGAP_SERVE_ONLINE_PREDICTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/forecaster.h"
+#include "common/result.h"
+#include "common/time_util.h"
+#include "data/dataset.h"
+
+namespace ealgap {
+namespace serve {
+
+/// Streaming next-step prediction around a fitted Forecaster.
+///
+/// The batch pipeline re-walks a SlidingWindowDataset on every call: the
+/// matched instance-norm statistics mu/sigma (Eq. 9) and the exponential-MLE
+/// inputs of the global module (Eq. 3-4) are recomputed from raw history.
+/// OnlinePredictor instead keeps per-region incremental state:
+///
+///  * a ring buffer of the last W = T*(M-1) + L observed steps (values plus
+///    their matched statistics) — everything a WindowSample reads,
+///  * per-(time-of-day, day-type) matched-statistic accumulators holding the
+///    `norm_history` most recent same-slot observations, so Observe()
+///    refreshes mu/sigma in O(norm_history) work per region — independent of
+///    stream length — using the exact summation order of
+///    SlidingWindowDataset::RefreshMatchedStats (bit-identical parity),
+///  * a rolling per-region sum over the live L-window, giving an O(1)
+///    refresh of the exponential MLE rate (lambda = L / sum) that the serve
+///    tool reports as a drift diagnostic.
+///
+/// PredictNext() assembles the same WindowSample MakeSample(next_step())
+/// would build and runs the model's sample path, so streaming predictions
+/// are bit-identical to the batch pipeline (asserted by
+/// tests/serve_parity_test.cc). tests also cover the SaveState/LoadState
+/// mid-stream checkpoint boundary and thread-count invariance.
+class OnlinePredictor {
+ public:
+  /// Wraps a fitted, streaming-capable `model` (not owned; must outlive the
+  /// predictor) and seeds the incremental state from the first
+  /// `history_end` steps of `history`. Requires
+  /// history_end >= history.MinTargetStep() (so the first PredictNext() has
+  /// full windows) and history_end <= total steps.
+  static Result<OnlinePredictor> Create(
+      Forecaster* model, const data::SlidingWindowDataset& history,
+      int64_t history_end);
+
+  /// Appends one observed step (one count per region) and refreshes the
+  /// incremental state: ring buffer, matched statistics, rolling MLE sum.
+  Status Observe(const std::vector<double>& counts);
+
+  /// Predicts the next unobserved step (index next_step()) from the
+  /// incremental state. Does not advance the stream: call Observe() with
+  /// the realized (or, for rollout, the predicted) counts afterwards.
+  Result<std::vector<double>> PredictNext();
+
+  /// Batched prediction for concurrent requests: fans the predictors out
+  /// over the process thread pool. Slot i of the result corresponds to
+  /// predictors[i]; results are bit-identical to calling PredictNext() on
+  /// each predictor serially, for any thread count. Predictors may share
+  /// one model: the sample path reads only fitted parameters.
+  static std::vector<Result<std::vector<double>>> PredictMany(
+      const std::vector<OnlinePredictor*>& predictors);
+
+  /// Index of the step PredictNext() predicts (== number of steps the
+  /// stream has, counted from the seed dataset's origin).
+  int64_t next_step() const { return next_step_; }
+  int num_regions() const { return num_regions_; }
+
+  /// O(1)-maintained exponential-MLE rate lambda = 1/mean over the region's
+  /// live L-window (the Eq. 3 fit the global module recomputes internally);
+  /// exposed as a serving-time drift diagnostic.
+  double ExponentialRate(int region) const;
+
+  /// Serializes the incremental state (ring, accumulators, calendar) to a
+  /// plain-text file. Together with the model's SaveCheckpoint this makes a
+  /// serving node restartable mid-stream with bit-identical predictions.
+  Status SaveState(const std::string& path) const;
+
+  /// Restores a predictor saved by SaveState around `model` (not owned),
+  /// which must already be fitted/loaded and report SupportsStreaming().
+  /// Corrupted or truncated files yield a Status error, never a crash.
+  static Result<OnlinePredictor> LoadState(const std::string& path,
+                                           Forecaster* model);
+
+ private:
+  OnlinePredictor() = default;
+
+  /// Ring slot of step s (valid while next_step_ - W <= s < next_step_).
+  int64_t RingIndex(int64_t s) const { return (s % window_span_) * num_regions_; }
+  bool IsWeekendStep(int64_t s) const;
+  int64_t MinFirstTarget() const;
+  /// Computes mu/sigma rows for step s from x_row and the slot accumulator,
+  /// mirroring SlidingWindowDataset::RefreshMatchedStats bit-for-bit.
+  void MatchedStats(int64_t s, const std::vector<float>& x_row,
+                    std::vector<float>* mu_row,
+                    std::vector<float>* sigma_row) const;
+
+  Forecaster* model_ = nullptr;  // not owned
+
+  // Stream geometry/calendar (copied from the seed dataset).
+  data::DatasetOptions options_;
+  int num_regions_ = 0;
+  int steps_per_day_ = 24;
+  CivilDate start_date_;
+  int64_t window_span_ = 0;  ///< W = T*(M-1) + L ring capacity in steps
+  int64_t next_step_ = 0;    ///< first unobserved step
+
+  // Ring buffer over the last W steps; slot (s % W) holds step s's rows.
+  std::vector<float> ring_x_, ring_mu_, ring_sigma_;  // each W * N
+
+  // Matched-statistic accumulators: slot (step % T, weekend) keeps the
+  // newest `norm_history` same-slot observation rows, oldest first.
+  std::vector<std::vector<std::vector<float>>> slots_;  // [2T][<=nh][N]
+
+  // Rolling sum over the live L-window per region (exponential MLE state).
+  std::vector<double> window_sum_;
+};
+
+}  // namespace serve
+}  // namespace ealgap
+
+#endif  // EALGAP_SERVE_ONLINE_PREDICTOR_H_

@@ -1,0 +1,134 @@
+// Golden-prediction regression test: a tiny fixed-seed EALGAP trained on a
+// deterministic synthetic city must keep reproducing the committed
+// predictions in tests/testdata/golden_ealgap_predictions.txt. Any change
+// to the model math, the data pipeline, the optimizer, or the RNG shows up
+// here as a diff against the fixture.
+//
+// Regenerating after an INTENDED numerics change (one command):
+//
+//   EALGAP_REGEN_GOLDEN=1 ./build/tests/golden_prediction_test
+//
+// which rewrites the fixture in the source tree (via the compiled-in
+// EALGAP_TESTDATA_DIR); commit the result alongside the change.
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/ealgap.h"
+#include "data/dataset.h"
+
+#ifndef EALGAP_TESTDATA_DIR
+#define EALGAP_TESTDATA_DIR "tests/testdata"
+#endif
+
+namespace ealgap {
+namespace {
+
+constexpr int kGoldenSteps = 20;
+
+// Fully deterministic synthetic city: harmonic daily profile plus
+// seeded AR noise. Changing anything here invalidates the fixture.
+data::MobilitySeries GoldenSeries() {
+  const int regions = 3, days = 30;
+  Rng rng(17);
+  data::MobilitySeries series;
+  series.num_regions = regions;
+  series.steps_per_day = 24;
+  series.start_date = {2022, 5, 2};
+  series.num_days = days;
+  series.counts = Tensor::Zeros({regions, static_cast<int64_t>(days) * 24});
+  for (int r = 0; r < regions; ++r) {
+    double ar = 0.0;
+    for (int64_t s = 0; s < days * 24; ++s) {
+      const int h = static_cast<int>(s % 24);
+      const double base =
+          12.0 + 10.0 * std::exp(-0.5 * std::pow((h - 9.0) / 2.5, 2)) +
+          11.0 * std::exp(-0.5 * std::pow((h - 18.0) / 2.5, 2));
+      ar = 0.9 * ar + rng.Normal(0.0, 1.2);
+      series.counts.data()[r * days * 24 + s] = static_cast<float>(
+          std::max(0.0, base * (1.0 + 0.15 * r) + ar));
+    }
+  }
+  return series;
+}
+
+std::vector<double> ComputeGoldenPredictions() {
+  data::DatasetOptions options;
+  options.history_length = 5;
+  options.num_windows = 3;
+  options.norm_history = 3;
+  auto ds = data::SlidingWindowDataset::Create(GoldenSeries(), options);
+  EXPECT_TRUE(ds.ok());
+  auto split = data::MakeChronoSplit(*ds);
+  EXPECT_TRUE(split.ok());
+
+  core::EalgapForecaster model;
+  TrainConfig train;
+  train.epochs = 2;
+  train.learning_rate = 3e-3f;
+  train.seed = 23;
+  EXPECT_TRUE(model.Fit(*ds, *split, train).ok());
+
+  std::vector<double> out;
+  for (int64_t step = split->test_begin;
+       step < split->test_begin + kGoldenSteps; ++step) {
+    auto pred = model.Predict(*ds, step);
+    EXPECT_TRUE(pred.ok());
+    out.insert(out.end(), pred->begin(), pred->end());
+  }
+  return out;
+}
+
+TEST(GoldenPredictionTest, MatchesCommittedFixture) {
+  // The fixture was generated at 1 thread; the determinism suite
+  // guarantees that is not a restriction, but pin it anyway so a golden
+  // failure always means "numerics changed", never "pool changed".
+  const int saved = GetNumThreads();
+  SetNumThreads(1);
+  const std::vector<double> got = ComputeGoldenPredictions();
+  SetNumThreads(saved);
+  ASSERT_FALSE(got.empty());
+
+  const std::string path =
+      std::string(EALGAP_TESTDATA_DIR) + "/golden_ealgap_predictions.txt";
+
+  if (std::getenv("EALGAP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write fixture " << path;
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << "# golden EALGAP predictions; regenerate with\n"
+        << "#   EALGAP_REGEN_GOLDEN=1 ./build/tests/golden_prediction_test\n";
+    for (double v : got) out << v << "\n";
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "fixture regenerated at " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << path
+      << " — generate it with EALGAP_REGEN_GOLDEN=1 (see file header)";
+  std::vector<double> want;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    want.push_back(std::stod(line));
+  }
+  ASSERT_EQ(want.size(), got.size())
+      << "prediction count changed; regenerate the fixture if intended";
+  for (size_t i = 0; i < want.size(); ++i) {
+    // max_digits10 round-trips doubles exactly, so this is a bit-level
+    // comparison (EXPECT_DOUBLE_EQ allows 4 ULPs of parse slack).
+    EXPECT_DOUBLE_EQ(got[i], want[i]) << "prediction " << i << " drifted";
+  }
+}
+
+}  // namespace
+}  // namespace ealgap

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nn/module.h"
 #include "tensor/autograd.h"
 
 namespace ealgap {
@@ -53,6 +54,49 @@ inline void ExpectGradientsMatch(
       const float scale = std::max({1.f, std::fabs(numeric), std::fabs(got)});
       EXPECT_NEAR(got, numeric, tol * scale)
           << "input " << i << " element " << j;
+    }
+  }
+}
+
+/// Checks the analytic gradients of a module's *parameters* against central
+/// finite differences.
+///
+/// Unlike ExpectGradientsMatch, the leaves here are the module's registered
+/// parameters (gamma/epsilon of ExtremeDegreeModule, the six Linears of a
+/// GruCell, ...). `fn` runs a forward pass over the live module and returns
+/// a scalar Var; it is re-evaluated under NoGradGuard with each parameter
+/// element perturbed in place by +/-eps.
+inline void ExpectParameterGradientsMatch(nn::Module& module,
+                                          const std::function<Var()>& fn,
+                                          float eps = 1e-3f,
+                                          float tol = 2e-2f) {
+  module.ZeroGrad();
+  Var out = fn();
+  ASSERT_EQ(out.value().numel(), 1) << "gradcheck needs a scalar output";
+  Backward(out);
+
+  auto params = module.NamedParameters();
+  ASSERT_FALSE(params.empty()) << "module has no parameters to check";
+  for (auto& [name, p] : params) {
+    Tensor& value = const_cast<Tensor&>(p.value());
+    const Tensor& analytic = p.grad();
+    ASSERT_TRUE(analytic.defined()) << name << " received no gradient";
+    for (int64_t j = 0; j < value.numel(); ++j) {
+      const float orig = value.data()[j];
+      auto eval = [&](float v) {
+        NoGradGuard no_grad;
+        value.data()[j] = v;
+        Var o = fn();
+        return o.value().data()[0];
+      };
+      const float up = eval(orig + eps);
+      const float down = eval(orig - eps);
+      value.data()[j] = orig;
+      const float numeric = (up - down) / (2 * eps);
+      const float got = analytic.data()[j];
+      const float scale = std::max({1.f, std::fabs(numeric), std::fabs(got)});
+      EXPECT_NEAR(got, numeric, tol * scale)
+          << "parameter " << name << " element " << j;
     }
   }
 }

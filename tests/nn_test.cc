@@ -159,6 +159,23 @@ TEST(RnnCellsTest, GradientsFlowThroughUnrolledGru) {
   EXPECT_GT(total, 1e-4);
 }
 
+TEST(RnnCellsTest, GruParameterGradientsMatchFiniteDifferences) {
+  // Checks the analytic gradient of every GruCell parameter (all six
+  // Linears: update/reset/candidate gates, input and hidden sides) against
+  // central finite differences through a 3-step unroll.
+  Rng rng(7);
+  nn::GruCell gru(2, 3, rng);
+  std::vector<Tensor> inputs;
+  for (int t = 0; t < 3; ++t) {
+    inputs.push_back(Tensor::Randn({2, 2}, rng));
+  }
+  testing::ExpectParameterGradientsMatch(gru, [&]() {
+    std::vector<Var> steps;
+    for (const Tensor& x : inputs) steps.push_back(Var::Leaf(x.Clone()));
+    return SumAll(RunGru(gru, steps, nn::ZeroState(2, 3)));
+  });
+}
+
 // --- conv -------------------------------------------------------------------
 
 // Naive direct convolution as the reference implementation.

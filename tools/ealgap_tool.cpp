@@ -9,12 +9,21 @@
 //       Prints feed statistics: record counts, date range, cleaning report.
 //
 //   evaluate  --trips T.csv --stations S.csv --start YYYY-MM-DD --days N
-//             [--regions K] [--scheme EALGAP] [--epochs N]
+//             [--regions K] [--scheme EALGAP] [--epochs N] [--save ckpt.txt]
 //       Runs the full pipeline on a trip feed, trains the scheme, and
-//       reports the test metrics.
+//       reports the test metrics. --save checkpoints the fitted model.
+//
+//   serve     --trips T.csv --stations S.csv --start YYYY-MM-DD --days N
+//             --checkpoint ckpt.txt [--regions K] [--seed N]
+//       Loads a checkpointed model, seeds an OnlinePredictor at the start
+//       of the test range, and replays the test feed step by step
+//       (predict, then observe the realized counts), reporting metrics
+//       and per-prediction latency.
 //
 // Exit code 0 on success; errors go to stderr.
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <map>
 
@@ -27,6 +36,7 @@
 #include "data/dataset.h"
 #include "data/partition.h"
 #include "data/trip.h"
+#include "serve/online_predictor.h"
 #include "stats/metrics.h"
 
 namespace {
@@ -95,7 +105,11 @@ int Inspect(const Flags& flags) {
   return 0;
 }
 
-int Evaluate(const Flags& flags) {
+/// Shared by evaluate and serve: trips CSV -> cleaned, partitioned,
+/// windowed, chronologically split dataset. The pipeline is deterministic
+/// in its flags, so `serve` rebuilds the exact dataset `evaluate`
+/// checkpointed against.
+int BuildPrepared(const Flags& flags, core::PreparedData* prepared) {
   auto trips = data::ReadTripsCsv(flags.GetString("trips", "trips.csv"));
   if (!trips.ok()) return Fail(trips.status());
   auto stations =
@@ -108,20 +122,19 @@ int Evaluate(const Flags& flags) {
   }
   const int days = static_cast<int>(flags.GetInt("days", 90));
 
-  core::PreparedData prepared;
   data::CleaningOptions cleaning;
   cleaning.min_avg_hourly_pickups = flags.GetDouble("min-pickups", 0.0);
-  prepared.stations = *stations;
-  auto clean =
-      data::CleanTrips(*trips, prepared.stations, cleaning, &prepared.cleaning);
+  prepared->stations = *stations;
+  auto clean = data::CleanTrips(*trips, prepared->stations, cleaning,
+                                &prepared->cleaning);
   data::PartitionOptions popts;
   popts.num_regions = static_cast<int>(flags.GetInt("regions", 20));
   popts.seed = flags.GetInt("seed", 7);
-  auto partition = data::PartitionStations(prepared.stations, popts);
+  auto partition = data::PartitionStations(prepared->stations, popts);
   if (!partition.ok()) return Fail(partition.status());
-  prepared.partition = std::move(partition).value();
-  auto series = data::AggregateTrips(clean, prepared.stations,
-                                     prepared.partition, *start, days);
+  prepared->partition = std::move(partition).value();
+  auto series = data::AggregateTrips(clean, prepared->stations,
+                                     prepared->partition, *start, days);
   if (!series.ok()) return Fail(series.status());
   data::DatasetOptions dopts;
   dopts.history_length = static_cast<int>(flags.GetInt("L", 5));
@@ -130,10 +143,24 @@ int Evaluate(const Flags& flags) {
   auto dataset =
       data::SlidingWindowDataset::Create(std::move(series).value(), dopts);
   if (!dataset.ok()) return Fail(dataset.status());
-  prepared.dataset = std::move(dataset).value();
-  auto split = data::MakeChronoSplit(prepared.dataset);
+  prepared->dataset = std::move(dataset).value();
+  auto split = data::MakeChronoSplit(prepared->dataset);
   if (!split.ok()) return Fail(split.status());
-  prepared.split = *split;
+  prepared->split = *split;
+  return 0;
+}
+
+void PrintMetrics(const std::string& title, const stats::MetricReport& m) {
+  TablePrinter table(title, {"ER", "MSLE", "R2", "RMSE", "MAE"});
+  table.AddRow({TablePrinter::Num(m.er), TablePrinter::Num(m.msle),
+                TablePrinter::Num(m.r2), TablePrinter::Num(m.rmse),
+                TablePrinter::Num(m.mae)});
+  table.Print(std::cout);
+}
+
+int Evaluate(const Flags& flags) {
+  core::PreparedData prepared;
+  if (int rc = BuildPrepared(flags, &prepared); rc != 0) return rc;
 
   TrainConfig train;
   train.epochs = static_cast<int>(flags.GetInt("epochs", 20));
@@ -144,17 +171,86 @@ int Evaluate(const Flags& flags) {
   if (!model.ok()) return Fail(model.status());
   Status fit = (*model)->Fit(prepared.dataset, prepared.split, train);
   if (!fit.ok()) return Fail(fit);
+
+  const std::string save_path = flags.GetString("save", "");
+  if (!save_path.empty()) {
+    auto* neural = dynamic_cast<NeuralForecaster*>(model->get());
+    if (neural == nullptr) {
+      std::cerr << "error: --save supports neural schemes only, not "
+                << scheme << "\n";
+      return 1;
+    }
+    Status saved = neural->SaveCheckpoint(save_path);
+    if (!saved.ok()) return Fail(saved);
+    std::cout << "checkpoint written to " << save_path << "\n";
+  }
+
   std::vector<double> pred, truth;
-  Status ps = (*model)->PredictRange(prepared.dataset, prepared.split.test_begin,
+  Status ps = (*model)->PredictRange(prepared.dataset,
+                                     prepared.split.test_begin,
                                      prepared.split.test_end, &pred, &truth);
   if (!ps.ok()) return Fail(ps);
-  auto metrics = stats::ComputeMetrics(pred, truth);
-  TablePrinter table("test metrics (" + scheme + ")",
-                     {"ER", "MSLE", "R2", "RMSE", "MAE"});
-  table.AddRow({TablePrinter::Num(metrics.er), TablePrinter::Num(metrics.msle),
-                TablePrinter::Num(metrics.r2), TablePrinter::Num(metrics.rmse),
-                TablePrinter::Num(metrics.mae)});
-  table.Print(std::cout);
+  PrintMetrics("test metrics (" + scheme + ")",
+               stats::ComputeMetrics(pred, truth));
+  return 0;
+}
+
+int Serve(const Flags& flags) {
+  const std::string ckpt = flags.GetString("checkpoint", "");
+  if (ckpt.empty()) {
+    std::cerr << "error: --checkpoint is required\n";
+    return 1;
+  }
+  core::PreparedData prepared;
+  if (int rc = BuildPrepared(flags, &prepared); rc != 0) return rc;
+
+  auto model = core::LoadForecasterFromCheckpoint(ckpt);
+  if (!model.ok()) return Fail(model.status());
+  auto predictor = serve::OnlinePredictor::Create(
+      model->get(), prepared.dataset, prepared.split.test_begin);
+  if (!predictor.ok()) return Fail(predictor.status());
+
+  // Replay the test range as a live feed: predict the next step, then
+  // observe the realized counts.
+  const int n = predictor->num_regions();
+  std::vector<double> pred, truth;
+  std::vector<double> latency_ms;
+  for (int64_t step = prepared.split.test_begin;
+       step < prepared.split.test_end; ++step) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto row = predictor->PredictNext();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!row.ok()) return Fail(row.status());
+    latency_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    const std::vector<float> realized = prepared.dataset.StepCounts(step);
+    std::vector<double> observed(realized.begin(), realized.end());
+    for (int r = 0; r < n; ++r) {
+      pred.push_back((*row)[r]);
+      truth.push_back(observed[r]);
+    }
+    Status obs = predictor->Observe(observed);
+    if (!obs.ok()) return Fail(obs);
+  }
+
+  PrintMetrics("replay metrics (" + (*model)->name() + ")",
+               stats::ComputeMetrics(pred, truth));
+
+  std::vector<double> sorted = latency_ms;
+  std::sort(sorted.begin(), sorted.end());
+  auto pct = [&](double q) {
+    const size_t i = static_cast<size_t>(q * (sorted.size() - 1));
+    return sorted[i];
+  };
+  double mean = 0.0;
+  for (double v : latency_ms) mean += v;
+  mean /= static_cast<double>(latency_ms.size());
+  TablePrinter lat("per-prediction latency (ms, " +
+                       std::to_string(latency_ms.size()) + " steps)",
+                   {"mean", "p50", "p95", "p99"});
+  lat.AddRow({TablePrinter::Num(mean), TablePrinter::Num(pct(0.50)),
+              TablePrinter::Num(pct(0.95)), TablePrinter::Num(pct(0.99))});
+  lat.Print(std::cout);
   return 0;
 }
 
@@ -162,7 +258,8 @@ int Evaluate(const Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: ealgap_tool <generate|inspect|evaluate> [flags]\n";
+    std::cerr << "usage: ealgap_tool <generate|inspect|evaluate|serve> "
+                 "[flags]\n";
     return 1;
   }
   const std::string cmd = argv[1];
@@ -170,6 +267,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return Generate(flags);
   if (cmd == "inspect") return Inspect(flags);
   if (cmd == "evaluate") return Evaluate(flags);
+  if (cmd == "serve") return Serve(flags);
   std::cerr << "unknown subcommand: " << cmd << "\n";
   return 1;
 }
