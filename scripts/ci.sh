@@ -16,15 +16,25 @@ cmake -B "$BUILD_DIR" -S . -G Ninja
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+echo "===== fault stage: serve tests with injection armed ====="
+# Re-run the fault suite with EALGAP_FAULTS set so the env-arming path is
+# exercised end to end (every test still pins its own spec via
+# ScopedFaults, so ambient arming must not break any of them, and the
+# EnvVarArmsTheHarness test stops being skipped).
+EALGAP_FAULTS="nn.predict.nan:every=7,io.write.fail:p=0.5:seed=5" \
+  "./$BUILD_DIR/tests/fault_injection_test"
+
 echo "===== TSan: concurrent serving + training paths ====="
 # PredictMany fans samples across the pool and EvaluateLoss fans batches;
 # run both under ThreadSanitizer with more threads than the tiny models
-# need, to force interleavings.
+# need, to force interleavings. The fault suite rides along: fault
+# decisions are mutex-serialized and must stay race-free under load.
 cmake -B "$TSAN_BUILD_DIR" -S . -G Ninja -DEALGAP_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j --target \
-  serve_parity_test determinism_test thread_pool_test ops_parallel_test
+  serve_parity_test determinism_test thread_pool_test ops_parallel_test \
+  fault_injection_test
 for t in serve_parity_test determinism_test thread_pool_test \
-         ops_parallel_test; do
+         ops_parallel_test fault_injection_test; do
   echo "----- TSan: $t -----"
   EALGAP_NUM_THREADS=4 "./$TSAN_BUILD_DIR/tests/$t"
 done

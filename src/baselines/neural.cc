@@ -11,6 +11,9 @@
 #include <limits>
 #include <sstream>
 
+#include "common/checksum.h"
+#include "common/fault_injection.h"
+#include "common/file_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -183,6 +186,15 @@ Result<std::vector<double>> NeuralForecaster::Predict(
 Result<std::vector<double>> NeuralForecaster::PredictSample(
     const data::WindowSample& sample) {
   if (!fitted_) return Status::FailedPrecondition("PredictSample before Fit");
+  // Fault sites modeling the three ways a live forward pass degrades:
+  // latency spikes (deadline overruns), hard errors, and numerically
+  // poisoned outputs. serve::ResilientPredictor turns each into a fallback.
+  if (fault::Armed()) {
+    fault::MaybeDelay("nn.predict.delay");
+    if (fault::ShouldFail("nn.predict.error")) {
+      return Status::Internal("injected model error in " + name());
+    }
+  }
   NoGradGuard no_grad;
   std::vector<data::WindowSample> batch = {sample};
   Var pred = ForwardBatch(batch);
@@ -191,6 +203,9 @@ Result<std::vector<double>> NeuralForecaster::PredictSample(
   std::vector<double> out(counts.numel());
   for (int64_t i = 0; i < counts.numel(); ++i) {
     out[i] = std::max(0.0, static_cast<double>(p[i]));
+  }
+  if (fault::Armed() && fault::ShouldFail("nn.predict.nan") && !out.empty()) {
+    out[0] = std::numeric_limits<double>::quiet_NaN();
   }
   return out;
 }
@@ -257,8 +272,7 @@ Status NeuralForecaster::SaveCheckpoint(const std::string& path) {
   }
   CheckpointConfig config;
   EALGAP_RETURN_IF_ERROR(EncodeConfig(&config));
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::ostringstream out;
   out << kCheckpointMagic << " " << kCheckpointVersion << "\n";
   out << "model " << name() << "\n";
   out.precision(std::numeric_limits<float>::max_digits10);
@@ -266,14 +280,19 @@ Status NeuralForecaster::SaveCheckpoint(const std::string& path) {
     out << "config " << key << " " << value << "\n";
   }
   int64_t count = 0;
+  LineCrc crc;
   {
     std::ostringstream params;
-    nn::WriteParameterBlock(params, *module(), &count);
+    nn::WriteParameterBlock(params, *module(), &count, &crc);
     out << "params " << count << "\n" << params.str();
   }
+  // Per-block CRC over the parameter lines: catches in-block corruption
+  // (bit rot, bad copies) that still parses as valid numbers.
+  out << "crc " << Crc32Hex(crc.value()) << "\n";
   out << "end\n";
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::OK();
+  // Temp-file + fsync + rename with bounded retry: a reader (or a crash
+  // mid-save) can never observe a torn checkpoint.
+  return WriteFileAtomic(path, out.str());
 }
 
 Status NeuralForecaster::LoadCheckpoint(const std::string& path) {
@@ -330,9 +349,27 @@ Status NeuralForecaster::LoadCheckpoint(const std::string& path) {
   // Rebuild the network from the config echo, then load the weights.
   EALGAP_RETURN_IF_ERROR(DecodeConfig(config));
   std::map<std::string, Tensor> loaded;
+  LineCrc crc;
   EALGAP_RETURN_IF_ERROR(
-      nn::ReadParameterBlock(in, param_count, &loaded, path));
+      nn::ReadParameterBlock(in, param_count, &loaded, path, &crc));
   std::string tail;
+  std::string crc_hex;
+  uint32_t stored_crc = 0;
+  std::istringstream crc_line;
+  if (!std::getline(in, tail)) {
+    return Status::ParseError("truncated checkpoint (missing crc) in " + path);
+  }
+  crc_line.str(tail);
+  std::string crc_tag;
+  if (!(crc_line >> crc_tag >> crc_hex) || crc_tag != "crc" ||
+      !ParseCrc32Hex(crc_hex, &stored_crc)) {
+    return Status::ParseError("bad crc line in " + path);
+  }
+  if (stored_crc != crc.value()) {
+    return Status::ParseError("parameter block CRC mismatch in " + path +
+                              ": stored " + crc_hex + ", computed " +
+                              Crc32Hex(crc.value()));
+  }
   if (!std::getline(in, tail) || tail != "end") {
     return Status::ParseError("truncated checkpoint (missing end marker) in " +
                               path);

@@ -1,0 +1,62 @@
+#include "common/checksum.h"
+
+#include <array>
+#include <cstdio>
+
+namespace ealgap {
+
+namespace {
+
+/// Table for the reflected IEEE polynomial 0xEDB88320, built once.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const auto& table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string Crc32Hex(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+bool ParseCrc32Hex(const std::string& text, uint32_t* crc) {
+  if (text.size() != 8) return false;
+  uint32_t v = 0;
+  for (char ch : text) {
+    int digit;
+    if (ch >= '0' && ch <= '9') {
+      digit = ch - '0';
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = ch - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint32_t>(digit);
+  }
+  *crc = v;
+  return true;
+}
+
+}  // namespace ealgap

@@ -1,0 +1,44 @@
+#ifndef EALGAP_COMMON_CHECKSUM_H_
+#define EALGAP_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ealgap {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) over `data`.
+/// `seed` is a previous Crc32 result, allowing incremental accumulation:
+///   crc = Crc32(a); crc = Crc32(b, crc);  ==  Crc32(a + b)
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+/// Accumulates lines of text into a CRC the way the checkpoint writers do:
+/// each Update(line) hashes the line plus a trailing '\n', so writer and
+/// reader agree byte for byte regardless of how the reader splits lines.
+class LineCrc {
+ public:
+  void Update(std::string_view line) {
+    const char nl = '\n';
+    crc_ = Crc32(line, crc_);
+    crc_ = Crc32(&nl, 1, crc_);
+  }
+  uint32_t value() const { return crc_; }
+
+ private:
+  uint32_t crc_ = 0;
+};
+
+/// Fixed-width lowercase hex rendering of a CRC ("0009abcd").
+std::string Crc32Hex(uint32_t crc);
+
+/// Parses a CRC written by Crc32Hex. Returns false on malformed input.
+bool ParseCrc32Hex(const std::string& text, uint32_t* crc);
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_CHECKSUM_H_

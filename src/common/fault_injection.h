@@ -1,0 +1,104 @@
+#ifndef EALGAP_COMMON_FAULT_INJECTION_H_
+#define EALGAP_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace ealgap {
+namespace fault {
+
+/// Deterministic fault-injection harness.
+///
+/// Production code declares *named sites* at the places where the real
+/// world fails — checkpoint writes, the neural forward, deadlines — and
+/// asks the harness whether the fault fires on this call:
+///
+///   if (EALGAP_FAULT("io.write.fail")) return Status::IoError("injected");
+///
+/// Sites are compiled in always. When nothing is armed the check is a
+/// single relaxed atomic load, so the harness costs nothing in normal
+/// operation; tests and the CI fault stage arm sites to drive every
+/// degraded path that is unreachable with healthy inputs.
+///
+/// Arming is either ambient — the EALGAP_FAULTS environment variable,
+/// parsed once on first use — or programmatic via ArmFromSpec/ScopedFaults
+/// (which override the environment and, for ScopedFaults, restore it).
+///
+/// Spec grammar (also the env-var format): comma-separated site clauses,
+/// each a site name followed by colon-separated key=value options:
+///
+///   EALGAP_FAULTS="nn.predict.nan:p=0.2:seed=11,io.write.fail:every=3:max=2"
+///
+/// Options (all optional):
+///   p=<0..1>   fire probability per call (default 1.0), drawn from a
+///              per-site xoshiro RNG — deterministic given the seed and
+///              the site's call sequence.
+///   seed=<n>   RNG seed for this site (default: a hash of the site name).
+///   every=<n>  fire on every n-th eligible call instead of randomly.
+///   after=<n>  first n calls never fire.
+///   max=<n>    stop firing after n fires (transient faults).
+///   ms=<n>     free-form numeric parameter, read by the site (latency
+///              sites interpret it as a delay in milliseconds).
+///
+/// Every decision is serialized under one mutex, so concurrent callers are
+/// safe; the *order* in which threads consume a probabilistic site's RNG
+/// is scheduling-dependent, so tests that assert exact fire patterns use
+/// single-threaded replays (or `every=`, which depends only on counts).
+
+/// True when any site is armed. Single relaxed atomic load: this is the
+/// only cost paid on hot paths while the harness is disarmed.
+bool Armed();
+
+/// Deterministically decides whether `site` fires on this call and bumps
+/// the site's call/fire counters. Unarmed sites never fire.
+bool ShouldFail(const char* site);
+
+/// Numeric option attached to the site's clause (e.g. "ms"), or `def`.
+double Param(const char* site, const char* key, double def);
+
+/// If the latency site fires, sleeps for its ms option (default
+/// `default_ms`) and returns true. Convenience wrapper for deadline tests.
+bool MaybeDelay(const char* site, double default_ms = 50.0);
+
+/// Per-site observability, for tests and the serve tool's fault report.
+struct SiteStats {
+  int64_t calls = 0;
+  int64_t fires = 0;
+};
+std::map<std::string, SiteStats> Snapshot();
+
+/// Replaces the armed configuration with `spec` (same grammar as the env
+/// var). An empty spec disarms everything. Malformed specs leave the
+/// current configuration untouched and return a ParseError.
+Status ArmFromSpec(const std::string& spec);
+
+/// Disarms every site and resets all counters.
+void DisarmAll();
+
+/// RAII override for tests: arms `spec` on construction and restores the
+/// previous configuration (including env-derived arming) on destruction.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const std::string& spec);
+  ~ScopedFaults();
+
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+
+ private:
+  std::string saved_spec_;
+};
+
+}  // namespace fault
+}  // namespace ealgap
+
+/// Zero-cost-when-disarmed fault point. Evaluates to true when `site` is
+/// armed and fires on this call.
+#define EALGAP_FAULT(site) \
+  (::ealgap::fault::Armed() && ::ealgap::fault::ShouldFail(site))
+
+#endif  // EALGAP_COMMON_FAULT_INJECTION_H_

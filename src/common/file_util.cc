@@ -1,0 +1,94 @@
+#include "common/file_util.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/fault_injection.h"
+
+namespace ealgap {
+
+namespace {
+
+/// One write attempt: temp file -> write -> flush -> fsync -> rename.
+/// Uses stdio so the fsync can target the real descriptor.
+Status TryWriteOnce(const std::string& path, const std::string& tmp,
+                    const std::string& content) {
+  if (EALGAP_FAULT("io.open.fail")) {
+    return Status::IoError("injected open failure for " + tmp);
+  }
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + tmp + " for writing");
+  }
+  size_t to_write = content.size();
+  Status failure;
+  if (EALGAP_FAULT("io.write.partial")) {
+    // Simulated crash mid-write: half the payload lands in the temp file
+    // and the attempt dies there. The destination is never touched.
+    to_write /= 2;
+    failure = Status::IoError("injected partial write for " + tmp);
+  } else if (EALGAP_FAULT("io.write.fail")) {
+    to_write = 0;
+    failure = Status::IoError("injected write failure for " + tmp);
+  }
+  if (to_write > 0 &&
+      std::fwrite(content.data(), 1, to_write, f) != to_write) {
+    failure = Status::IoError("short write to " + tmp);
+  }
+  if (!failure.ok()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return failure;
+  }
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("flush failed for " + tmp);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, const std::string& content,
+                       const AtomicWriteOptions& options) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  Status last = Status::Internal("WriteFileAtomic made no attempts");
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && options.backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options.backoff_ms * static_cast<double>(1 << (attempt - 1))));
+    }
+    last = TryWriteOnce(path, tmp, content);
+    if (last.ok()) return last;
+  }
+  return Status::IoError("atomic write of " + path + " failed after " +
+                         std::to_string(attempts) +
+                         " attempts: " + last.message());
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  return ss.str();
+}
+
+}  // namespace ealgap

@@ -1,0 +1,43 @@
+#ifndef EALGAP_COMMON_FILE_UTIL_H_
+#define EALGAP_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ealgap {
+
+/// Retry policy for WriteFileAtomic: transient I/O failures (including the
+/// injected ones) are retried with exponential backoff before giving up.
+struct AtomicWriteOptions {
+  int max_attempts = 3;
+  /// Sleep before retry k (1-based) is backoff_ms << (k-1); kept tiny so
+  /// tests that exhaust every attempt stay fast.
+  double backoff_ms = 1.0;
+};
+
+/// Durably replaces the contents of `path` with `content`, or leaves the
+/// previous file untouched — never a torn mix of the two.
+///
+/// Writes `path`.tmp.<pid>, flushes and fsyncs it, then renames over
+/// `path` (atomic within a filesystem per POSIX rename). A reader — or a
+/// crash — at any point observes either the complete old file or the
+/// complete new one. Failed attempts remove their temp file and retry per
+/// `options`; the final failure returns IoError with the cause.
+///
+/// Fault sites (see common/fault_injection.h), all pre-rename so an
+/// injected failure can never tear the destination:
+///   "io.open.fail"      temp file creation fails
+///   "io.write.fail"     the write reports an error
+///   "io.write.partial"  only half the bytes reach the temp file before
+///                       the write fails (simulated crash mid-write)
+Status WriteFileAtomic(const std::string& path, const std::string& content,
+                       const AtomicWriteOptions& options = {});
+
+/// Reads the whole file into a string. NotFound/IoError on failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_FILE_UTIL_H_

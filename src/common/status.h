@@ -88,6 +88,20 @@ class Status {
     if (!_st.ok()) return _st;                        \
   } while (0)
 
+/// Propagates a non-OK Status with extra context appended to the message,
+/// keeping the original code. `context` is any expression streamable into
+/// a std::string via operator+ (i.e. a string or string literal). Usage:
+///   EALGAP_RETURN_IF_ERROR_CTX(ParseHeader(in), "while loading " + path);
+#define EALGAP_RETURN_IF_ERROR_CTX(expr, context)                      \
+  do {                                                                 \
+    ::ealgap::Status _st = (expr);                                     \
+    if (!_st.ok()) {                                                   \
+      return ::ealgap::Status(_st.code(),                              \
+                              _st.message() + std::string("; ") +      \
+                                  (context));                          \
+    }                                                                  \
+  } while (0)
+
 }  // namespace ealgap
 
 #endif  // EALGAP_COMMON_STATUS_H_

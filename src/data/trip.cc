@@ -1,11 +1,46 @@
 #include "data/trip.h"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/csv.h"
 
 namespace ealgap {
 namespace data {
+
+namespace {
+
+/// Strict numeric field parsing: the whole field (modulo surrounding
+/// whitespace) must be one finite number. atof-style "garbage parses to
+/// 0.0" silently relocated stations to (0, 0) — see the regression test
+/// StationCsvGarbageCoordinatesRejected.
+bool ParseFieldDouble(const std::string& field, double* out) {
+  const char* s = field.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || errno == ERANGE || !std::isfinite(v)) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseFieldInt(const std::string& field, int* out) {
+  const char* s = field.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || errno == ERANGE || v < INT_MIN || v > INT_MAX) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  if (*end != '\0') return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
 
 Status WriteTripsCsv(const std::string& path,
                      const std::vector<TripRecord>& trips) {
@@ -76,11 +111,22 @@ Result<std::vector<Station>> ReadStationsCsv(const std::string& path) {
   }
   std::vector<Station> stations;
   stations.reserve(table.rows.size());
-  for (const CsvRow& row : table.rows) {
+  for (size_t i = 0; i < table.rows.size(); ++i) {
+    const CsvRow& row = table.rows[i];
     Station s;
-    s.id = std::atoi(row[c_id].c_str());
-    s.lon = std::atof(row[c_lon].c_str());
-    s.lat = std::atof(row[c_lat].c_str());
+    const std::string line = std::to_string(i + 2);  // 1-based, after header
+    if (!ParseFieldInt(row[c_id], &s.id)) {
+      return Status::ParseError("bad station_id '" + row[c_id] + "' on line " +
+                                line + " of " + path);
+    }
+    if (!ParseFieldDouble(row[c_lon], &s.lon)) {
+      return Status::ParseError("bad lon '" + row[c_lon] + "' on line " +
+                                line + " of " + path);
+    }
+    if (!ParseFieldDouble(row[c_lat], &s.lat)) {
+      return Status::ParseError("bad lat '" + row[c_lat] + "' on line " +
+                                line + " of " + path);
+    }
     stations.push_back(s);
   }
   return stations;

@@ -43,7 +43,10 @@ Result<std::vector<TripRecord>> ReadTripsCsv(const std::string& path);
 Status WriteStationsCsv(const std::string& path,
                         const std::vector<Station>& stations);
 
-/// Reads stations written by WriteStationsCsv.
+/// Reads stations written by WriteStationsCsv. Parsing is strict: a row
+/// whose id or coordinates are not clean finite numbers yields a
+/// kParseError naming the line, instead of atof-style silent 0.0 (which
+/// used to teleport garbage rows to the Gulf of Guinea).
 Result<std::vector<Station>> ReadStationsCsv(const std::string& path);
 
 }  // namespace data

@@ -16,16 +16,20 @@ constexpr int64_t kMaxParameterNumel = int64_t{1} << 28;
 }  // namespace
 
 void WriteParameterBlock(std::ostream& out, const Module& module,
-                         int64_t* count) {
-  out.precision(std::numeric_limits<float>::max_digits10);
+                         int64_t* count, LineCrc* crc) {
   int64_t n = 0;
+  std::ostringstream line;
+  line.precision(std::numeric_limits<float>::max_digits10);
   for (const auto& [name, p] : module.NamedParameters()) {
     const Tensor& t = p.value();
-    out << name << " " << t.ndim();
-    for (int64_t d : t.shape()) out << " " << d;
+    line.str("");
+    line << name << " " << t.ndim();
+    for (int64_t d : t.shape()) line << " " << d;
     const float* data = t.data();
-    for (int64_t i = 0; i < t.numel(); ++i) out << " " << data[i];
-    out << "\n";
+    for (int64_t i = 0; i < t.numel(); ++i) line << " " << data[i];
+    const std::string text = line.str();
+    out << text << "\n";
+    if (crc != nullptr) crc->Update(text);
     ++n;
   }
   if (count != nullptr) *count = n;
@@ -33,10 +37,14 @@ void WriteParameterBlock(std::ostream& out, const Module& module,
 
 Status ReadParameterBlock(std::istream& in, int64_t count,
                           std::map<std::string, Tensor>* loaded,
-                          const std::string& context) {
+                          const std::string& context, LineCrc* crc) {
   std::string line;
   int64_t read = 0;
   while ((count < 0 || read < count) && std::getline(in, line)) {
+    // Every consumed line feeds the CRC — a well-formed writer never emits
+    // blank lines inside a checksummed block, so a stray one is corruption
+    // and shows up as a CRC mismatch.
+    if (crc != nullptr) crc->Update(line);
     if (line.empty()) continue;
     std::istringstream is(line);
     std::string name;

@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "common/checksum.h"
 #include "common/status.h"
 #include "nn/module.h"
 
@@ -28,18 +29,21 @@ Status LoadParameters(Module& module, const std::string& path);
 
 /// Writes every named parameter of `module` to `out`, one per line in the
 /// format above. Returns the number of lines written via `count` when
-/// non-null.
+/// non-null. When `crc` is non-null, every written line (with its '\n') is
+/// folded into it, giving the block a CRC32 the reader can verify.
 void WriteParameterBlock(std::ostream& out, const Module& module,
-                         int64_t* count = nullptr);
+                         int64_t* count = nullptr, LineCrc* crc = nullptr);
 
 /// Reads exactly `count` parameter lines (or, when count < 0, every
 /// remaining non-empty line) from `in` into `loaded`. Malformed lines,
 /// absurd shapes, and truncated value lists produce a Status error —
 /// never a crash or an unbounded allocation. `context` names the source
-/// in error messages.
+/// in error messages. When `crc` is non-null, consumed lines are folded
+/// into it exactly as WriteParameterBlock does on the writing side, so a
+/// checksummed block detects any in-block corruption the parser cannot.
 Status ReadParameterBlock(std::istream& in, int64_t count,
                           std::map<std::string, Tensor>* loaded,
-                          const std::string& context);
+                          const std::string& context, LineCrc* crc = nullptr);
 
 /// Copies `loaded` entries into the matching parameters of `module`.
 /// Every module parameter must be present with an identical shape.

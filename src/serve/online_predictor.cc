@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <limits>
 #include <optional>
 #include <sstream>
 
+#include "common/checksum.h"
+#include "common/file_util.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
@@ -15,8 +16,28 @@ namespace serve {
 
 namespace {
 constexpr char kStateMagic[] = "ealgap-serve-state";
-constexpr int kStateVersion = 1;
+// v2: the ring/slot/window_sum body is preceded by a `body <lines> <crc>`
+// header and the file is written atomically; v1 files are no longer read.
+constexpr int kStateVersion = 2;
 }  // namespace
+
+Result<RepairPolicy> ParseRepairPolicy(const std::string& name) {
+  if (name == "reject") return RepairPolicy::kReject;
+  if (name == "hold-last") return RepairPolicy::kHoldLast;
+  if (name == "impute") return RepairPolicy::kImpute;
+  return Status::InvalidArgument(
+      "unknown repair policy '" + name +
+      "' (expected reject, hold-last, or impute)");
+}
+
+const char* RepairPolicyName(RepairPolicy policy) {
+  switch (policy) {
+    case RepairPolicy::kReject: return "reject";
+    case RepairPolicy::kHoldLast: return "hold-last";
+    case RepairPolicy::kImpute: return "impute";
+  }
+  return "unknown";
+}
 
 bool OnlinePredictor::IsWeekendStep(int64_t s) const {
   return IsWeekend(AddDays(start_date_, s / steps_per_day_));
@@ -62,6 +83,7 @@ Result<OnlinePredictor> OnlinePredictor::Create(
   p.ring_sigma_.assign(p.window_span_ * n, 0.f);
   p.slots_.assign(2 * p.steps_per_day_, {});
   p.window_sum_.assign(n, 0.0);
+  p.guard_stats_.quarantine.assign(n, 0);
 
   for (int64_t s = 0; s < history_end; ++s) {
     std::vector<float> x_row = history.StepCounts(s);
@@ -77,8 +99,7 @@ Result<OnlinePredictor> OnlinePredictor::Create(
     if (s >= history_end - p.options_.history_length) {
       for (int r = 0; r < n; ++r) p.window_sum_[r] += x_row[r];
     }
-    auto& slot = p.slots_[(s % p.steps_per_day_) * 2 +
-                          (p.IsWeekendStep(s) ? 1 : 0)];
+    auto& slot = p.slots_[p.SlotIndex(s)];
     slot.push_back(std::move(x_row));
     if (static_cast<int>(slot.size()) > p.options_.norm_history) {
       slot.erase(slot.begin());
@@ -95,8 +116,7 @@ void OnlinePredictor::MatchedStats(int64_t s, const std::vector<float>& x_row,
   // accumulated newest-to-oldest in double precision — the identical
   // floating-point summation order is what makes streaming bit-identical
   // to the batch pipeline.
-  const auto& slot =
-      slots_[(s % steps_per_day_) * 2 + (IsWeekendStep(s) ? 1 : 0)];
+  const auto& slot = slots_[SlotIndex(s)];
   const int prior = std::min<int>(options_.norm_history,
                                   static_cast<int>(slot.size()));
   const double inv = 1.0 / static_cast<double>(1 + prior);
@@ -123,15 +143,65 @@ void OnlinePredictor::MatchedStats(int64_t s, const std::vector<float>& x_row,
   }
 }
 
-Status OnlinePredictor::Observe(const std::vector<double>& counts) {
+float OnlinePredictor::HoldLastValue(int r) const {
+  return ring_x_[RingIndex(next_step_ - 1) + r];
+}
+
+float OnlinePredictor::SlotMeanOrHold(int64_t s, int r) const {
+  const auto& slot = slots_[SlotIndex(s)];
+  if (slot.empty()) return HoldLastValue(r);
+  double m = 0.0;
+  for (size_t k = 0; k < slot.size(); ++k) m += slot[k][r];
+  return static_cast<float>(m / static_cast<double>(slot.size()));
+}
+
+Status OnlinePredictor::GuardRow(const std::vector<double>& counts,
+                                 std::vector<float>* x_row) {
   const int n = num_regions_;
   if (static_cast<int>(counts.size()) != n) {
-    return Status::InvalidArgument("expected one count per region");
+    ++guard_stats_.rejected_observations;
+    return Status::InvalidArgument(
+        "expected one count per region (" + std::to_string(n) + "), got " +
+        std::to_string(counts.size()));
   }
-  const int64_t s = next_step_;
-  std::vector<float> x_row(n);
-  for (int r = 0; r < n; ++r) x_row[r] = static_cast<float>(counts[r]);
+  x_row->resize(n);
+  int repaired = 0;
+  for (int r = 0; r < n; ++r) {
+    const double v = counts[r];
+    const float f = static_cast<float>(v);
+    // A count is usable only if it is finite (in float too — a 1e300
+    // double would overflow to inf and poison the matched statistics)
+    // and non-negative.
+    if (std::isfinite(v) && std::isfinite(f) && v >= 0.0) {
+      (*x_row)[r] = f;
+      continue;
+    }
+    switch (guard_policy_.on_bad_value) {
+      case RepairPolicy::kReject:
+        ++guard_stats_.rejected_observations;
+        return Status::InvalidArgument(
+            "invalid count " + std::to_string(v) + " for region " +
+            std::to_string(r) + " at step " + std::to_string(next_step_));
+      case RepairPolicy::kHoldLast:
+        (*x_row)[r] = HoldLastValue(r);
+        break;
+      case RepairPolicy::kImpute:
+        (*x_row)[r] = SlotMeanOrHold(next_step_, r);
+        break;
+    }
+    ++repaired;
+    ++guard_stats_.quarantine[r];
+  }
+  if (repaired > 0) {
+    guard_stats_.repaired_values += repaired;
+    ++guard_stats_.repaired_steps;
+  }
+  return Status::OK();
+}
 
+Status OnlinePredictor::ObserveRow(std::vector<float> x_row) {
+  const int n = num_regions_;
+  const int64_t s = next_step_;
   std::vector<float> mu_row, sigma_row;
   MatchedStats(s, x_row, &mu_row, &sigma_row);
 
@@ -150,14 +220,55 @@ Status OnlinePredictor::Observe(const std::vector<double>& counts) {
   std::copy(mu_row.begin(), mu_row.end(), ring_mu_.begin() + base);
   std::copy(sigma_row.begin(), sigma_row.end(), ring_sigma_.begin() + base);
 
-  auto& slot =
-      slots_[(s % steps_per_day_) * 2 + (IsWeekendStep(s) ? 1 : 0)];
+  auto& slot = slots_[SlotIndex(s)];
   slot.push_back(std::move(x_row));
   if (static_cast<int>(slot.size()) > options_.norm_history) {
     slot.erase(slot.begin());
   }
   ++next_step_;
   return Status::OK();
+}
+
+Status OnlinePredictor::Observe(const std::vector<double>& counts) {
+  std::vector<float> x_row;
+  EALGAP_RETURN_IF_ERROR(GuardRow(counts, &x_row));
+  return ObserveRow(std::move(x_row));
+}
+
+Status OnlinePredictor::ObserveAt(int64_t step,
+                                  const std::vector<double>& counts) {
+  if (step < next_step_) {
+    ++guard_stats_.rejected_observations;
+    return Status::InvalidArgument(
+        "stale observation for step " + std::to_string(step) +
+        " (stream is at " + std::to_string(next_step_) + ")");
+  }
+  if (step > next_step_) {
+    const int64_t gap = step - next_step_;
+    if (guard_policy_.on_gap == RepairPolicy::kReject ||
+        gap > guard_policy_.max_gap_steps) {
+      ++guard_stats_.rejected_observations;
+      return Status::FailedPrecondition(
+          "stream gap of " + std::to_string(gap) + " steps before step " +
+          std::to_string(step) +
+          (gap > guard_policy_.max_gap_steps ? " exceeds max_gap_steps"
+                                             : " (gap policy is reject)"));
+    }
+    // Synthesize the missing steps so the calendar-aligned state stays
+    // consistent; every synthetic row is finite by construction.
+    while (next_step_ < step) {
+      const int n = num_regions_;
+      std::vector<float> synth(n);
+      for (int r = 0; r < n; ++r) {
+        synth[r] = guard_policy_.on_gap == RepairPolicy::kImpute
+                       ? SlotMeanOrHold(next_step_, r)
+                       : HoldLastValue(r);
+      }
+      EALGAP_RETURN_IF_ERROR(ObserveRow(std::move(synth)));
+      ++guard_stats_.gap_steps_filled;
+    }
+  }
+  return Observe(counts);
 }
 
 Result<std::vector<double>> OnlinePredictor::PredictNext() {
@@ -239,6 +350,32 @@ std::vector<Result<std::vector<double>>> OnlinePredictor::PredictMany(
   return out;
 }
 
+std::vector<double> OnlinePredictor::MatchedMeanNext() const {
+  std::vector<double> out(num_regions_);
+  for (int r = 0; r < num_regions_; ++r) {
+    out[r] = std::max(0.0,
+                      static_cast<double>(SlotMeanOrHold(next_step_, r)));
+  }
+  return out;
+}
+
+std::vector<double> OnlinePredictor::RecentMeanNext() const {
+  const double inv = 1.0 / static_cast<double>(options_.history_length);
+  std::vector<double> out(num_regions_);
+  for (int r = 0; r < num_regions_; ++r) {
+    out[r] = std::max(0.0, window_sum_[r] * inv);
+  }
+  return out;
+}
+
+std::vector<double> OnlinePredictor::LastObserved() const {
+  std::vector<double> out(num_regions_);
+  for (int r = 0; r < num_regions_; ++r) {
+    out[r] = std::max(0.0, static_cast<double>(HoldLastValue(r)));
+  }
+  return out;
+}
+
 double OnlinePredictor::ExponentialRate(int region) const {
   EALGAP_CHECK_GE(region, 0);
   EALGAP_CHECK_LT(region, num_regions_);
@@ -249,40 +386,74 @@ double OnlinePredictor::ExponentialRate(int region) const {
 }
 
 Status OnlinePredictor::SaveState(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << kStateMagic << " " << kStateVersion << "\n";
-  out << "model " << model_->name() << "\n";
-  out << "geometry " << num_regions_ << " " << steps_per_day_ << " "
-      << options_.history_length << " " << options_.num_windows << " "
-      << options_.norm_history << "\n";
-  out << "start " << start_date_.year << " " << start_date_.month << " "
-      << start_date_.day << "\n";
-  out << "next_step " << next_step_ << "\n";
-  out.precision(std::numeric_limits<float>::max_digits10);
+  std::ostringstream header;
+  header << kStateMagic << " " << kStateVersion << "\n";
+  header << "model " << model_->name() << "\n";
+  header << "geometry " << num_regions_ << " " << steps_per_day_ << " "
+         << options_.history_length << " " << options_.num_windows << " "
+         << options_.norm_history << "\n";
+  header << "start " << start_date_.year << " " << start_date_.month << " "
+         << start_date_.day << "\n";
+  header << "next_step " << next_step_ << "\n";
+
+  // The bulk state goes into a checksummed body block: `body <lines> <crc>`
+  // followed by exactly that many lines, CRC32 accumulated per line.
+  std::ostringstream body;
+  LineCrc crc;
+  int64_t lines = 0;
+  std::ostringstream line;
+  auto emit = [&] {
+    const std::string text = line.str();
+    body << text << "\n";
+    crc.Update(text);
+    ++lines;
+    line.str("");
+  };
+  line.precision(std::numeric_limits<float>::max_digits10);
   // Ring rows for steps [next_step - W, next_step), oldest first.
   for (int64_t s = next_step_ - window_span_; s < next_step_; ++s) {
     const int64_t base = RingIndex(s);
-    out << "ring";
-    for (int r = 0; r < num_regions_; ++r) out << " " << ring_x_[base + r];
-    for (int r = 0; r < num_regions_; ++r) out << " " << ring_mu_[base + r];
-    for (int r = 0; r < num_regions_; ++r) out << " " << ring_sigma_[base + r];
-    out << "\n";
+    line << "ring";
+    for (int r = 0; r < num_regions_; ++r) line << " " << ring_x_[base + r];
+    for (int r = 0; r < num_regions_; ++r) line << " " << ring_mu_[base + r];
+    for (int r = 0; r < num_regions_; ++r) line << " " << ring_sigma_[base + r];
+    emit();
   }
   for (size_t i = 0; i < slots_.size(); ++i) {
-    out << "slot " << i << " " << slots_[i].size();
+    line << "slot " << i << " " << slots_[i].size();
     for (const auto& row : slots_[i]) {
-      for (float v : row) out << " " << v;
+      for (float v : row) line << " " << v;
     }
-    out << "\n";
+    emit();
   }
-  out.precision(std::numeric_limits<double>::max_digits10);
-  out << "window_sum";
-  for (double v : window_sum_) out << " " << v;
-  out << "\nend\n";
-  if (!out) return Status::IoError("write failed for " + path);
+  line.precision(std::numeric_limits<double>::max_digits10);
+  line << "window_sum";
+  for (double v : window_sum_) line << " " << v;
+  emit();
+
+  std::ostringstream out;
+  out << header.str();
+  out << "body " << lines << " " << Crc32Hex(crc.value()) << "\n";
+  out << body.str();
+  out << "end\n";
+  return WriteFileAtomic(path, out.str());
+}
+
+namespace {
+
+/// Reads `tag value...` header tokens, returning ParseError with the file
+/// name on mismatch — lets LoadState propagate via EALGAP_RETURN_IF_ERROR
+/// instead of hand-rolled if-chains.
+Status ExpectTag(std::istream& in, const std::string& want,
+                 const std::string& path) {
+  std::string tag;
+  if (!(in >> tag) || tag != want) {
+    return Status::ParseError("missing " + want + " line in " + path);
+  }
   return Status::OK();
 }
+
+}  // namespace
 
 Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
                                                    Forecaster* model) {
@@ -293,9 +464,9 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
     return Status::InvalidArgument(model->name() +
                                    " does not support streaming prediction");
   }
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::string magic, tag;
+  EALGAP_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  std::istringstream in(text);
+  std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != kStateMagic) {
     return Status::ParseError(path + " is not a serve-state file");
@@ -304,9 +475,10 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
     return Status::InvalidArgument("unsupported serve-state version " +
                                    std::to_string(version) + " in " + path);
   }
+  EALGAP_RETURN_IF_ERROR(ExpectTag(in, "model", path));
   std::string model_name;
-  if (!(in >> tag >> model_name) || tag != "model") {
-    return Status::ParseError("missing model line in " + path);
+  if (!(in >> model_name)) {
+    return Status::ParseError("missing model name in " + path);
   }
   if (model_name != model->name()) {
     return Status::InvalidArgument("state was captured for model " +
@@ -316,8 +488,9 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
   OnlinePredictor p;
   p.model_ = model;
   int64_t l = 0, m = 0, nh = 0;
-  if (!(in >> tag >> p.num_regions_ >> p.steps_per_day_ >> l >> m >> nh) ||
-      tag != "geometry" || p.num_regions_ < 1 || p.num_regions_ > (1 << 20) ||
+  EALGAP_RETURN_IF_ERROR(ExpectTag(in, "geometry", path));
+  if (!(in >> p.num_regions_ >> p.steps_per_day_ >> l >> m >> nh) ||
+      p.num_regions_ < 1 || p.num_regions_ > (1 << 20) ||
       p.steps_per_day_ < 1 || p.steps_per_day_ > 1440 || l < 1 || l > 4096 ||
       m < 1 || m > 4096 || nh < 1 || nh > 4096) {
     return Status::ParseError("bad geometry line in " + path);
@@ -325,40 +498,77 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
   p.options_.history_length = static_cast<int>(l);
   p.options_.num_windows = static_cast<int>(m);
   p.options_.norm_history = static_cast<int>(nh);
-  if (!(in >> tag >> p.start_date_.year >> p.start_date_.month >>
+  EALGAP_RETURN_IF_ERROR(ExpectTag(in, "start", path));
+  if (!(in >> p.start_date_.year >> p.start_date_.month >>
         p.start_date_.day) ||
-      tag != "start" || p.start_date_.month < 1 || p.start_date_.month > 12 ||
+      p.start_date_.month < 1 || p.start_date_.month > 12 ||
       p.start_date_.day < 1 || p.start_date_.day > 31) {
     return Status::ParseError("bad start line in " + path);
   }
-  if (!(in >> tag >> p.next_step_) || tag != "next_step") {
+  EALGAP_RETURN_IF_ERROR(ExpectTag(in, "next_step", path));
+  if (!(in >> p.next_step_)) {
     return Status::ParseError("bad next_step line in " + path);
   }
   p.window_span_ = static_cast<int64_t>(p.steps_per_day_) * (m - 1) + l;
   if (p.next_step_ < p.MinFirstTarget()) {
     return Status::InvalidArgument("serve state has too little history");
   }
+
+  // Body block: verify the CRC over the exact stored lines before parsing
+  // a single value — a bit flip anywhere in the bulk state is caught even
+  // when it still reads as a valid number.
+  EALGAP_RETURN_IF_ERROR(ExpectTag(in, "body", path));
+  int64_t body_lines = 0;
+  std::string crc_hex;
+  uint32_t stored_crc = 0;
+  if (!(in >> body_lines >> crc_hex) || body_lines < 0 ||
+      !ParseCrc32Hex(crc_hex, &stored_crc)) {
+    return Status::ParseError("bad body header in " + path);
+  }
+  const int64_t expected_lines = p.window_span_ +
+                                 2 * static_cast<int64_t>(p.steps_per_day_) +
+                                 1;
+  if (body_lines != expected_lines) {
+    return Status::ParseError("body line count " + std::to_string(body_lines) +
+                              " does not match geometry in " + path);
+  }
+  std::string line;
+  std::getline(in, line);  // finish the body header line
+  std::ostringstream body_text;
+  LineCrc crc;
+  for (int64_t i = 0; i < body_lines; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::ParseError("truncated body block in " + path);
+    }
+    crc.Update(line);
+    body_text << line << "\n";
+  }
+  if (crc.value() != stored_crc) {
+    return Status::ParseError("state body CRC mismatch in " + path +
+                              ": stored " + crc_hex + ", computed " +
+                              Crc32Hex(crc.value()));
+  }
+
+  std::istringstream body(body_text.str());
   const int n = p.num_regions_;
   p.ring_x_.assign(p.window_span_ * n, 0.f);
   p.ring_mu_.assign(p.window_span_ * n, 0.f);
   p.ring_sigma_.assign(p.window_span_ * n, 0.f);
   for (int64_t s = p.next_step_ - p.window_span_; s < p.next_step_; ++s) {
-    if (!(in >> tag) || tag != "ring") {
-      return Status::ParseError("truncated ring block in " + path);
-    }
+    EALGAP_RETURN_IF_ERROR(ExpectTag(body, "ring", path));
     const int64_t base = p.RingIndex(s);
     for (int r = 0; r < n; ++r) {
-      if (!(in >> p.ring_x_[base + r])) {
+      if (!(body >> p.ring_x_[base + r])) {
         return Status::ParseError("truncated ring row in " + path);
       }
     }
     for (int r = 0; r < n; ++r) {
-      if (!(in >> p.ring_mu_[base + r])) {
+      if (!(body >> p.ring_mu_[base + r])) {
         return Status::ParseError("truncated ring row in " + path);
       }
     }
     for (int r = 0; r < n; ++r) {
-      if (!(in >> p.ring_sigma_[base + r])) {
+      if (!(body >> p.ring_sigma_[base + r])) {
         return Status::ParseError("truncated ring row in " + path);
       }
     }
@@ -366,32 +576,30 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
   p.slots_.assign(2 * p.steps_per_day_, {});
   for (size_t i = 0; i < p.slots_.size(); ++i) {
     size_t idx = 0, count = 0;
-    if (!(in >> tag >> idx >> count) || tag != "slot" || idx != i ||
+    EALGAP_RETURN_IF_ERROR(ExpectTag(body, "slot", path));
+    if (!(body >> idx >> count) || idx != i ||
         count > static_cast<size_t>(nh)) {
       return Status::ParseError("bad slot header in " + path);
     }
     p.slots_[i].assign(count, std::vector<float>(n));
     for (auto& row : p.slots_[i]) {
       for (int r = 0; r < n; ++r) {
-        if (!(in >> row[r])) {
+        if (!(body >> row[r])) {
           return Status::ParseError("truncated slot row in " + path);
         }
       }
     }
   }
-  if (!(in >> tag) || tag != "window_sum") {
-    return Status::ParseError("missing window_sum in " + path);
-  }
+  EALGAP_RETURN_IF_ERROR(ExpectTag(body, "window_sum", path));
   p.window_sum_.assign(n, 0.0);
   for (int r = 0; r < n; ++r) {
-    if (!(in >> p.window_sum_[r])) {
+    if (!(body >> p.window_sum_[r])) {
       return Status::ParseError("truncated window_sum in " + path);
     }
   }
-  if (!(in >> tag) || tag != "end") {
-    return Status::ParseError("truncated serve state (missing end marker) in " +
-                              path);
-  }
+  EALGAP_RETURN_IF_ERROR(
+      ExpectTag(in, "end", path));
+  p.guard_stats_.quarantine.assign(n, 0);
   return p;
 }
 

@@ -12,6 +12,43 @@
 namespace ealgap {
 namespace serve {
 
+/// How an input guard repairs invalid observed values or stream gaps.
+///  * kReject:   refuse the observation with a Status error; state unchanged.
+///  * kHoldLast: substitute the region's most recent accepted value.
+///  * kImpute:   substitute the matched same-slot mean — the average of the
+///               `norm_history` most recent observations at the same
+///               (time-of-day, day-type) slot, the mu accumulator Observe()
+///               already maintains. Falls back to hold-last when the slot
+///               is empty.
+enum class RepairPolicy { kReject, kHoldLast, kImpute };
+
+/// Maps "reject" / "hold-last" / "impute" to a RepairPolicy (tool flags).
+Result<RepairPolicy> ParseRepairPolicy(const std::string& name);
+const char* RepairPolicyName(RepairPolicy policy);
+
+/// Input-guard configuration for OnlinePredictor::Observe/ObserveAt.
+/// The default rejects everything invalid — bit-for-bit compatible with
+/// the unguarded behavior on clean feeds.
+struct GuardPolicy {
+  RepairPolicy on_bad_value = RepairPolicy::kReject;  ///< NaN/Inf/negative
+  RepairPolicy on_gap = RepairPolicy::kReject;        ///< missing steps
+  /// Gaps longer than this are rejected regardless of on_gap: synthesizing
+  /// a day of data would only launder the outage into the statistics.
+  int64_t max_gap_steps = 24;
+};
+
+/// Guard observability. Counters are process-local diagnostics: SaveState
+/// does not persist them and LoadState starts them at zero.
+struct GuardStats {
+  int64_t repaired_values = 0;        ///< individual region values replaced
+  int64_t repaired_steps = 0;         ///< accepted steps with >=1 repair
+  int64_t gap_steps_filled = 0;       ///< synthesized missing steps
+  int64_t rejected_observations = 0;  ///< Observe/ObserveAt calls refused
+  /// Per-region quarantine counters: how many times each region's value
+  /// needed repair. A hot region here means a sensor needs attention.
+  std::vector<int64_t> quarantine;
+};
+
 /// Streaming next-step prediction around a fitted Forecaster.
 ///
 /// The batch pipeline re-walks a SlidingWindowDataset on every call: the
@@ -35,6 +72,12 @@ namespace serve {
 /// are bit-identical to the batch pipeline (asserted by
 /// tests/serve_parity_test.cc). tests also cover the SaveState/LoadState
 /// mid-stream checkpoint boundary and thread-count invariance.
+///
+/// Real feeds degrade: Observe() validates every incoming count
+/// (NaN/Inf/negative/wrong length) and ObserveAt() additionally detects
+/// stream gaps, repairing either per the configured GuardPolicy; guard_stats()
+/// exposes per-region quarantine counters. The matched-mean / recent-mean /
+/// persistence accessors feed serve::ResilientPredictor's degradation chain.
 class OnlinePredictor {
  public:
   /// Wraps a fitted, streaming-capable `model` (not owned; must outlive the
@@ -48,7 +91,16 @@ class OnlinePredictor {
 
   /// Appends one observed step (one count per region) and refreshes the
   /// incremental state: ring buffer, matched statistics, rolling MLE sum.
+  /// Non-finite or negative counts are repaired per guard_policy(); a
+  /// wrong-length row is always rejected (there is nothing to repair).
   Status Observe(const std::vector<double>& counts);
+
+  /// Observe() with explicit stream position, for feeds that can skip:
+  /// `step` is the step `counts` was measured at. step == next_step() is a
+  /// plain Observe; an older step is rejected as stale; a newer step is a
+  /// gap, and the missing steps are synthesized per guard_policy().on_gap
+  /// (or rejected) before `counts` is applied.
+  Status ObserveAt(int64_t step, const std::vector<double>& counts);
 
   /// Predicts the next unobserved step (index next_step()) from the
   /// incremental state. Does not advance the stream: call Observe() with
@@ -68,19 +120,39 @@ class OnlinePredictor {
   int64_t next_step() const { return next_step_; }
   int num_regions() const { return num_regions_; }
 
+  void SetGuardPolicy(const GuardPolicy& policy) { guard_policy_ = policy; }
+  const GuardPolicy& guard_policy() const { return guard_policy_; }
+  const GuardStats& guard_stats() const { return guard_stats_; }
+
+  /// Model-free fallback predictions for the degradation chain, all
+  /// computed from already-maintained incremental state:
+  ///  * MatchedMeanNext: the matched same-slot mean for next_step() — the
+  ///    strongest model-free estimate (time-of-day + day-type aware).
+  ///  * RecentMeanNext: per-region mean over the live L-window (the same
+  ///    statistic behind ExponentialRate) — calendar-free, tracks level.
+  ///  * LastObserved: persistence — the final, always-available resort.
+  /// MatchedMeanNext falls back per-region to LastObserved when a slot has
+  /// no history yet, so every accessor returns finite values.
+  std::vector<double> MatchedMeanNext() const;
+  std::vector<double> RecentMeanNext() const;
+  std::vector<double> LastObserved() const;
+
   /// O(1)-maintained exponential-MLE rate lambda = 1/mean over the region's
   /// live L-window (the Eq. 3 fit the global module recomputes internally);
   /// exposed as a serving-time drift diagnostic.
   double ExponentialRate(int region) const;
 
   /// Serializes the incremental state (ring, accumulators, calendar) to a
-  /// plain-text file. Together with the model's SaveCheckpoint this makes a
-  /// serving node restartable mid-stream with bit-identical predictions.
+  /// plain-text file, CRC-checksummed and written atomically (temp file +
+  /// fsync + rename), so a crash mid-save can never leave a torn file.
+  /// Together with the model's SaveCheckpoint this makes a serving node
+  /// restartable mid-stream with bit-identical predictions.
   Status SaveState(const std::string& path) const;
 
   /// Restores a predictor saved by SaveState around `model` (not owned),
   /// which must already be fitted/loaded and report SupportsStreaming().
-  /// Corrupted or truncated files yield a Status error, never a crash.
+  /// Corrupted, truncated, or checksum-mismatched files yield a Status
+  /// error, never a crash. Guard counters restart at zero.
   static Result<OnlinePredictor> LoadState(const std::string& path,
                                            Forecaster* model);
 
@@ -91,11 +163,25 @@ class OnlinePredictor {
   int64_t RingIndex(int64_t s) const { return (s % window_span_) * num_regions_; }
   bool IsWeekendStep(int64_t s) const;
   int64_t MinFirstTarget() const;
+  int SlotIndex(int64_t s) const {
+    return static_cast<int>(s % steps_per_day_) * 2 +
+           (IsWeekendStep(s) ? 1 : 0);
+  }
   /// Computes mu/sigma rows for step s from x_row and the slot accumulator,
   /// mirroring SlidingWindowDataset::RefreshMatchedStats bit-for-bit.
   void MatchedStats(int64_t s, const std::vector<float>& x_row,
                     std::vector<float>* mu_row,
                     std::vector<float>* sigma_row) const;
+  /// Matched same-slot mean of region r at step s (prior observations
+  /// only), or the hold-last value when the slot is empty.
+  float SlotMeanOrHold(int64_t s, int r) const;
+  /// The region's most recent accepted value (ring row of next_step_ - 1).
+  float HoldLastValue(int r) const;
+  /// Validates/repairs `counts` into a float row per guard_policy().
+  Status GuardRow(const std::vector<double>& counts,
+                  std::vector<float>* x_row);
+  /// Core Observe body: advances all incremental state with a clean row.
+  Status ObserveRow(std::vector<float> x_row);
 
   Forecaster* model_ = nullptr;  // not owned
 
@@ -116,6 +202,9 @@ class OnlinePredictor {
 
   // Rolling sum over the live L-window per region (exponential MLE state).
   std::vector<double> window_sum_;
+
+  GuardPolicy guard_policy_;
+  GuardStats guard_stats_;
 };
 
 }  // namespace serve

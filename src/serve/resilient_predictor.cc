@@ -1,0 +1,138 @@
+#include "serve/resilient_predictor.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace ealgap {
+namespace serve {
+
+namespace {
+
+bool AllFinite(const std::vector<double>& values) {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FallbackLevelName(FallbackLevel level) {
+  switch (level) {
+    case FallbackLevel::kFullModel: return "full-model";
+    case FallbackLevel::kMatchedMean: return "matched-mean";
+    case FallbackLevel::kRecentMean: return "recent-mean";
+    case FallbackLevel::kPersistence: return "persistence";
+  }
+  return "unknown";
+}
+
+const char* DegradeCauseName(DegradeCause cause) {
+  switch (cause) {
+    case DegradeCause::kNone: return "none";
+    case DegradeCause::kNonFinite: return "non-finite";
+    case DegradeCause::kModelError: return "model-error";
+    case DegradeCause::kDeadline: return "deadline";
+    case DegradeCause::kProbation: return "probation";
+  }
+  return "unknown";
+}
+
+ResilientPredictor::ResilientPredictor(OnlinePredictor* inner,
+                                       ResilienceOptions options)
+    : inner_(inner), options_(options) {}
+
+ServedPrediction ResilientPredictor::Fallback(FallbackLevel from,
+                                              DegradeCause cause) const {
+  ServedPrediction served;
+  served.cause = cause;
+  if (from <= FallbackLevel::kMatchedMean) {
+    served.values = inner_->MatchedMeanNext();
+    served.source = FallbackLevel::kMatchedMean;
+    if (AllFinite(served.values)) return served;
+  }
+  if (from <= FallbackLevel::kRecentMean) {
+    served.values = inner_->RecentMeanNext();
+    served.source = FallbackLevel::kRecentMean;
+    if (AllFinite(served.values)) return served;
+  }
+  // Persistence re-serves values the guards already admitted (finite by
+  // construction) — the chain's floor.
+  served.values = inner_->LastObserved();
+  served.source = FallbackLevel::kPersistence;
+  return served;
+}
+
+Result<ServedPrediction> ResilientPredictor::PredictNext() {
+  if (inner_ == nullptr) {
+    return Status::InvalidArgument("ResilientPredictor needs a predictor");
+  }
+  ++state_.total_steps;
+
+  // Always attempt the model: when healthy it serves the step, when
+  // degraded it is the recovery probe.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto attempt = inner_->PredictNext();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  DegradeCause failure = DegradeCause::kNone;
+  if (!attempt.ok()) {
+    failure = DegradeCause::kModelError;
+  } else if (!AllFinite(*attempt)) {
+    failure = DegradeCause::kNonFinite;
+  } else if (options_.deadline_ms > 0.0 && latency_ms > options_.deadline_ms) {
+    failure = DegradeCause::kDeadline;
+  }
+
+  ServedPrediction served;
+  if (failure != DegradeCause::kNone) {
+    // Unhealthy answer: (re)enter degraded serving and reset hysteresis.
+    state_.consecutive_healthy = 0;
+    served = Fallback(FallbackLevel::kMatchedMean, failure);
+  } else if (!state_.degraded()) {
+    // Healthy chain, healthy model: serve the model output untouched.
+    served.values = std::move(*attempt);
+    served.source = FallbackLevel::kFullModel;
+    served.cause = DegradeCause::kNone;
+  } else if (++state_.consecutive_healthy >= options_.recovery_successes) {
+    // Hysteresis satisfied: promote back to the model on this very step —
+    // the probe answer is healthy, so it is served, not discarded.
+    served.values = std::move(*attempt);
+    served.source = FallbackLevel::kFullModel;
+    served.cause = DegradeCause::kNone;
+    state_.consecutive_healthy = 0;
+  } else {
+    // Healthy probe, hysteresis not yet satisfied: keep serving fallback.
+    served = Fallback(FallbackLevel::kMatchedMean, DegradeCause::kProbation);
+  }
+  served.model_latency_ms = latency_ms;
+
+  state_.level = served.source;
+  state_.last_cause = served.cause;
+  if (served.source != FallbackLevel::kFullModel) {
+    ++state_.degraded_steps;
+    ++state_.by_cause[static_cast<int>(served.cause)];
+    ++state_.by_level[static_cast<int>(served.source)];
+  }
+  return served;
+}
+
+Status ResilientPredictor::Observe(const std::vector<double>& counts) {
+  if (inner_ == nullptr) {
+    return Status::InvalidArgument("ResilientPredictor needs a predictor");
+  }
+  return inner_->Observe(counts);
+}
+
+Status ResilientPredictor::ObserveAt(int64_t step,
+                                     const std::vector<double>& counts) {
+  if (inner_ == nullptr) {
+    return Status::InvalidArgument("ResilientPredictor needs a predictor");
+  }
+  return inner_->ObserveAt(step, counts);
+}
+
+}  // namespace serve
+}  // namespace ealgap

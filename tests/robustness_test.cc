@@ -44,17 +44,45 @@ TEST(RobustnessTest, TripCsvRaggedRowRejected) {
   EXPECT_FALSE(data::ReadTripsCsv(path).ok());
 }
 
-TEST(RobustnessTest, StationCsvGarbageCoordinatesParseToZero) {
+TEST(RobustnessTest, StationCsvGarbageCoordinatesRejected) {
   const std::string path = ::testing::TempDir() + "/rb_stations.csv";
   {
     std::ofstream out(path);
     out << "station_id,lon,lat\n";
     out << "1,not_a_number,40.7\n";
   }
+  // Historical wart, now fixed: atof silently parsed garbage to 0.0 and
+  // relocated the station to (0, 0). Strict parsing rejects the row.
   auto stations = data::ReadStationsCsv(path);
-  ASSERT_TRUE(stations.ok());  // atof semantics: garbage -> 0.0
-  EXPECT_EQ((*stations)[0].lon, 0.0);
-  EXPECT_NEAR((*stations)[0].lat, 40.7, 1e-9);
+  ASSERT_FALSE(stations.ok());
+  EXPECT_EQ(stations.status().code(), StatusCode::kParseError);
+  EXPECT_NE(stations.status().message().find("not_a_number"),
+            std::string::npos);
+
+  // Garbage ids and partially-numeric fields ("40.7abc") are rejected too;
+  // clean rows still parse, including negative coordinates.
+  {
+    std::ofstream out(path);
+    out << "station_id,lon,lat\n";
+    out << "x1,-73.99,40.7\n";
+  }
+  EXPECT_FALSE(data::ReadStationsCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "station_id,lon,lat\n";
+    out << "1,-73.99,40.7abc\n";
+  }
+  EXPECT_FALSE(data::ReadStationsCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "station_id,lon,lat\n";
+    out << "1,-73.990000,40.700000\n";
+  }
+  auto good = data::ReadStationsCsv(path);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ((*good)[0].id, 1);
+  EXPECT_NEAR((*good)[0].lon, -73.99, 1e-9);
+  EXPECT_NEAR((*good)[0].lat, 40.7, 1e-9);
 }
 
 TEST(RobustnessTest, AllTripsDirtyYieldsEmptyCleanSet) {

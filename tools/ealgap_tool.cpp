@@ -15,10 +15,18 @@
 //
 //   serve     --trips T.csv --stations S.csv --start YYYY-MM-DD --days N
 //             --checkpoint ckpt.txt [--regions K] [--seed N]
+//             [--repair reject|hold-last|impute] [--deadline-ms D]
+//             [--recovery K]
 //       Loads a checkpointed model, seeds an OnlinePredictor at the start
 //       of the test range, and replays the test feed step by step
-//       (predict, then observe the realized counts), reporting metrics
-//       and per-prediction latency.
+//       (predict, then observe the realized counts) through the
+//       fault-tolerant serving chain, reporting metrics, per-prediction
+//       latency, and degradation/guard statistics. --repair sets the
+//       input-guard policy for bad values and gaps; --deadline-ms bounds
+//       the model's answer time (0 = unbounded); --recovery is the
+//       hysteresis: consecutive healthy model answers needed to promote
+//       back from a fallback. Arm EALGAP_FAULTS (see
+//       src/common/fault_injection.h) to rehearse failures.
 //
 // Exit code 0 on success; errors go to stderr.
 
@@ -29,6 +37,7 @@
 
 #include "common/flags.h"
 #include "common/table_printer.h"
+#include "serve/resilient_predictor.h"
 #include "core/ealgap.h"
 #include "core/experiment.h"
 #include "data/aggregate.h"
@@ -210,15 +219,28 @@ int Serve(const Flags& flags) {
       model->get(), prepared.dataset, prepared.split.test_begin);
   if (!predictor.ok()) return Fail(predictor.status());
 
-  // Replay the test range as a live feed: predict the next step, then
-  // observe the realized counts.
+  auto repair = serve::ParseRepairPolicy(flags.GetString("repair", "reject"));
+  if (!repair.ok()) return Fail(repair.status());
+  serve::GuardPolicy guard;
+  guard.on_bad_value = *repair;
+  guard.on_gap = *repair;
+  predictor->SetGuardPolicy(guard);
+
+  serve::ResilienceOptions resilience;
+  resilience.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  resilience.recovery_successes =
+      static_cast<int>(flags.GetInt("recovery", 3));
+  serve::ResilientPredictor resilient(&*predictor, resilience);
+
+  // Replay the test range as a live feed: predict the next step through
+  // the degradation chain, then observe the realized counts.
   const int n = predictor->num_regions();
   std::vector<double> pred, truth;
   std::vector<double> latency_ms;
   for (int64_t step = prepared.split.test_begin;
        step < prepared.split.test_end; ++step) {
     const auto t0 = std::chrono::steady_clock::now();
-    auto row = predictor->PredictNext();
+    auto row = resilient.PredictNext();
     const auto t1 = std::chrono::steady_clock::now();
     if (!row.ok()) return Fail(row.status());
     latency_ms.push_back(
@@ -226,10 +248,10 @@ int Serve(const Flags& flags) {
     const std::vector<float> realized = prepared.dataset.StepCounts(step);
     std::vector<double> observed(realized.begin(), realized.end());
     for (int r = 0; r < n; ++r) {
-      pred.push_back((*row)[r]);
+      pred.push_back(row->values[r]);
       truth.push_back(observed[r]);
     }
-    Status obs = predictor->Observe(observed);
+    Status obs = resilient.Observe(observed);
     if (!obs.ok()) return Fail(obs);
   }
 
@@ -251,6 +273,40 @@ int Serve(const Flags& flags) {
   lat.AddRow({TablePrinter::Num(mean), TablePrinter::Num(pct(0.50)),
               TablePrinter::Num(pct(0.95)), TablePrinter::Num(pct(0.99))});
   lat.Print(std::cout);
+
+  // Degradation report: how many steps fell back, why, and to what.
+  const serve::DegradationState& deg = resilient.degradation();
+  TablePrinter dt("degraded steps (" + std::to_string(deg.degraded_steps) +
+                      " of " + std::to_string(deg.total_steps) + ")",
+                  {"non-finite", "model-error", "deadline", "probation"});
+  auto cause_count = [&](serve::DegradeCause c) {
+    return std::to_string(deg.by_cause[static_cast<int>(c)]);
+  };
+  auto level_count = [&](serve::FallbackLevel f) {
+    return std::to_string(deg.by_level[static_cast<int>(f)]);
+  };
+  dt.AddRow({cause_count(serve::DegradeCause::kNonFinite),
+             cause_count(serve::DegradeCause::kModelError),
+             cause_count(serve::DegradeCause::kDeadline),
+             cause_count(serve::DegradeCause::kProbation)});
+  dt.Print(std::cout);
+  TablePrinter ft("fallback sources served",
+                  {"matched-mean", "recent-mean", "persistence"});
+  ft.AddRow({level_count(serve::FallbackLevel::kMatchedMean),
+             level_count(serve::FallbackLevel::kRecentMean),
+             level_count(serve::FallbackLevel::kPersistence)});
+  ft.Print(std::cout);
+  const serve::GuardStats& gs = predictor->guard_stats();
+  TablePrinter gt("input guards (policy " +
+                      std::string(serve::RepairPolicyName(guard.on_bad_value)) +
+                      ")",
+                  {"repaired-values", "repaired-steps", "gap-steps",
+                   "rejected"});
+  gt.AddRow({std::to_string(gs.repaired_values),
+             std::to_string(gs.repaired_steps),
+             std::to_string(gs.gap_steps_filled),
+             std::to_string(gs.rejected_observations)});
+  gt.Print(std::cout);
   return 0;
 }
 
