@@ -1,0 +1,24 @@
+// Shared benchmark main: stamps the build type and active SIMD backend into
+// the JSON context so scripts/bench_to_json.sh can refuse to record debug
+// numbers (the system libbenchmark reports its OWN library_build_type, which
+// says nothing about how this code was compiled).
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/kernels.h"
+
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ealgap_build_type", "release");
+#else
+  benchmark::AddCustomContext("ealgap_build_type", "debug");
+#endif
+  benchmark::AddCustomContext(
+      "ealgap_simd",
+      ealgap::kernels::BackendName(ealgap::kernels::ActiveBackend()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

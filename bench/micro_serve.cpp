@@ -156,4 +156,4 @@ BENCHMARK(BM_ServeStateRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() lives in bench_main.cc (stamps ealgap_build_type / ealgap_simd).

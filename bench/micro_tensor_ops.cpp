@@ -10,6 +10,7 @@
 #include "nn/rnn_cells.h"
 #include "stats/distribution.h"
 #include "tensor/autograd.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -27,6 +28,32 @@ class ScopedThreads {
  private:
   int saved_;
 };
+
+/// Pins a SIMD backend for one run; the *Simd benches sweep every backend
+/// the host supports so the JSON records the scalar/sse2/avx2 curve of the
+/// kernel layer directly. Skips (rather than fails) on hosts that lack one.
+class ScopedBackend {
+ public:
+  ScopedBackend(benchmark::State& state, kernels::Backend b)
+      : saved_(kernels::ActiveBackend()) {
+    if (!kernels::BackendSupported(b)) {
+      state.SkipWithError("backend not supported on this host");
+      ok_ = false;
+      return;
+    }
+    kernels::SetBackendForTesting(b);
+  }
+  ~ScopedBackend() { kernels::SetBackendForTesting(saved_); }
+  bool ok() const { return ok_; }
+
+ private:
+  kernels::Backend saved_;
+  bool ok_ = true;
+};
+
+constexpr kernels::Backend kBackends[] = {
+    kernels::Backend::kScalar, kernels::Backend::kSse2,
+    kernels::Backend::kAvx2};
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -113,6 +140,93 @@ void BM_SoftmaxThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftmaxThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+void BM_MatMulSimd(benchmark::State& state) {
+  ScopedBackend backend(state, kBackends[state.range(0)]);
+  if (!backend.ok()) return;
+  ScopedThreads threads(1);
+  const int64_t n = 128;
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulSimd)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ElementwiseAddSimd(benchmark::State& state) {
+  ScopedBackend backend(state, kBackends[state.range(0)]);
+  if (!backend.ok()) return;
+  ScopedThreads threads(1);
+  Rng rng(1);
+  // Cache-resident size and a preallocated output: measures the kernel,
+  // not DRAM bandwidth or the allocator.
+  constexpr int64_t kN = 1 << 14;
+  Tensor a = Tensor::Randn({kN}, rng);
+  Tensor b = Tensor::Randn({kN}, rng);
+  Tensor o = Tensor::Zeros({kN});
+  const kernels::KernelTable& t = kernels::Active();
+  for (auto _ : state) {
+    t.add_vv(a.data(), b.data(), o.data(), kN);
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_ElementwiseAddSimd)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SoftmaxSimd(benchmark::State& state) {
+  ScopedBackend backend(state, kBackends[state.range(0)]);
+  if (!backend.ok()) return;
+  ScopedThreads threads(1);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({4096, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::SoftmaxLastDim(a));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096 * 64);
+}
+BENCHMARK(BM_SoftmaxSimd)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ExpSimd(benchmark::State& state) {
+  ScopedBackend backend(state, kBackends[state.range(0)]);
+  if (!backend.ok()) return;
+  ScopedThreads threads(1);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({1 << 18}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Exp(a));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 18));
+}
+BENCHMARK(BM_ExpSimd)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TanhSimd(benchmark::State& state) {
+  ScopedBackend backend(state, kBackends[state.range(0)]);
+  if (!backend.ok()) return;
+  ScopedThreads threads(1);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({1 << 18}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Tanh(a));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 18));
+}
+BENCHMARK(BM_TanhSimd)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SigmoidSimd(benchmark::State& state) {
+  ScopedBackend backend(state, kBackends[state.range(0)]);
+  if (!backend.ok()) return;
+  ScopedThreads threads(1);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({1 << 18}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Sigmoid(a));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 18));
+}
+BENCHMARK(BM_SigmoidSimd)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_BatchedMatMul(benchmark::State& state) {
   Rng rng(1);
   Tensor a = Tensor::Randn({20, 5, 1}, rng);
@@ -186,4 +300,4 @@ BENCHMARK(BM_KMeansStations);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// main() lives in bench_main.cc (stamps ealgap_build_type / ealgap_simd).

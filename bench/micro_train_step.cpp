@@ -56,4 +56,4 @@ BENCHMARK_CAPTURE(BM_TrainStep, evl, "EVL")->Iterations(1)->Unit(benchmark::kMil
 BENCHMARK_CAPTURE(BM_TrainStep, chat, "CHAT")->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_TrainStep, ealgap, "EALGAP")->Iterations(1)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// main() lives in bench_main.cc (stamps ealgap_build_type / ealgap_simd).

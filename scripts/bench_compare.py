@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Benchmarks are matched by name; a benchmark regresses when its candidate
+cpu_time exceeds baseline cpu_time by more than --threshold percent
+(default 15). Benchmarks present in only one file are reported but never
+fail the comparison (the suite is allowed to grow). Exit code 1 on any
+regression, 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions) and
+        # errored runs (e.g. a SIMD backend the host doesn't support).
+        if b.get("run_type") == "aggregate" or b.get("error_occurred"):
+            continue
+        out[b["name"]] = float(b["cpu_time"])
+    return doc.get("context", {}), out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="max allowed cpu_time increase in percent")
+    args = ap.parse_args()
+
+    base_ctx, base = load_benchmarks(args.baseline)
+    cand_ctx, cand = load_benchmarks(args.candidate)
+
+    for name, ctx in (("baseline", base_ctx), ("candidate", cand_ctx)):
+        stamp = ctx.get("ealgap_build_type", "unknown")
+        if stamp != "release":
+            print(f"WARNING: {name} has ealgap_build_type={stamp}; "
+                  "comparison may be meaningless", file=sys.stderr)
+
+    regressions = []
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("ERROR: no common benchmarks between the two files",
+              file=sys.stderr)
+        return 1
+    width = max(len(n) for n in common)
+    for name in common:
+        b, c = base[name], cand[name]
+        delta = (c - b) / b * 100.0 if b > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1f}%{flag}")
+
+    for name in sorted(set(base) - set(cand)):
+        print(f"{name:<{width}}  (baseline only)")
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{width}}  (candidate only)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) over "
+              f"{args.threshold:.0f}% threshold:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: +{delta:.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nOK: no regression over {args.threshold:.0f}% "
+          f"across {len(common)} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

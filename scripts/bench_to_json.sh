@@ -4,30 +4,43 @@
 # trajectory (compute substrate, serving latency, ...) is tracked in-tree
 # PR over PR.
 #
+# The bench build is forced to Release: committed baselines from a debug
+# binary are worthless and poison every later comparison. Each binary
+# stamps "ealgap_build_type" into its JSON context (bench/bench_main.cc);
+# this script refuses to write the output file unless that stamp says
+# "release". (The system libbenchmark's own "library_build_type" field
+# reflects how the LIBRARY was compiled, not our code — ignore it.)
+#
 # Usage: scripts/bench_to_json.sh [target [out.json]]
 #   target           bench binary name (default: micro_tensor_ops)
 #   out.json         output path (default: BENCH_<target minus micro_>.json)
-#   BUILD_DIR=<dir>  build directory (default: build)
-#
-# Examples:
-#   scripts/bench_to_json.sh                      # -> BENCH_tensor_ops.json
-#   scripts/bench_to_json.sh micro_serve          # -> BENCH_serve.json
+#   BUILD_DIR=<dir>  bench build directory (default: build-bench)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build}"
+BUILD_DIR="${BUILD_DIR:-build-bench}"
 TARGET="${1:-micro_tensor_ops}"
 OUT="${2:-BENCH_${TARGET#micro_}.json}"
 BIN="$BUILD_DIR/bench/$TARGET"
 
-if [[ ! -x "$BIN" ]]; then
-  cmake -B "$BUILD_DIR" -S .
-  cmake --build "$BUILD_DIR" --target "$TARGET" -j
-fi
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target "$TARGET" -j
+
+TMP="$(mktemp "${OUT}.XXXXXX")"
+trap 'rm -f "$TMP"' EXIT
 
 "$BIN" \
-  --benchmark_out="$OUT" \
+  --benchmark_out="$TMP" \
   --benchmark_out_format=json \
   --benchmark_format=console
 
+STAMP="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["context"].get("ealgap_build_type","missing"))' "$TMP")"
+if [[ "$STAMP" != "release" ]]; then
+  echo "ERROR: $TARGET reports ealgap_build_type='$STAMP' (want 'release');" >&2
+  echo "       refusing to overwrite $OUT with non-release numbers." >&2
+  exit 1
+fi
+
+mv "$TMP" "$OUT"
+trap - EXIT
 echo "Wrote $OUT"

@@ -5,15 +5,25 @@
 # Usage: scripts/ci.sh
 #   BUILD_DIR=<dir>       main build directory   (default: build)
 #   TSAN_BUILD_DIR=<dir>  TSan build directory   (default: build-tsan)
+#   EALGAP_CI_BENCH=1     also run the bench stage: re-measure the micro
+#                         suites in Release and fail on >15% cpu_time
+#                         regression vs the committed BENCH_*.json baselines
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 
-echo "===== tier-1: build + full test suite ====="
+echo "===== tier-1: build + full test suite (scalar + native SIMD) ====="
 cmake -B "$BUILD_DIR" -S . -G Ninja
 cmake --build "$BUILD_DIR" -j
+# The whole suite runs twice: once pinned to the scalar kernel table, once
+# on the widest ISA the host supports. The golden/determinism tests compare
+# against the same fixtures both times — this is the kernel-layer
+# bit-identity contract enforced end to end.
+echo "----- tier-1 pass 1/2: EALGAP_SIMD=scalar -----"
+EALGAP_SIMD=scalar ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+echo "----- tier-1 pass 2/2: native SIMD dispatch -----"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "===== fault stage: serve tests with injection armed ====="
@@ -39,7 +49,24 @@ for t in serve_parity_test determinism_test thread_pool_test \
   EALGAP_NUM_THREADS=4 "./$TSAN_BUILD_DIR/tests/$t"
 done
 
-echo "===== serving latency snapshot ====="
-BUILD_DIR="$BUILD_DIR" scripts/bench_to_json.sh micro_serve
+if [[ "${EALGAP_CI_BENCH:-0}" == "1" ]]; then
+  echo "===== bench stage: regression check vs committed baselines ====="
+  # Measure into a scratch directory (never overwrites the committed
+  # baselines; re-record those deliberately with scripts/bench_to_json.sh).
+  BENCH_TMP="$(mktemp -d)"
+  trap 'rm -rf "$BENCH_TMP"' EXIT
+  for pair in "micro_tensor_ops:BENCH_tensor_ops.json" \
+              "micro_serve:BENCH_serve.json"; do
+    target="${pair%%:*}"
+    baseline="${pair##*:}"
+    if [[ ! -f "$baseline" ]]; then
+      echo "no committed $baseline; skipping $target"
+      continue
+    fi
+    scripts/bench_to_json.sh "$target" "$BENCH_TMP/$baseline"
+    python3 scripts/bench_compare.py "$baseline" "$BENCH_TMP/$baseline" \
+      --threshold 15
+  done
+fi
 
 echo "ci.sh: all gates green"

@@ -49,14 +49,16 @@ struct EalgapForecaster::Net : nn::Module {
     if (global) {
       xg_next = global->Forward(x).xg_next;
     } else {
-      xg_next = Reshape(mlp2->Forward(Relu(mlp1->Forward(x))), {n});
+      xg_next = Reshape(mlp2->Forward(ReluInPlace(mlp1->Forward(x))), {n});
     }
     if (!extreme) {
-      return {Relu(xg_next), {}};  // ablation (ii): global impacts only
+      // ablation (ii): global impacts only
+      return {ReluInPlace(std::move(xg_next)), {}};
     }
     auto ed = extreme->Forward(f, f_mu, f_sigma);
-    // Eq. (11): X̂ = ReLU(X̂g + X̂g ⊙ D̂).
-    return {Relu(Add(xg_next, Mul(xg_next, ed.d_next))),
+    // Eq. (11): X̂ = ReLU(X̂g + X̂g ⊙ D̂). In serving (no grad) the ReLU
+    // overwrites the sum's buffer instead of allocating a per-step temporary.
+    return {ReluInPlace(Add(xg_next, Mul(xg_next, ed.d_next))),
             std::move(ed.d_steps)};
   }
 

@@ -80,8 +80,8 @@ GlobalImpactModule::Output GlobalImpactModule::Forward(const Var& x) const {
   }
 
   // Eq. 7: three FC layers with ReLU predict X̂g[:, t+1].
-  Var p = Relu(pred1_.Forward(out.xg_history));
-  p = Relu(pred2_.Forward(p));
+  Var p = ReluInPlace(pred1_.Forward(out.xg_history));
+  p = ReluInPlace(pred2_.Forward(p));
   out.xg_next = Reshape(pred3_.Forward(p), {n});
   return out;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace ealgap {
 namespace stats {
@@ -92,24 +93,29 @@ double NormalDistribution::LogLikelihood(
 Tensor RowwisePdf(const Tensor& x, DistributionFamily family) {
   EALGAP_CHECK_EQ(x.ndim(), 2);
   const int64_t n = x.dim(0), l = x.dim(1);
+  const kernels::KernelTable& t = kernels::Active();
   Tensor z(x.shape());
   const float* px = x.data();
   float* pz = z.data();
   std::vector<double> row(l);
+  // Parameter fits stay in double (exact per row); the per-element PDF
+  // evaluation runs on the float32 SIMD kernels — bit-identical across
+  // backends by the kernel-layer contract.
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < l; ++j) row[j] = px[i * l + j];
     if (family == DistributionFamily::kExponential) {
       auto fit = ExponentialDistribution::Fit(row);
       EALGAP_CHECK(fit.ok()) << fit.status().ToString();
-      for (int64_t j = 0; j < l; ++j) {
-        pz[i * l + j] = static_cast<float>(fit->Pdf(row[j]));
-      }
+      t.exp_pdf_row(px + i * l, static_cast<float>(fit->lambda()), pz + i * l,
+                    l);
     } else {
       auto fit = NormalDistribution::Fit(row);
       EALGAP_CHECK(fit.ok()) << fit.status().ToString();
-      for (int64_t j = 0; j < l; ++j) {
-        pz[i * l + j] = static_cast<float>(fit->Pdf(row[j]));
-      }
+      const double stddev = fit->stddev();
+      t.normal_pdf_row(px + i * l, static_cast<float>(fit->mean()),
+                       static_cast<float>(1.0 / stddev),
+                       static_cast<float>(1.0 / (stddev * std::sqrt(2.0 * M_PI))),
+                       pz + i * l, l);
     }
   }
   return z;

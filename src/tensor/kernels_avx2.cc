@@ -1,0 +1,22 @@
+// AVX2 kernel table (8 lanes). This TU is compiled with -mavx2 (and
+// -ffp-contract=off, like every kernel TU — FMA contraction of the scalar
+// remainder loops would break bit-parity with the scalar table) when the
+// target is x86; elsewhere it degrades to a null table. Dispatch only
+// selects it after __builtin_cpu_supports("avx2") says the host can run it.
+
+#include "tensor/kernels_impl.h"
+
+namespace ealgap {
+namespace kernels {
+
+#if defined(__AVX2__)
+const KernelTable* GetAvx2Table() {
+  static const KernelTable table = impl::MakeTable<vec::VAvx2>(Backend::kAvx2);
+  return &table;
+}
+#else
+const KernelTable* GetAvx2Table() { return nullptr; }
+#endif
+
+}  // namespace kernels
+}  // namespace ealgap

@@ -1,0 +1,17 @@
+// Scalar kernel table: the reference instantiation every SIMD backend must
+// match bit-for-bit. Compiled with -ffp-contract=off (see CMakeLists) so
+// the compiler cannot fuse multiply-adds that the SIMD TUs keep separate.
+
+#include "tensor/kernels_impl.h"
+
+namespace ealgap {
+namespace kernels {
+
+const KernelTable* GetScalarTable() {
+  static const KernelTable table =
+      impl::MakeTable<vec::VScalar>(Backend::kScalar);
+  return &table;
+}
+
+}  // namespace kernels
+}  // namespace ealgap

@@ -1,0 +1,20 @@
+// SSE2 kernel table (4 lanes). On x86-64 SSE2 is part of the baseline ISA,
+// so this TU needs no extra -m flags; on other architectures it compiles
+// to a null table and dispatch skips it.
+
+#include "tensor/kernels_impl.h"
+
+namespace ealgap {
+namespace kernels {
+
+#if defined(__SSE2__)
+const KernelTable* GetSse2Table() {
+  static const KernelTable table = impl::MakeTable<vec::VSse2>(Backend::kSse2);
+  return &table;
+}
+#else
+const KernelTable* GetSse2Table() { return nullptr; }
+#endif
+
+}  // namespace kernels
+}  // namespace ealgap

@@ -7,11 +7,14 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "tensor/kernels.h"
 
 namespace ealgap {
 namespace ops {
 
 namespace {
+
+using kernels::KernelTable;
 
 /// Elementwise kernels split into chunks of at least this many elements;
 /// anything smaller runs serially with zero threading overhead.
@@ -26,19 +29,21 @@ constexpr int64_t kMatMulGrainOps = 1 << 15;
 /// sums over these fixed blocks are combined in block order.
 constexpr int64_t kReduceBlock = 1 << 14;
 
-// Applies `f` elementwise over the broadcast of a and b.
-template <typename F>
-Tensor BroadcastBinary(const Tensor& a, const Tensor& b, F f) {
-  if (a.SameShape(b)) {
-    Tensor out(a.shape());
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    ParallelFor(0, out.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
-    });
-    return out;
-  }
+/// The three row forms a broadcast binary op decomposes into; filled from
+/// the active KernelTable per op. All three are bit-identical across SIMD
+/// backends, so broadcasting never breaks the determinism contract.
+struct BinK {
+  void (*vv)(const float*, const float*, float*, int64_t);
+  void (*vs)(const float*, float, float*, int64_t);
+  void (*sv)(float, const float*, float*, int64_t);
+};
+
+/// Walks the broadcast iteration space of (a, b) and applies `row` to each
+/// contiguous output row. `row(ra, sa, rb, sb, ro, inner)` receives the
+/// row base pointers, the inner strides (1 = contiguous, 0 = broadcast
+/// along the inner dim), and the row length.
+template <typename RowFn>
+Tensor BroadcastRows(const Tensor& a, const Tensor& b, RowFn row) {
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
   Tensor out(out_shape);
   const int64_t rank = out.ndim();
@@ -46,7 +51,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, F f) {
   const float* pb = b.data();
   float* po = out.data();
   if (rank == 0) {  // two rank-0 scalars
-    po[0] = f(pa[0], pb[0]);
+    row(pa, 1, pb, 1, po, 1);
     return out;
   }
   // Right-aligned strides for a and b (0 = broadcast along that dim).
@@ -64,7 +69,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, F f) {
     }
   }
   // The innermost dim is contiguous (stride 1) or broadcast (stride 0) for
-  // both inputs, so each output row is a plain inner loop; the multi-index
+  // both inputs, so each output row is one kernel call; the multi-index
   // bookkeeping only ever walks the outer dims, once per row.
   const int64_t inner = out_shape[rank - 1];
   const int64_t rows = out.numel() / inner;
@@ -81,20 +86,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, F f) {
       ob += idx[d] * tb[d];
     }
     for (int64_t r = r0; r < r1; ++r) {
-      const float* ra = pa + oa;
-      const float* rb = pb + ob;
-      float* ro = po + r * inner;
-      if (sa == 1 && sb == 1) {
-        for (int64_t j = 0; j < inner; ++j) ro[j] = f(ra[j], rb[j]);
-      } else if (sa == 1) {  // b constant along the inner dim
-        const float bv = rb[0];
-        for (int64_t j = 0; j < inner; ++j) ro[j] = f(ra[j], bv);
-      } else if (sb == 1) {  // a constant along the inner dim
-        const float av = ra[0];
-        for (int64_t j = 0; j < inner; ++j) ro[j] = f(av, rb[j]);
-      } else {  // both broadcast => inner == 1
-        for (int64_t j = 0; j < inner; ++j) ro[j] = f(ra[0], rb[0]);
-      }
+      row(pa + oa, sa, pb + ob, sb, po + r * inner, inner);
       // Advance the outer multi-index (row-major) and the two offsets.
       for (int64_t d = rank - 2; d >= 0; --d) {
         ++idx[d];
@@ -110,6 +102,59 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, F f) {
   return out;
 }
 
+/// Broadcast binary op on the SIMD kernel layer. The same-shape fast path
+/// skips all stride bookkeeping and fans flat chunks across the pool.
+Tensor BroadcastBinaryK(const Tensor& a, const Tensor& b, const BinK& k) {
+  if (a.SameShape(b)) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, out.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+      k.vv(pa + i0, pb + i0, po + i0, i1 - i0);
+    });
+    return out;
+  }
+  return BroadcastRows(
+      a, b,
+      [&k](const float* ra, int64_t sa, const float* rb, int64_t sb, float* ro,
+           int64_t inner) {
+        if (sa == 1 && sb == 1) {
+          k.vv(ra, rb, ro, inner);
+        } else if (sa == 1) {  // b constant along the inner dim
+          k.vs(ra, rb[0], ro, inner);
+        } else if (sb == 1) {  // a constant along the inner dim
+          k.sv(ra[0], rb, ro, inner);
+        } else {  // both broadcast => inner == 1
+          k.vv(ra, rb, ro, 1);
+        }
+      });
+}
+
+/// Generic scalar fallback for ops with no dedicated kernel (Log,
+/// PowScalar, BroadcastTo). Not SIMD-dispatched, hence trivially
+/// backend-independent.
+template <typename F>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, F f) {
+  if (a.SameShape(b)) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ParallelFor(0, out.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) po[i] = f(pa[i], pb[i]);
+    });
+    return out;
+  }
+  return BroadcastRows(a, b,
+                       [&f](const float* ra, int64_t sa, const float* rb,
+                            int64_t sb, float* ro, int64_t inner) {
+                         for (int64_t j = 0; j < inner; ++j) {
+                           ro[j] = f(ra[sa == 1 ? j : 0], rb[sb == 1 ? j : 0]);
+                         }
+                       });
+}
+
 template <typename F>
 Tensor Unary(const Tensor& a, F f) {
   Tensor out(a.shape());
@@ -121,38 +166,28 @@ Tensor Unary(const Tensor& a, F f) {
   return out;
 }
 
-/// Computes rows [i0, i1) of the (m,k)x(k,n) product into po. i-k-j order
-/// with the k loop unrolled by 4 (register-held A values) over column
-/// blocks sized to keep the touched B panel cache-resident. Every output
-/// row is produced by exactly one chunk with a fixed accumulation order, so
-/// results are bit-identical for any thread count.
-void MatMulRows(const float* pa, const float* pb, float* po, int64_t i0,
-                int64_t i1, int64_t k, int64_t n) {
-  constexpr int64_t kColBlock = 256;
-  for (int64_t j0 = 0; j0 < n; j0 += kColBlock) {
-    const int64_t j1 = std::min(n, j0 + kColBlock);
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = pa + i * k;
-      float* orow = po + i * n;
-      int64_t p = 0;
-      for (; p + 4 <= k; p += 4) {
-        const float a0 = arow[p + 0], a1 = arow[p + 1];
-        const float a2 = arow[p + 2], a3 = arow[p + 3];
-        const float* b0 = pb + (p + 0) * n;
-        const float* b1 = pb + (p + 1) * n;
-        const float* b2 = pb + (p + 2) * n;
-        const float* b3 = pb + (p + 3) * n;
-        for (int64_t j = j0; j < j1; ++j) {
-          orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-        }
-      }
-      for (; p < k; ++p) {
-        const float av = arow[p];
-        const float* brow = pb + p * n;
-        for (int64_t j = j0; j < j1; ++j) orow[j] += av * brow[j];
-      }
-    }
-  }
+/// Unary op on a table kernel, fanned across the pool.
+Tensor UnaryK(const Tensor& a,
+              void (*fn)(const float*, float*, int64_t)) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    fn(pa + i0, po + i0, i1 - i0);
+  });
+  return out;
+}
+
+/// Unary op with one float parameter (AddScalar/MulScalar/MaximumScalar).
+Tensor UnaryKs(const Tensor& a, float s,
+               void (*fn)(const float*, float, float*, int64_t)) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    fn(pa + i0, s, po + i0, i1 - i0);
+  });
+  return out;
 }
 
 /// Deterministic parallel reduction: partial results over fixed-size blocks
@@ -177,98 +212,125 @@ double BlockedReduce(int64_t n, BlockFn block_sum) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+  const KernelTable& t = kernels::Active();
+  // add is commutative, so the scalar-side variant serves both row forms.
+  return BroadcastBinaryK(
+      a, b,
+      {t.add_vv, t.add_vs,
+       [](float s, const float* p, float* o, int64_t n) {
+         kernels::Active().add_vs(p, s, o, n);
+       }});
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+  const KernelTable& t = kernels::Active();
+  return BroadcastBinaryK(a, b, {t.sub_vv, t.sub_vs, t.sub_sv});
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+  const KernelTable& t = kernels::Active();
+  return BroadcastBinaryK(
+      a, b,
+      {t.mul_vv, t.mul_vs,
+       [](float s, const float* p, float* o, int64_t n) {
+         kernels::Active().mul_vs(p, s, o, n);
+       }});
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+  const KernelTable& t = kernels::Active();
+  return BroadcastBinaryK(a, b, {t.div_vv, t.div_vs, t.div_sv});
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BroadcastBinary(a, b, [](float x, float y) { return std::max(x, y); });
+  const KernelTable& t = kernels::Active();
+  return BroadcastBinaryK(a, b, {t.max_vv, t.max_vs, t.max_sv});
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return Unary(a, [s](float x) { return x + s; });
+  return UnaryKs(a, s, kernels::Active().add_vs);
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return Unary(a, [s](float x) { return x * s; });
+  return UnaryKs(a, s, kernels::Active().mul_vs);
 }
 Tensor PowScalar(const Tensor& a, float p) {
   return Unary(a, [p](float x) { return std::pow(x, p); });
 }
 Tensor MaximumScalar(const Tensor& a, float s) {
-  return Unary(a, [s](float x) { return std::max(x, s); });
+  return UnaryKs(a, s, kernels::Active().max_vs);
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  return Unary(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+  const KernelTable& t = kernels::Active();
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    t.clamp(pa + i0, lo, hi, po + i0, i1 - i0);
+  });
+  return out;
 }
 
-Tensor Neg(const Tensor& a) {
-  return Unary(a, [](float x) { return -x; });
-}
-Tensor Exp(const Tensor& a) {
-  return Unary(a, [](float x) { return std::exp(x); });
-}
+Tensor Neg(const Tensor& a) { return UnaryK(a, kernels::Active().neg); }
+Tensor Exp(const Tensor& a) { return UnaryK(a, kernels::Active().exp); }
 Tensor Log(const Tensor& a) {
   return Unary(a, [](float x) { return std::log(x); });
 }
-Tensor Sqrt(const Tensor& a) {
-  return Unary(a, [](float x) { return std::sqrt(x); });
-}
-Tensor Tanh(const Tensor& a) {
-  return Unary(a, [](float x) { return std::tanh(x); });
-}
+Tensor Sqrt(const Tensor& a) { return UnaryK(a, kernels::Active().sqrt); }
+Tensor Tanh(const Tensor& a) { return UnaryK(a, kernels::Active().tanh); }
 Tensor Sigmoid(const Tensor& a) {
-  return Unary(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+  return UnaryK(a, kernels::Active().sigmoid);
 }
-Tensor Relu(const Tensor& a) {
-  return Unary(a, [](float x) { return x > 0.f ? x : 0.f; });
-}
-Tensor Abs(const Tensor& a) {
-  return Unary(a, [](float x) { return std::fabs(x); });
-}
-Tensor Sign(const Tensor& a) {
-  return Unary(a, [](float x) { return x > 0.f ? 1.f : (x < 0.f ? -1.f : 0.f); });
-}
+Tensor Relu(const Tensor& a) { return UnaryK(a, kernels::Active().relu); }
+Tensor Abs(const Tensor& a) { return UnaryK(a, kernels::Active().abs); }
+Tensor Sign(const Tensor& a) { return UnaryK(a, kernels::Active().sign); }
 
 void AddInPlace(Tensor& a, const Tensor& b) {
   EALGAP_CHECK(a.SameShape(b))
       << ShapeToString(a.shape()) << " += " << ShapeToString(b.shape());
+  const KernelTable& t = kernels::Active();
   float* pa = a.data();
   const float* pb = b.data();
   ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) pa[i] += pb[i];
+    t.add_ip(pa + i0, pb + i0, i1 - i0);
   });
 }
 
 void AxpyInPlace(Tensor& a, float alpha, const Tensor& b) {
   EALGAP_CHECK(a.SameShape(b))
       << ShapeToString(a.shape()) << " += a*" << ShapeToString(b.shape());
+  const KernelTable& t = kernels::Active();
   float* pa = a.data();
   const float* pb = b.data();
   ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) pa[i] += alpha * pb[i];
+    t.axpy_ip(pa + i0, alpha, pb + i0, i1 - i0);
   });
 }
 
 void ScaleInPlace(Tensor& a, float s) {
+  const KernelTable& t = kernels::Active();
   float* pa = a.data();
   ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) pa[i] *= s;
+    t.scale_ip(pa + i0, s, i1 - i0);
+  });
+}
+
+void ReluInPlace(Tensor& a) {
+  const KernelTable& t = kernels::Active();
+  float* pa = a.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    t.relu_ip(pa + i0, i1 - i0);
+  });
+}
+
+void ClampInPlace(Tensor& a, float lo, float hi) {
+  const KernelTable& t = kernels::Active();
+  float* pa = a.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    t.clamp_ip(pa + i0, lo, hi, i1 - i0);
   });
 }
 
 double SumSquares(const Tensor& a) {
+  const KernelTable& t = kernels::Active();
   const float* p = a.data();
-  return BlockedReduce(a.numel(), [p](int64_t b, int64_t e) {
-    double acc = 0.0;
-    for (int64_t i = b; i < e; ++i) acc += double(p[i]) * p[i];
-    return acc;
+  return BlockedReduce(a.numel(), [&t, p](int64_t b, int64_t e) {
+    return t.sumsq_block(p + b, e - b);
   });
 }
 
@@ -278,6 +340,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   EALGAP_CHECK_EQ(k, b.dim(0))
       << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  const KernelTable& t = kernels::Active();
   Tensor out({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -285,7 +348,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t row_ops = std::max<int64_t>(1, k * n);
   const int64_t grain = std::max<int64_t>(1, kMatMulGrainOps / row_ops);
   ParallelFor(0, m, grain, [&](int64_t i0, int64_t i1) {
-    MatMulRows(pa, pb, po, i0, i1, k, n);
+    t.matmul_rows(pa, pb, po, i0, i1, k, n);
   });
   return out;
 }
@@ -297,6 +360,7 @@ Tensor BMatMul(const Tensor& a, const Tensor& b) {
   EALGAP_CHECK_EQ(bs, b.dim(0));
   EALGAP_CHECK_EQ(k, b.dim(1))
       << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  const KernelTable& t = kernels::Active();
   Tensor out({bs, m, n});
   const float* pa = a.data();
   const float* pb = b.data();
@@ -311,7 +375,8 @@ Tensor BMatMul(const Tensor& a, const Tensor& b) {
       const int64_t s = r / m;
       const int64_t i = r % m;
       const int64_t i1 = std::min(m, i + (r1 - r));
-      MatMulRows(pa + s * m * k, pb + s * k * n, po + s * m * n, i, i1, k, n);
+      t.matmul_rows(pa + s * m * k, pb + s * k * n, po + s * m * n, i, i1, k,
+                    n);
       r += i1 - i;
     }
   });
@@ -341,11 +406,10 @@ Tensor TransposeLast2(const Tensor& a) {
 }
 
 Tensor SumAll(const Tensor& a) {
+  const KernelTable& t = kernels::Active();
   const float* p = a.data();
-  const double acc = BlockedReduce(a.numel(), [p](int64_t b, int64_t e) {
-    double s = 0.0;
-    for (int64_t i = b; i < e; ++i) s += p[i];
-    return s;
+  const double acc = BlockedReduce(a.numel(), [&t, p](int64_t b, int64_t e) {
+    return t.sum_block(p + b, e - b);
   });
   return Tensor::Scalar(static_cast<float>(acc));
 }
@@ -359,6 +423,7 @@ Tensor MeanAll(const Tensor& a) {
 
 Tensor MaxAll(const Tensor& a) {
   EALGAP_CHECK_GT(a.numel(), 0);
+  const KernelTable& t = kernels::Active();
   const float* p = a.data();
   // Max is insensitive to the combine order, so fixed blocks + ordered
   // combine keeps it bit-stable across thread counts like the sums.
@@ -367,10 +432,8 @@ Tensor MaxAll(const Tensor& a) {
   std::vector<float> partial(nblocks, p[0]);
   ParallelFor(0, nblocks, 1, [&](int64_t c0, int64_t c1) {
     for (int64_t c = c0; c < c1; ++c) {
-      const int64_t e = std::min(n, (c + 1) * kReduceBlock);
-      float m = p[c * kReduceBlock];
-      for (int64_t i = c * kReduceBlock + 1; i < e; ++i) m = std::max(m, p[i]);
-      partial[c] = m;
+      const int64_t b = c * kReduceBlock;
+      partial[c] = t.max_block(p + b, std::min(n, b + kReduceBlock) - b);
     }
   });
   float m = partial[0];
@@ -401,6 +464,7 @@ Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
   } else {
     out_shape.erase(out_shape.begin() + axis);
   }
+  const KernelTable& t = kernels::Active();
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();
@@ -411,8 +475,7 @@ Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
     for (int64_t o = o0; o < o1; ++o) {
       float* dst = po + o * inner;
       for (int64_t k = 0; k < n; ++k) {
-        const float* src = pa + (o * n + k) * inner;
-        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+        t.add_ip(dst, pa + (o * n + k) * inner, inner);
       }
     }
   });
@@ -430,23 +493,14 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   EALGAP_CHECK_GE(a.ndim(), 1);
   const int64_t n = a.dim(-1);
   const int64_t rows = a.numel() / n;
+  const KernelTable& t = kernels::Active();
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   const int64_t grain = std::max<int64_t>(1, kElemGrain / n);
   ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      const float* src = pa + r * n;
-      float* dst = po + r * n;
-      float mx = src[0];
-      for (int64_t i = 1; i < n; ++i) mx = std::max(mx, src[i]);
-      float denom = 0.f;
-      for (int64_t i = 0; i < n; ++i) {
-        dst[i] = std::exp(src[i] - mx);
-        denom += dst[i];
-      }
-      const float inv = 1.f / denom;
-      for (int64_t i = 0; i < n; ++i) dst[i] *= inv;
+      t.softmax_row(pa + r * n, po + r * n, n);
     }
   });
   return out;

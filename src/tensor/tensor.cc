@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "tensor/kernels.h"
 
 namespace ealgap {
 
@@ -168,14 +169,11 @@ void Tensor::Fill(float value) {
 void Tensor::AddInPlace(const Tensor& other) {
   EALGAP_CHECK(SameShape(other))
       << ShapeToString(shape_) << " += " << ShapeToString(other.shape_);
-  float* a = data();
-  const float* b = other.data();
-  for (int64_t i = 0; i < numel_; ++i) a[i] += b[i];
+  kernels::Active().add_ip(data(), other.data(), numel_);
 }
 
 void Tensor::ScaleInPlace(float s) {
-  float* a = data();
-  for (int64_t i = 0; i < numel_; ++i) a[i] *= s;
+  kernels::Active().scale_ip(data(), s, numel_);
 }
 
 std::string Tensor::ToString() const {

@@ -86,6 +86,10 @@ class Tensor {
 
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
+  /// True when no other Tensor shares this storage; in-place mutation is
+  /// then invisible to the rest of the program.
+  bool StorageUnique() const { return storage_ && storage_.use_count() == 1; }
+
   /// Human-readable dump (small tensors only; elided past 64 elements).
   std::string ToString() const;
 
