@@ -65,6 +65,12 @@ int RunTableBench(data::City city, const char* table_name, int argc,
   for (size_t s = 0; s < options.schemes.size(); ++s) {
     std::vector<std::string> row = {options.schemes[s]};
     for (const core::PeriodResult& p : periods) {
+      // Scheme failures are isolated per cell: the row stays in the table
+      // with "fail" markers instead of fabricated zeros.
+      if (!p.rows[s].status.ok()) {
+        row.insert(row.end(), {"fail", "fail", "fail"});
+        continue;
+      }
       const auto& m = p.rows[s].metrics;
       row.push_back(TablePrinter::Num(m.er));
       row.push_back(TablePrinter::Num(m.msle));

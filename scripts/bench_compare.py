@@ -45,13 +45,15 @@ def main():
             print(f"WARNING: {name} has ealgap_build_type={stamp}; "
                   "comparison may be meaningless", file=sys.stderr)
 
+    if not base and not cand:
+        print("ERROR: neither file contains any benchmarks", file=sys.stderr)
+        return 1
+
     regressions = []
     common = sorted(set(base) & set(cand))
-    if not common:
-        print("ERROR: no common benchmarks between the two files",
-              file=sys.stderr)
-        return 1
-    width = max(len(n) for n in common)
+    removed = sorted(set(base) - set(cand))
+    added = sorted(set(cand) - set(base))
+    width = max(len(n) for n in common + removed + added)
     for name in common:
         b, c = base[name], cand[name]
         delta = (c - b) / b * 100.0 if b > 0 else 0.0
@@ -61,10 +63,12 @@ def main():
             regressions.append((name, delta))
         print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {delta:>+7.1f}%{flag}")
 
-    for name in sorted(set(base) - set(cand)):
-        print(f"{name:<{width}}  (baseline only)")
-    for name in sorted(set(cand) - set(base)):
-        print(f"{name:<{width}}  (candidate only)")
+    # A benchmark on only one side is suite churn, not a regression: the
+    # suite is allowed to grow, shrink, or rename. Report it and move on.
+    for name in removed:
+        print(f"{name:<{width}}  removed (baseline only)")
+    for name in added:
+        print(f"{name:<{width}}  added (candidate only)")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) over "
@@ -72,8 +76,14 @@ def main():
         for name, delta in regressions:
             print(f"  {name}: +{delta:.1f}%", file=sys.stderr)
         return 1
+    if not common:
+        print(f"\nOK: no overlapping benchmark names to compare "
+              f"({len(removed)} removed, {len(added)} added)")
+        return 0
     print(f"\nOK: no regression over {args.threshold:.0f}% "
-          f"across {len(common)} benchmarks")
+          f"across {len(common)} benchmarks"
+          + (f" ({len(removed)} removed, {len(added)} added)"
+             if removed or added else ""))
     return 0
 
 

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build, run the full test suite, TSan the concurrent
-# serving paths, and record serving latency as BENCH_serve.json.
+# Tier-1 CI gate: build, run the full test suite, rehearse an interrupted
+# experiment sweep (crash + resume must reproduce the clean run byte for
+# byte), TSan the concurrent serving paths, and ASan the checkpoint/resume
+# parsers.
 #
 # Usage: scripts/ci.sh
 #   BUILD_DIR=<dir>       main build directory   (default: build)
 #   TSAN_BUILD_DIR=<dir>  TSan build directory   (default: build-tsan)
+#   ASAN_BUILD_DIR=<dir>  ASan build directory   (default: build-asan)
 #   EALGAP_CI_BENCH=1     also run the bench stage: re-measure the micro
 #                         suites in Release and fail on >15% cpu_time
 #                         regression vs the committed BENCH_*.json baselines
@@ -34,6 +37,58 @@ echo "===== fault stage: serve tests with injection armed ====="
 EALGAP_FAULTS="nn.predict.nan:every=7,io.write.fail:p=0.5:seed=5" \
   "./$BUILD_DIR/tests/fault_injection_test"
 
+echo "===== interrupt-resume stage: crash a sweep, resume it, diff vs clean ====="
+# Leg 1 — journal resume. A tiny sweep with io.write.fail armed so the
+# first cell's journal record lands and the second cell's record fails all
+# three atomic-write attempts: the sweep must abort (unrecorded progress is
+# not progress). Resuming without faults re-runs only the missing cell, and
+# the resulting journal must be byte-identical to one from a clean sweep —
+# the journal format deliberately carries no wall-clock fields.
+RESUME_TMP="$(mktemp -d)"
+trap 'rm -rf "$RESUME_TMP"' EXIT
+TOOL="./$BUILD_DIR/tools/ealgap_tool"
+SWEEP_ARGS=(--cities nyc_bike --periods normal --schemes HA,ARIMA --scale 0.35)
+if EALGAP_FAULTS="io.write.fail:every=1:after=1" \
+    "$TOOL" experiment "${SWEEP_ARGS[@]}" --journal "$RESUME_TMP/interrupted.journal" \
+    > /dev/null 2>&1; then
+  echo "FAIL: sweep with journal-write faults armed should have aborted" >&2
+  exit 1
+fi
+"$TOOL" experiment "${SWEEP_ARGS[@]}" --journal "$RESUME_TMP/interrupted.journal" \
+  --resume > /dev/null
+"$TOOL" experiment "${SWEEP_ARGS[@]}" --journal "$RESUME_TMP/clean.journal" \
+  > /dev/null
+diff "$RESUME_TMP/clean.journal" "$RESUME_TMP/interrupted.journal"
+echo "journal resume: interrupted+resumed journal byte-identical to clean"
+
+# Leg 2 — train-state resume. Kill one EALGAP training run mid-epoch with
+# an injected step fault (per-epoch train-state snapshots on), resume it,
+# and require the final model checkpoint to be byte-identical to an
+# uninterrupted run's.
+"$TOOL" generate --city nyc_bike --period normal --scale 0.35 \
+  --out-trips "$RESUME_TMP/trips.csv" \
+  --out-stations "$RESUME_TMP/stations.csv" > /dev/null
+EVAL_ARGS=(--trips "$RESUME_TMP/trips.csv" --stations "$RESUME_TMP/stations.csv"
+  --start 2020-06-30 --scheme EALGAP --epochs 3)
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --save "$RESUME_TMP/clean.ckpt" > /dev/null
+# after=150 lands in epoch 2 (~110 optimizer steps per epoch here), so the
+# epoch-1 snapshot is on disk when the run dies.
+if EALGAP_FAULTS="train.step.error:every=1:after=150:max=1" \
+    "$TOOL" evaluate "${EVAL_ARGS[@]}" --train-state "$RESUME_TMP/state.train" \
+    --checkpoint-every 1 > /dev/null 2>&1; then
+  echo "FAIL: evaluate with a step fault armed should have exited non-zero" >&2
+  exit 1
+fi
+if [[ ! -f "$RESUME_TMP/state.train" ]]; then
+  echo "FAIL: the interrupted run left no train-state snapshot" \
+       "(did the kill point move before the first epoch boundary?)" >&2
+  exit 1
+fi
+"$TOOL" evaluate "${EVAL_ARGS[@]}" --train-state "$RESUME_TMP/state.train" \
+  --checkpoint-every 1 --resume --save "$RESUME_TMP/resumed.ckpt" > /dev/null
+cmp "$RESUME_TMP/clean.ckpt" "$RESUME_TMP/resumed.ckpt"
+echo "train resume: interrupted+resumed checkpoint byte-identical to clean"
+
 echo "===== TSan: concurrent serving + training paths ====="
 # PredictMany fans samples across the pool and EvaluateLoss fans batches;
 # run both under ThreadSanitizer with more threads than the tiny models
@@ -42,11 +97,24 @@ echo "===== TSan: concurrent serving + training paths ====="
 cmake -B "$TSAN_BUILD_DIR" -S . -G Ninja -DEALGAP_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j --target \
   serve_parity_test determinism_test thread_pool_test ops_parallel_test \
-  fault_injection_test
+  fault_injection_test train_resume_test
 for t in serve_parity_test determinism_test thread_pool_test \
-         ops_parallel_test fault_injection_test; do
+         ops_parallel_test fault_injection_test train_resume_test; do
   echo "----- TSan: $t -----"
   EALGAP_NUM_THREADS=4 "./$TSAN_BUILD_DIR/tests/$t"
+done
+
+echo "===== ASan: checkpoint/resume + fault-injection paths ====="
+# The resume machinery shuffles large snapshots (params, Adam moments, RNG
+# streams) through text serialization and back; AddressSanitizer guards the
+# parser against overreads on truncated or corrupt state files.
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
+cmake -B "$ASAN_BUILD_DIR" -S . -G Ninja -DEALGAP_SANITIZE=address
+cmake --build "$ASAN_BUILD_DIR" -j --target \
+  train_resume_test fault_injection_test experiment_test
+for t in train_resume_test fault_injection_test experiment_test; do
+  echo "----- ASan: $t -----"
+  "./$ASAN_BUILD_DIR/tests/$t"
 done
 
 if [[ "${EALGAP_CI_BENCH:-0}" == "1" ]]; then

@@ -19,6 +19,41 @@ struct TrainConfig {
   float grad_clip = 5.f;
   uint64_t seed = 7;
   bool verbose = false;
+
+  // --- crash-safe checkpointing (NeuralForecaster only) ---
+  /// Path of the atomic train-state snapshot (format v3: params, optimizer
+  /// moments, RNG stream, counters, best-val snapshot). Empty disables
+  /// checkpointing entirely.
+  std::string checkpoint_path;
+  /// Write the train state every this many completed epochs (requires
+  /// checkpoint_path). 0 disables periodic snapshots.
+  int checkpoint_every = 0;
+  /// Continue from checkpoint_path when it exists: the run resumes
+  /// bit-identically to the uninterrupted one. A missing file starts
+  /// fresh; a corrupt one is a hard error (never a silent restart).
+  bool resume = false;
+
+  // --- divergence sentinel ---
+  /// A non-finite loss or gradient norm rolls training back to the last
+  /// good epoch boundary with the learning rate multiplied by
+  /// `rollback_lr_backoff`; after `max_rollbacks` such events Fit gives up
+  /// with an error instead of producing garbage.
+  int max_rollbacks = 3;
+  float rollback_lr_backoff = 0.5f;
+};
+
+/// Attribution of what training actually did — rollbacks taken, epochs
+/// retried, steps discarded — so a recovered-from divergence is visible
+/// instead of silently absorbed. Filled by NeuralForecaster::Fit.
+struct TrainStats {
+  int64_t epochs_completed = 0;  ///< epochs finished (incl. before resume)
+  int64_t steps = 0;             ///< optimizer steps applied and kept
+  int64_t rollbacks = 0;         ///< divergence events that restored state
+  int64_t retries = 0;           ///< epoch attempts beyond the first
+  int64_t skipped_steps = 0;     ///< steps discarded by rollbacks
+  int64_t checkpoints_written = 0;  ///< train-state snapshots persisted
+  int64_t resumed_epoch = -1;    ///< epoch a resume continued from; -1=fresh
+  float final_lr = 0.f;          ///< learning rate after any backoffs
 };
 
 /// Common interface of EALGAP and all baselines: fit on the chronological

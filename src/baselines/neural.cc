@@ -1,12 +1,10 @@
 #include "baselines/neural.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -14,6 +12,7 @@
 #include "common/checksum.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/float_bits.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -35,6 +34,21 @@ std::vector<data::WindowSample> MakeBatch(
   return batch;
 }
 
+/// Key for Adam moment i inside the train state's tensor block. Zero-padded
+/// so lexicographic map order equals parameter order.
+std::string AdamKey(char which, size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%c.%05zu", which, i);
+  return buf;
+}
+
+std::map<std::string, Tensor> CloneTensorMap(
+    const std::map<std::string, Tensor>& src) {
+  std::map<std::string, Tensor> out;
+  for (const auto& [name, t] : src) out.emplace(name, t.Clone());
+  return out;
+}
+
 }  // namespace
 
 Var NeuralForecaster::ComputeLoss(const Var& predictions,
@@ -54,34 +68,78 @@ Tensor NeuralForecaster::StackTargets(
   return out;
 }
 
-double NeuralForecaster::EvaluateLoss(const data::SlidingWindowDataset& dataset,
-                                      const std::vector<int64_t>& steps,
-                                      int batch_size) {
+Result<double> NeuralForecaster::EvaluateLoss(
+    const data::SlidingWindowDataset& dataset,
+    const std::vector<int64_t>& steps, int batch_size) {
   if (steps.empty()) return 0.0;
   // Evaluation batches are independent: forward passes read only const
   // model parameters (grad recording is off, a thread-local flag), so they
-  // fan out across the pool. Per-batch losses land in slots indexed by
-  // batch and are combined in batch order, keeping the result identical to
-  // the serial loop for any thread count.
+  // fan out across the pool. Per-batch losses and errors land in slots
+  // indexed by batch and are combined in batch order, keeping both the
+  // result and the reported error identical to the serial loop for any
+  // thread count: when several batches fail concurrently, the lowest batch
+  // index wins deterministically.
   const size_t bs = static_cast<size_t>(batch_size);
   const int64_t nbatches = static_cast<int64_t>((steps.size() + bs - 1) / bs);
   std::vector<double> batch_total(nbatches, 0.0);
+  std::vector<Status> batch_status(nbatches);
   ParallelFor(0, nbatches, 1, [&](int64_t b0, int64_t b1) {
     NoGradGuard no_grad;
     for (int64_t bi = b0; bi < b1; ++bi) {
+      if (fault::Armed() && fault::ShouldFail("train.eval.error")) {
+        batch_status[bi] = Status::Internal(
+            "injected evaluation failure in batch " + std::to_string(bi) +
+            " of " + name());
+        continue;
+      }
       const size_t begin = static_cast<size_t>(bi) * bs;
       const size_t end = std::min(steps.size(), begin + bs);
       auto batch = MakeBatch(dataset, steps, begin, end);
       Var pred = ForwardBatch(batch);
       Tensor scaled = ScaleTargets(StackTargets(batch));
       Var loss = ComputeLoss(pred, scaled);
-      batch_total[bi] = loss.value().data()[0] * static_cast<double>(end - begin);
+      const double l = static_cast<double>(loss.value().data()[0]);
+      if (!std::isfinite(l)) {
+        batch_status[bi] = Status::Internal(
+            "non-finite evaluation loss in batch " + std::to_string(bi) +
+            " of " + name());
+        continue;
+      }
+      batch_total[bi] = l * static_cast<double>(end - begin);
     }
   });
+  for (int64_t bi = 0; bi < nbatches; ++bi) {
+    if (!batch_status[bi].ok()) return batch_status[bi];
+  }
   double total = 0.0;
   for (double v : batch_total) total += v;
   return total / static_cast<double>(steps.size());
 }
+
+/// Everything Fit needs to continue from an epoch boundary: parameters,
+/// optimizer moments, the RNG stream, loop counters, the best-validation
+/// snapshot, and the attribution stats. One struct serves both the
+/// in-memory divergence-rollback target and the on-disk train state
+/// (format v3), so "roll back" and "resume" are the same restore path.
+struct NeuralForecaster::TrainSnapshot {
+  int epoch = 0;  ///< next epoch to run (== epochs completed)
+  float lr = 0.f;
+  double best_val = 1e300;
+  int bad_epochs = 0;
+  int64_t total_steps = 0;
+  double total_step_ms = 0.0;
+  RngState rng;
+  /// Train-step visit order. The per-epoch shuffle permutes this vector in
+  /// place, so the epoch-N order depends on every earlier shuffle — it is
+  /// loop state, and a bit-identical resume must restore it along with the
+  /// RNG stream.
+  std::vector<int64_t> order;
+  std::map<std::string, Tensor> params;
+  int64_t adam_t = 0;
+  std::vector<Tensor> adam_m, adam_v;
+  std::map<std::string, Tensor> best_params;  ///< empty: no best epoch yet
+  TrainStats stats;
+};
 
 Status NeuralForecaster::Fit(const data::SlidingWindowDataset& dataset,
                              const data::StepRanges& split,
@@ -89,6 +147,7 @@ Status NeuralForecaster::Fit(const data::SlidingWindowDataset& dataset,
   current_dataset_ = &dataset;
   Initialize(dataset, split, config);
   fitted_ = true;
+  train_stats_ = TrainStats{};
 
   std::vector<int64_t> train_steps =
       dataset.TargetSteps(split.train_begin, split.train_end);
@@ -102,67 +161,213 @@ Status NeuralForecaster::Fit(const data::SlidingWindowDataset& dataset,
   nn::Adam optimizer(params, config.learning_rate);
   Rng rng(config.seed);
 
-  // The scratch checkpoint name must be unique per process AND per Fit
-  // call: concurrent processes (ctest, benches) and sequential schemes in
-  // one binary must never share it.
-  static std::atomic<uint64_t> fit_counter{0};
-  const std::string best_path =
-      "/tmp/ealgap_best_" + std::to_string(::getpid()) + "_" +
-      std::to_string(fit_counter.fetch_add(1)) + ".ckpt";
-  best_val_loss_ = 1e300;
+  // Loop state that lives in the snapshot at every epoch boundary.
+  int epoch = 0;
+  double best_val = 1e300;
   int bad_epochs = 0;
-  double total_step_ms = 0.0;
   int64_t total_steps = 0;
+  double total_step_ms = 0.0;
+  std::map<std::string, Tensor> best_params;
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  auto capture = [&]() {
+    TrainSnapshot snap;
+    snap.epoch = epoch;
+    snap.lr = optimizer.learning_rate();
+    snap.best_val = best_val;
+    snap.bad_epochs = bad_epochs;
+    snap.total_steps = total_steps;
+    snap.total_step_ms = total_step_ms;
+    snap.rng = rng.state();
+    snap.order = train_steps;
+    for (const auto& [pname, p] : module()->NamedParameters()) {
+      snap.params.emplace(pname, p.value().Clone());
+    }
+    optimizer.ExportState(&snap.adam_t, &snap.adam_m, &snap.adam_v);
+    snap.best_params = CloneTensorMap(best_params);
+    snap.stats = train_stats_;
+    return snap;
+  };
+  auto restore = [&](const TrainSnapshot& snap) -> Status {
+    EALGAP_RETURN_IF_ERROR(
+        nn::ApplyParameters(*module(), snap.params, "train state"));
+    EALGAP_RETURN_IF_ERROR(
+        optimizer.ImportState(snap.adam_t, snap.adam_m, snap.adam_v));
+    optimizer.set_learning_rate(snap.lr);
+    rng.set_state(snap.rng);
+    train_steps = snap.order;
+    epoch = snap.epoch;
+    best_val = snap.best_val;
+    bad_epochs = snap.bad_epochs;
+    total_steps = snap.total_steps;
+    total_step_ms = snap.total_step_ms;
+    best_params = CloneTensorMap(snap.best_params);
+    return Status::OK();
+  };
+
+  // Resume: an existing train state continues the run bit-identically; a
+  // missing file is a fresh start (first run of a --resume sweep). A
+  // corrupt file is a hard error — silently restarting would overwrite
+  // evidence.
+  if (config.resume && !config.checkpoint_path.empty() &&
+      std::ifstream(config.checkpoint_path).good()) {
+    TrainSnapshot snap;
+    EALGAP_RETURN_IF_ERROR(LoadTrainState(config.checkpoint_path, &snap));
+    // The saved order must be a permutation of this run's training steps;
+    // anything else means the state belongs to a different training range
+    // (or was corrupted), and resuming from it would be silently wrong.
+    std::vector<int64_t> sorted_order = snap.order;
+    std::sort(sorted_order.begin(), sorted_order.end());
+    std::vector<int64_t> sorted_steps = train_steps;
+    std::sort(sorted_steps.begin(), sorted_steps.end());
+    if (sorted_order != sorted_steps) {
+      return Status::InvalidArgument(
+          config.checkpoint_path +
+          " was written for a different training range (" +
+          std::to_string(snap.order.size()) + " steps vs " +
+          std::to_string(train_steps.size()) + " here)");
+    }
+    EALGAP_RETURN_IF_ERROR(restore(snap));
+    train_stats_ = snap.stats;
+    train_stats_.resumed_epoch = snap.epoch;
+    if (config.verbose) {
+      EALGAP_LOG(Info) << name() << " resumed from "
+                       << config.checkpoint_path << " at epoch " << epoch;
+    }
+  }
+
+  // The rollback target: the last good epoch boundary (initially the
+  // freshly initialized state).
+  TrainSnapshot good = capture();
+
+  while (epoch < config.epochs && bad_epochs <= config.patience) {
     rng.Shuffle(train_steps);
     double train_loss = 0.0;
     int64_t batches = 0;
+    int64_t attempt_steps = 0;
+    bool diverged = false;
+    std::string diverge_why;
     for (size_t i = 0; i < train_steps.size();
          i += static_cast<size_t>(config.batch_size)) {
       const size_t end =
           std::min(train_steps.size(), i + config.batch_size);
       auto batch = MakeBatch(dataset, train_steps, i, end);
+      // Fault sites modeling the ways a real train step dies: a stall, a
+      // hard error (allocator, accelerator, I/O), and a numerically
+      // poisoned loss. The first aborts nothing, the second fails Fit
+      // mid-epoch (crash rehearsal for resume tests), the third drives
+      // the divergence sentinel below.
+      if (fault::Armed()) {
+        fault::MaybeDelay("train.step.delay");
+        if (fault::ShouldFail("train.step.error")) {
+          return Status::Internal("injected train step failure in " + name());
+        }
+      }
       const auto t0 = std::chrono::steady_clock::now();
       module()->ZeroGrad();
       Var pred = ForwardBatch(batch);
       Tensor scaled = ScaleTargets(StackTargets(batch));
       Var loss = ComputeLoss(pred, scaled);
-      // Divergence guard: a non-finite loss poisons every parameter, so
-      // the batch is skipped instead of stepped.
-      if (!std::isfinite(loss.value().data()[0])) continue;
+      double loss_val = static_cast<double>(loss.value().data()[0]);
+      if (fault::Armed() && fault::ShouldFail("train.step.nan")) {
+        loss_val = std::numeric_limits<double>::quiet_NaN();
+      }
+      // Divergence sentinel: a non-finite loss or gradient norm means the
+      // parameters are (or are about to be) poisoned. Stop the epoch and
+      // let the rollback policy below decide.
+      if (!std::isfinite(loss_val)) {
+        diverged = true;
+        diverge_why = "non-finite training loss";
+        break;
+      }
       Backward(loss);
       const float norm = nn::ClipGradNorm(params, config.grad_clip);
-      if (!std::isfinite(norm)) continue;
+      if (!std::isfinite(norm)) {
+        diverged = true;
+        diverge_why = "non-finite gradient norm";
+        break;
+      }
       optimizer.Step();
       const auto t1 = std::chrono::steady_clock::now();
       total_step_ms +=
           std::chrono::duration<double, std::milli>(t1 - t0).count();
       ++total_steps;
-      train_loss += loss.value().data()[0];
+      ++attempt_steps;
+      train_loss += loss_val;
       ++batches;
     }
-    const double val_loss =
-        val_steps.empty() ? train_loss / std::max<int64_t>(batches, 1)
-                          : EvaluateLoss(dataset, val_steps, config.batch_size);
+
+    if (diverged) {
+      // Roll back to the last good epoch boundary with the learning rate
+      // backed off, and retry the epoch; give up (attributed, not silent)
+      // once the retry budget is spent.
+      ++train_stats_.rollbacks;
+      ++train_stats_.retries;
+      train_stats_.skipped_steps += attempt_steps + 1;
+      total_steps -= attempt_steps;  // discarded by the restore below
+      if (train_stats_.rollbacks > config.max_rollbacks) {
+        return Status::Internal(
+            name() + " diverged (" + diverge_why + ") at epoch " +
+            std::to_string(epoch) + " after exhausting " +
+            std::to_string(config.max_rollbacks) + " rollbacks");
+      }
+      const float backed_off =
+          optimizer.learning_rate() * config.rollback_lr_backoff;
+      EALGAP_RETURN_IF_ERROR(restore(good));
+      optimizer.set_learning_rate(backed_off);
+      if (config.verbose) {
+        EALGAP_LOG(Warning)
+            << name() << " epoch " << epoch << ": " << diverge_why
+            << "; rolled back to last good state, lr -> " << backed_off
+            << " (rollback " << train_stats_.rollbacks << "/"
+            << config.max_rollbacks << ")";
+      }
+      continue;
+    }
+
+    double val_loss;
+    if (val_steps.empty()) {
+      val_loss = train_loss / static_cast<double>(std::max<int64_t>(batches, 1));
+    } else {
+      auto vl = EvaluateLoss(dataset, val_steps, config.batch_size);
+      if (!vl.ok()) return vl.status();
+      val_loss = *vl;
+    }
     if (config.verbose) {
       EALGAP_LOG(Info) << name() << " epoch " << epoch << " train "
                        << train_loss / std::max<int64_t>(batches, 1) << " val "
                        << val_loss;
     }
-    if (val_loss < best_val_loss_ - 1e-9) {
-      best_val_loss_ = val_loss;
+    train_stats_.steps += attempt_steps;
+    ++train_stats_.epochs_completed;
+    if (val_loss < best_val - 1e-9) {
+      best_val = val_loss;
       bad_epochs = 0;
-      EALGAP_RETURN_IF_ERROR(nn::SaveParameters(*module(), best_path));
-    } else if (++bad_epochs > config.patience) {
-      break;
+      best_params.clear();
+      for (const auto& [pname, p] : module()->NamedParameters()) {
+        best_params.emplace(pname, p.value().Clone());
+      }
+    } else {
+      ++bad_epochs;
+    }
+    ++epoch;
+
+    const bool checkpoint_due =
+        !config.checkpoint_path.empty() && config.checkpoint_every > 0 &&
+        epoch % config.checkpoint_every == 0;
+    if (checkpoint_due) ++train_stats_.checkpoints_written;
+    good = capture();
+    if (checkpoint_due) {
+      EALGAP_RETURN_IF_ERROR(SaveTrainState(config.checkpoint_path, good));
     }
   }
+
+  best_val_loss_ = best_val;
+  train_stats_.final_lr = optimizer.learning_rate();
   mean_step_ms_ = total_steps > 0 ? total_step_ms / total_steps : 0.0;
   // Restore the best-validation parameters.
-  if (best_val_loss_ < 1e300) {
-    EALGAP_RETURN_IF_ERROR(nn::LoadParameters(*module(), best_path));
-    std::remove(best_path.c_str());
+  if (!best_params.empty()) {
+    EALGAP_RETURN_IF_ERROR(
+        nn::ApplyParameters(*module(), best_params, "best-validation state"));
   }
   return Status::OK();
 }
@@ -215,6 +420,8 @@ Result<std::vector<double>> NeuralForecaster::PredictSample(
 namespace {
 constexpr char kCheckpointMagic[] = "ealgap-checkpoint";
 constexpr int kCheckpointVersion = 1;
+constexpr char kTrainStateMagic[] = "ealgap-train-state";
+constexpr int kTrainStateVersion = 3;
 }  // namespace
 
 Status NeuralForecaster::EncodeConfig(CheckpointConfig* config) const {
@@ -376,6 +583,248 @@ Status NeuralForecaster::LoadCheckpoint(const std::string& path) {
   }
   EALGAP_RETURN_IF_ERROR(nn::ApplyParameters(*module(), loaded, path));
   fitted_ = true;
+  return Status::OK();
+}
+
+// --- Train-state checkpoints (format v3) ------------------------------------
+//
+// Layout (one logical field per line; floating-point scalars as raw bit
+// patterns in hex so the round-trip is exact to the last ulp):
+//
+//   ealgap-train-state 3
+//   model <name>
+//   epoch <int> / lr / best_val / bad_epochs / total_steps / total_step_ms
+//   stats <8 TrainStats fields>
+//   rng <s0> <s1> <s2> <s3> <have_cached> <cached_bits>
+//   order <count> <step...>   (train-step visit order; permutation-checked
+//                              against the dataset on resume)
+//   params <count>  + tensor lines + crc <hex8>
+//   adam <t> <count> + tensor lines (keys m.%05d / v.%05d) + crc <hex8>
+//   best <count>    + tensor lines + crc <hex8>
+//   end
+//
+// Written via WriteFileAtomic (temp file + fsync + rename), so a crash at
+// any point leaves either the previous complete state or the new one —
+// never a torn file. Each tensor block carries its own CRC32; the trailing
+// `end` marker makes truncation detectable even after the last block.
+
+Status NeuralForecaster::SaveTrainState(const std::string& path,
+                                        const TrainSnapshot& snap) {
+  std::ostringstream out;
+  out << kTrainStateMagic << " " << kTrainStateVersion << "\n";
+  out << "model " << name() << "\n";
+  out << "epoch " << snap.epoch << "\n";
+  out << "lr " << FloatBitsHex(snap.lr) << "\n";
+  out << "best_val " << DoubleBitsHex(snap.best_val) << "\n";
+  out << "bad_epochs " << snap.bad_epochs << "\n";
+  out << "total_steps " << snap.total_steps << "\n";
+  out << "total_step_ms " << DoubleBitsHex(snap.total_step_ms) << "\n";
+  const TrainStats& st = snap.stats;
+  out << "stats " << st.epochs_completed << " " << st.steps << " "
+      << st.rollbacks << " " << st.retries << " " << st.skipped_steps << " "
+      << st.checkpoints_written << " " << st.resumed_epoch << " "
+      << FloatBitsHex(st.final_lr) << "\n";
+  out << "rng " << snap.rng.s[0] << " " << snap.rng.s[1] << " "
+      << snap.rng.s[2] << " " << snap.rng.s[3] << " "
+      << (snap.rng.have_cached_normal ? 1 : 0) << " "
+      << DoubleBitsHex(snap.rng.cached_normal) << "\n";
+  out << "order " << snap.order.size();
+  for (int64_t step : snap.order) out << " " << step;
+  out << "\n";
+  {
+    std::ostringstream block;
+    int64_t count = 0;
+    LineCrc crc;
+    nn::WriteTensorMapBlock(block, snap.params, &count, &crc);
+    out << "params " << count << "\n" << block.str();
+    out << "crc " << Crc32Hex(crc.value()) << "\n";
+  }
+  {
+    std::map<std::string, Tensor> adam;
+    for (size_t i = 0; i < snap.adam_m.size(); ++i) {
+      adam.emplace(AdamKey('m', i), snap.adam_m[i]);
+    }
+    for (size_t i = 0; i < snap.adam_v.size(); ++i) {
+      adam.emplace(AdamKey('v', i), snap.adam_v[i]);
+    }
+    std::ostringstream block;
+    int64_t count = 0;
+    LineCrc crc;
+    nn::WriteTensorMapBlock(block, adam, &count, &crc);
+    out << "adam " << snap.adam_t << " " << count << "\n" << block.str();
+    out << "crc " << Crc32Hex(crc.value()) << "\n";
+  }
+  {
+    std::ostringstream block;
+    int64_t count = 0;
+    LineCrc crc;
+    nn::WriteTensorMapBlock(block, snap.best_params, &count, &crc);
+    out << "best " << count << "\n" << block.str();
+    out << "crc " << Crc32Hex(crc.value()) << "\n";
+  }
+  out << "end\n";
+  return WriteFileAtomic(path, out.str());
+}
+
+namespace {
+
+/// Consumes the `crc <hex8>` line that closes a tensor block and verifies
+/// it against the running CRC the reader accumulated.
+Status CheckBlockCrc(std::istream& in, const LineCrc& crc,
+                     const std::string& block, const std::string& path) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("truncated train state (missing crc after " +
+                              block + " block) in " + path);
+  }
+  std::istringstream is(line);
+  std::string tag, hex;
+  uint32_t stored = 0;
+  if (!(is >> tag >> hex) || tag != "crc" || !ParseCrc32Hex(hex, &stored)) {
+    return Status::ParseError("bad crc line after " + block + " block in " +
+                              path);
+  }
+  if (stored != crc.value()) {
+    return Status::ParseError(block + " block CRC mismatch in " + path +
+                              ": stored " + hex + ", computed " +
+                              Crc32Hex(crc.value()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status NeuralForecaster::LoadTrainState(const std::string& path,
+                                        TrainSnapshot* snap) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kTrainStateMagic) {
+    return Status::ParseError(path + " is not an ealgap train state");
+  }
+  if (version != kTrainStateVersion) {
+    return Status::InvalidArgument("unsupported train-state version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  std::string tag, model;
+  if (!(in >> tag >> model) || tag != "model") {
+    return Status::ParseError("missing model line in " + path);
+  }
+  if (model != name()) {
+    return Status::InvalidArgument("train state holds model " + model +
+                                   " but this forecaster is " + name());
+  }
+
+  auto bad = [&path](const std::string& field) {
+    return Status::ParseError("bad '" + field + "' line in " + path);
+  };
+  std::string hex;
+  if (!(in >> tag >> snap->epoch) || tag != "epoch" || snap->epoch < 0 ||
+      snap->epoch > 1000000) {
+    return bad("epoch");
+  }
+  if (!(in >> tag >> hex) || tag != "lr" || !ParseFloatBitsHex(hex, &snap->lr)) {
+    return bad("lr");
+  }
+  if (!(in >> tag >> hex) || tag != "best_val" ||
+      !ParseDoubleBitsHex(hex, &snap->best_val)) {
+    return bad("best_val");
+  }
+  if (!(in >> tag >> snap->bad_epochs) || tag != "bad_epochs" ||
+      snap->bad_epochs < 0) {
+    return bad("bad_epochs");
+  }
+  if (!(in >> tag >> snap->total_steps) || tag != "total_steps" ||
+      snap->total_steps < 0) {
+    return bad("total_steps");
+  }
+  if (!(in >> tag >> hex) || tag != "total_step_ms" ||
+      !ParseDoubleBitsHex(hex, &snap->total_step_ms)) {
+    return bad("total_step_ms");
+  }
+  TrainStats& st = snap->stats;
+  if (!(in >> tag >> st.epochs_completed >> st.steps >> st.rollbacks >>
+        st.retries >> st.skipped_steps >> st.checkpoints_written >>
+        st.resumed_epoch >> hex) ||
+      tag != "stats" || !ParseFloatBitsHex(hex, &st.final_lr)) {
+    return bad("stats");
+  }
+  int have_cached = 0;
+  if (!(in >> tag >> snap->rng.s[0] >> snap->rng.s[1] >> snap->rng.s[2] >>
+        snap->rng.s[3] >> have_cached >> hex) ||
+      tag != "rng" || (have_cached != 0 && have_cached != 1) ||
+      !ParseDoubleBitsHex(hex, &snap->rng.cached_normal)) {
+    return bad("rng");
+  }
+  snap->rng.have_cached_normal = have_cached == 1;
+
+  int64_t order_count = -1;
+  if (!(in >> tag >> order_count) || tag != "order" || order_count < 0 ||
+      order_count > 10000000) {
+    return bad("order");
+  }
+  snap->order.resize(static_cast<size_t>(order_count));
+  for (int64_t& step : snap->order) {
+    if (!(in >> step) || step < 0) return bad("order");
+  }
+
+  std::string line;
+  int64_t count = -1;
+  if (!(in >> tag >> count) || tag != "params" || count < 0 ||
+      count > 100000) {
+    return bad("params");
+  }
+  std::getline(in, line);  // finish the header line
+  {
+    LineCrc crc;
+    EALGAP_RETURN_IF_ERROR(
+        nn::ReadParameterBlock(in, count, &snap->params, path, &crc));
+    EALGAP_RETURN_IF_ERROR(CheckBlockCrc(in, crc, "params", path));
+  }
+
+  if (!(in >> tag >> snap->adam_t >> count) || tag != "adam" ||
+      snap->adam_t < 0 || count < 0 || count > 200000 || count % 2 != 0) {
+    return bad("adam");
+  }
+  std::getline(in, line);
+  {
+    std::map<std::string, Tensor> adam;
+    LineCrc crc;
+    EALGAP_RETURN_IF_ERROR(nn::ReadParameterBlock(in, count, &adam, path, &crc));
+    EALGAP_RETURN_IF_ERROR(CheckBlockCrc(in, crc, "adam", path));
+    const size_t n = static_cast<size_t>(count / 2);
+    snap->adam_m.clear();
+    snap->adam_v.clear();
+    snap->adam_m.reserve(n);
+    snap->adam_v.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto mi = adam.find(AdamKey('m', i));
+      auto vi = adam.find(AdamKey('v', i));
+      if (mi == adam.end() || vi == adam.end()) {
+        return Status::ParseError("missing adam moment pair " +
+                                  std::to_string(i) + " in " + path);
+      }
+      snap->adam_m.push_back(mi->second);
+      snap->adam_v.push_back(vi->second);
+    }
+  }
+
+  if (!(in >> tag >> count) || tag != "best" || count < 0 || count > 100000) {
+    return bad("best");
+  }
+  std::getline(in, line);
+  {
+    LineCrc crc;
+    EALGAP_RETURN_IF_ERROR(
+        nn::ReadParameterBlock(in, count, &snap->best_params, path, &crc));
+    EALGAP_RETURN_IF_ERROR(CheckBlockCrc(in, crc, "best", path));
+  }
+
+  if (!std::getline(in, line) || line != "end") {
+    return Status::ParseError("truncated train state (missing end marker) in " +
+                              path);
+  }
   return Status::OK();
 }
 

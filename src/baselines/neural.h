@@ -57,6 +57,9 @@ class NeuralForecaster : public Forecaster {
   double best_validation_loss() const { return best_val_loss_; }
   /// Wall-clock milliseconds of one average optimization step.
   double mean_step_ms() const { return mean_step_ms_; }
+  /// Attribution of the most recent Fit: rollbacks, retries, skipped
+  /// steps, checkpoints written, resume point.
+  const TrainStats& train_stats() const { return train_stats_; }
 
  protected:
   /// Builds modules and fits scalers; called once at the start of Fit.
@@ -104,14 +107,27 @@ class NeuralForecaster : public Forecaster {
   }
 
  private:
+  struct TrainSnapshot;
+
   const data::SlidingWindowDataset* current_dataset_ = nullptr;
   Tensor StackTargets(const std::vector<data::WindowSample>& batch) const;
-  double EvaluateLoss(const data::SlidingWindowDataset& dataset,
-                      const std::vector<int64_t>& steps, int batch_size);
+  /// Mean loss over `steps`, fanned out across the pool. The first error —
+  /// an injected fault or a non-finite batch loss — wins deterministically
+  /// by lowest batch index, regardless of which pool thread hit it.
+  Result<double> EvaluateLoss(const data::SlidingWindowDataset& dataset,
+                              const std::vector<int64_t>& steps,
+                              int batch_size);
+
+  /// Atomic train-state checkpoint (format v3): serializes `snap` with
+  /// per-block CRCs and lands it via WriteFileAtomic, or restores it with
+  /// full validation (model name, shapes, CRCs, end marker).
+  Status SaveTrainState(const std::string& path, const TrainSnapshot& snap);
+  Status LoadTrainState(const std::string& path, TrainSnapshot* snap);
 
   bool fitted_ = false;
   double best_val_loss_ = 0.0;
   double mean_step_ms_ = 0.0;
+  TrainStats train_stats_;
 };
 
 }  // namespace ealgap

@@ -26,6 +26,46 @@ uint64_t HashName(const std::string& name) {
   return h;
 }
 
+/// Every fault site compiled into production code. Arming validates site
+/// names against this list so a typo'd EALGAP_FAULTS clause fails loudly
+/// instead of silently never firing. Tests may arm arbitrary sites under
+/// the reserved "test." namespace.
+constexpr const char* kKnownSites[] = {
+    "nn.predict.nan",  "nn.predict.error", "nn.predict.delay",
+    "io.open.fail",    "io.write.fail",    "io.write.partial",
+    "train.step.nan",  "train.step.error", "train.step.delay",
+    "train.eval.error",
+};
+
+bool IsKnownSite(const std::string& site) {
+  if (site.rfind("test.", 0) == 0) return true;
+  for (const char* known : kKnownSites) {
+    if (site == known) return true;
+  }
+  return false;
+}
+
+std::string KnownSiteList() {
+  std::string out;
+  for (const char* known : kKnownSites) {
+    if (!out.empty()) out += ", ";
+    out += known;
+  }
+  return out;
+}
+
+/// Option keys the harness (or a site, for "ms") actually reads. A typo'd
+/// key would otherwise land in params and silently change nothing.
+constexpr const char* kKnownOptionKeys[] = {"p",     "seed", "every",
+                                            "after", "max",  "ms"};
+
+bool IsKnownOptionKey(const std::string& key) {
+  for (const char* known : kKnownOptionKeys) {
+    if (key == known) return true;
+  }
+  return false;
+}
+
 struct SiteConfig {
   double p = 1.0;
   uint64_t seed = 0;
@@ -136,6 +176,12 @@ class Registry {
         return Status::ParseError("fault spec clause missing site name: " +
                                   clause);
       }
+      if (!IsKnownSite(site)) {
+        return Status::ParseError(
+            "unknown fault site '" + site + "' in clause '" + clause +
+            "' (known sites: " + KnownSiteList() +
+            "; the test.* namespace is always allowed)");
+      }
       SiteState state;
       state.config.seed = HashName(site);
       std::string field;
@@ -146,6 +192,12 @@ class Registry {
         }
         const std::string key = field.substr(0, eq);
         const std::string value = field.substr(eq + 1);
+        if (!IsKnownOptionKey(key)) {
+          return Status::ParseError("unknown fault option key '" + key +
+                                    "' in clause '" + clause +
+                                    "' (known keys: p, seed, every, after, "
+                                    "max, ms)");
+        }
         std::istringstream vs(value);
         double num = 0.0;
         if (!(vs >> num) || !vs.eof()) {

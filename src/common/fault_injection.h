@@ -33,6 +33,13 @@ namespace fault {
 ///
 ///   EALGAP_FAULTS="nn.predict.nan:p=0.2:seed=11,io.write.fail:every=3:max=2"
 ///
+/// Specs are validated when armed: a site name that is not one of the
+/// production sites (nn.predict.*, io.*, train.*) is rejected with a
+/// ParseError naming the bad token, so a typo'd EALGAP_FAULTS clause can
+/// never silently arm nothing. Sites under the reserved "test." namespace
+/// are always accepted (tests use them to probe harness semantics).
+/// Unknown option keys are rejected the same way.
+///
 /// Options (all optional):
 ///   p=<0..1>   fire probability per call (default 1.0), drawn from a
 ///              per-site xoshiro RNG — deterministic given the seed and

@@ -104,4 +104,20 @@ int64_t Rng::Poisson(double mean) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+RngState Rng::state() const {
+  RngState out;
+  for (int i = 0; i < 4; ++i) out.s[i] = s_[i];
+  out.have_cached_normal = have_cached_normal_;
+  out.cached_normal = cached_normal_;
+  return out;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  // Guard against a hand-built all-zero state, same as the constructor.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace ealgap

@@ -8,6 +8,15 @@
 
 namespace ealgap {
 
+/// Complete serializable state of an Rng: the xoshiro words plus the
+/// Box-Muller cache. Restoring a captured state resumes the stream
+/// bit-identically, which is what crash-safe training checkpoints rely on.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool have_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256++) with the
 /// sampling primitives the library needs.
 ///
@@ -55,6 +64,11 @@ class Rng {
 
   /// Derives an independent child generator (for per-component streams).
   Rng Fork();
+
+  /// Captures the full generator state; set_state() resumes the stream
+  /// exactly where the capture left it (including the cached normal).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   uint64_t s_[4];

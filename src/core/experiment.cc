@@ -1,6 +1,10 @@
 #include "core/experiment.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 
 #include "baselines/arima.h"
@@ -167,12 +171,15 @@ Result<SchemeResult> RunScheme(const std::string& scheme,
   result.scheme = scheme;
   const auto t0 = std::chrono::steady_clock::now();
   Status fit_status = model->Fit(data.dataset, data.split, train);
+  if (auto* neural = dynamic_cast<NeuralForecaster*>(model.get())) {
+    // Rollback/retry attribution survives even a failed fit, so the caller
+    // can report *why* a cell died (e.g. retries exhausted).
+    result.train_stats = neural->train_stats();
+    result.train_step_ms = neural->mean_step_ms();
+  }
   if (!fit_status.ok()) return fit_status;
   const auto t1 = std::chrono::steady_clock::now();
   result.fit_seconds = std::chrono::duration<double>(t1 - t0).count();
-  if (auto* neural = dynamic_cast<NeuralForecaster*>(model.get())) {
-    result.train_step_ms = neural->mean_step_ms();
-  }
   std::vector<double> pred, truth;
   EALGAP_RETURN_IF_ERROR(model->PredictRange(
       data.dataset, data.split.test_begin, data.split.test_end, &pred,
@@ -180,6 +187,26 @@ Result<SchemeResult> RunScheme(const std::string& scheme,
   result.metrics = stats::ComputeMetrics(pred, truth);
   return result;
 }
+
+namespace {
+
+/// Runs one scheme with per-scheme isolation: an error becomes a row with
+/// a non-OK status (keeping one row per scheme) instead of propagating.
+SchemeResult RunSchemeIsolated(const std::string& scheme,
+                               const PreparedData& data,
+                               const TrainConfig& train,
+                               const std::string& context) {
+  auto row_or = RunScheme(scheme, data, train);
+  if (row_or.ok()) return std::move(*row_or);
+  SchemeResult row;
+  row.scheme = scheme;
+  row.status = row_or.status();
+  EALGAP_LOG(Warning) << context << " " << scheme
+                      << " failed (isolated): " << row.status.ToString();
+  return row;
+}
+
+}  // namespace
 
 Result<PeriodResult> RunPeriod(const data::PeriodConfig& config,
                                const ExperimentOptions& options) {
@@ -190,15 +217,108 @@ Result<PeriodResult> RunPeriod(const data::PeriodConfig& config,
     TrainConfig train = options.train;
     train.seed = options.seed;
     train.verbose = options.verbose;
-    EALGAP_ASSIGN_OR_RETURN(SchemeResult row,
-                            RunScheme(scheme, data, train));
-    if (options.verbose) {
+    SchemeResult row = RunSchemeIsolated(scheme, data, train, config.label);
+    if (options.verbose && row.status.ok()) {
       EALGAP_LOG(Info) << config.label << " " << scheme << ": ER "
                        << row.metrics.er << " MSLE " << row.metrics.msle
                        << " R2 " << row.metrics.r2 << " (fit "
                        << row.fit_seconds << "s)";
     }
     out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+namespace {
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IoError("cannot create directory " + path + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+Result<SweepResult> RunSweep(const SweepOptions& options) {
+  ExperimentJournal journal(options.journal_path);
+  const bool journaling = !options.journal_path.empty();
+  if (journaling && options.resume) {
+    EALGAP_RETURN_IF_ERROR(journal.Load());
+  }
+  if (!options.state_dir.empty()) {
+    EALGAP_RETURN_IF_ERROR(EnsureDirectory(options.state_dir));
+  }
+
+  SweepResult out;
+  for (data::City city : options.cities) {
+    for (data::Period period : options.periods) {
+      const std::string city_name = data::CityName(city);
+      const std::string period_name = data::PeriodName(period);
+      // Skip data preparation entirely when every cell of this (city,
+      // period) is already journaled.
+      bool all_done = journaling && options.resume;
+      for (const std::string& scheme : options.experiment.schemes) {
+        all_done = all_done && journal.Has(city_name, period_name, scheme);
+      }
+      std::optional<PreparedData> data;
+      if (!all_done) {
+        const data::PeriodConfig config = data::MakePeriodConfig(
+            city, period, options.experiment.seed,
+            options.experiment.data_scale);
+        EALGAP_ASSIGN_OR_RETURN(data, PrepareData(config));
+      }
+      for (const std::string& scheme : options.experiment.schemes) {
+        if (journaling && options.resume &&
+            journal.Has(city_name, period_name, scheme)) {
+          ++out.cells_skipped;
+          continue;
+        }
+        TrainConfig train = options.experiment.train;
+        train.seed = options.experiment.seed;
+        train.verbose = options.experiment.verbose;
+        if (!options.state_dir.empty()) {
+          train.checkpoint_path = options.state_dir + "/" + city_name + "." +
+                                  period_name + "." + scheme + ".train";
+          train.checkpoint_every = options.checkpoint_every;
+          train.resume = options.resume;
+        }
+        const std::string context = city_name + "/" + period_name;
+        SchemeResult row = RunSchemeIsolated(scheme, *data, train, context);
+        ++out.cells_run;
+        JournalEntry entry;
+        entry.city = city_name;
+        entry.period = period_name;
+        entry.scheme = scheme;
+        entry.ok = row.status.ok();
+        if (entry.ok) {
+          entry.metrics = row.metrics;
+          if (options.experiment.verbose) {
+            EALGAP_LOG(Info) << context << " " << scheme << ": ER "
+                             << row.metrics.er << " MSLE " << row.metrics.msle
+                             << " R2 " << row.metrics.r2;
+          }
+        } else {
+          entry.error = row.status.ToString();
+          ++out.cells_failed;
+        }
+        if (journaling) {
+          // A journal write failure aborts the sweep: the cell's result is
+          // not durably recorded, so continuing would let a later resume
+          // double-count or lose it.
+          EALGAP_RETURN_IF_ERROR(journal.Record(entry));
+        } else {
+          out.entries.push_back(entry);
+        }
+      }
+    }
+  }
+  if (journaling) {
+    // Resume consistency check: the final journal covers exactly the
+    // requested grid (entries from an older, different grid stay listed
+    // but are not re-validated here).
+    out.entries = journal.entries();
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "baselines/forecaster.h"
+#include "core/journal.h"
 #include "data/cleaning.h"
 #include "data/dataset.h"
 #include "data/dataset_configs.h"
@@ -55,12 +56,18 @@ Result<std::unique_ptr<Forecaster>> MakeForecaster(const std::string& scheme,
 Result<std::unique_ptr<Forecaster>> LoadForecasterFromCheckpoint(
     const std::string& path);
 
-/// One table cell group: a scheme evaluated on the test range.
+/// One table cell group: a scheme evaluated on the test range. A scheme
+/// that failed (diverged past its rollback budget, hit an injected fault,
+/// rejected its config) still occupies its row — `status` carries the
+/// cause and `metrics` is all zeros — so table indexing by scheme position
+/// stays valid and one bad cell never aborts a sweep.
 struct SchemeResult {
   std::string scheme;
+  Status status = Status::OK();
   stats::MetricReport metrics;
   double fit_seconds = 0.0;
-  double train_step_ms = 0.0;  ///< 0 for non-neural schemes
+  double train_step_ms = 0.0;   ///< 0 for non-neural schemes
+  TrainStats train_stats;       ///< rollback/retry attribution (neural only)
 };
 
 struct PeriodResult {
@@ -76,7 +83,10 @@ struct ExperimentOptions {
   bool verbose = false;
 };
 
-/// Trains and evaluates every scheme on one (dataset, period).
+/// Trains and evaluates every scheme on one (dataset, period). Schemes are
+/// isolated: a failing scheme yields a row with a non-OK status (and a log
+/// line) while the remaining schemes still run. Only data preparation
+/// failures — which doom every scheme equally — abort the period.
 Result<PeriodResult> RunPeriod(const data::PeriodConfig& config,
                                const ExperimentOptions& options);
 
@@ -84,6 +94,37 @@ Result<PeriodResult> RunPeriod(const data::PeriodConfig& config,
 Result<SchemeResult> RunScheme(const std::string& scheme,
                                const PreparedData& data,
                                const TrainConfig& train);
+
+/// A multi-(city, period) sweep with crash-safe progress journaling.
+struct SweepOptions {
+  std::vector<data::City> cities = data::AllCities();
+  std::vector<data::Period> periods = data::AllPeriods();
+  ExperimentOptions experiment;
+  /// Journal file recording every finished cell; empty disables journaling
+  /// (and with it, resume).
+  std::string journal_path;
+  /// Skip cells already present in the journal instead of starting over.
+  bool resume = false;
+  /// Directory for per-cell train-state checkpoints (see
+  /// TrainConfig::checkpoint_path); empty disables them.
+  std::string state_dir;
+  /// TrainConfig::checkpoint_every for neural schemes when state_dir is set.
+  int checkpoint_every = 0;
+};
+
+struct SweepResult {
+  int64_t cells_run = 0;      ///< cells trained and evaluated this process
+  int64_t cells_skipped = 0;  ///< cells satisfied from the journal (resume)
+  int64_t cells_failed = 0;   ///< cells whose scheme failed (isolated)
+  std::vector<JournalEntry> entries;  ///< final journal content, in order
+};
+
+/// Runs cities x periods x schemes. Each finished cell is journaled
+/// atomically before the next begins, so an interrupted sweep restarts
+/// with `resume` and re-runs only the missing cells. Scheme failures are
+/// recorded as failed cells and do not abort the sweep; journal I/O
+/// failures do (progress the journal cannot vouch for is not progress).
+Result<SweepResult> RunSweep(const SweepOptions& options);
 
 }  // namespace core
 }  // namespace ealgap

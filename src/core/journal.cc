@@ -1,0 +1,162 @@
+#include "core/journal.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/checksum.h"
+#include "common/file_util.h"
+#include "common/float_bits.h"
+
+namespace ealgap {
+namespace core {
+
+namespace {
+
+constexpr char kJournalMagic[] = "ealgap-journal";
+constexpr int kJournalVersion = 1;
+
+/// A journal entry must stay one line: fold any embedded control
+/// characters (newlines in a wrapped error message, tabs that would split
+/// the CRC field) into spaces.
+std::string OneLine(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  return out;
+}
+
+/// Body of one cell line, without the per-line CRC field.
+std::string CellBody(const JournalEntry& e) {
+  std::ostringstream os;
+  os << "cell " << e.city << " " << e.period << " " << e.scheme << " ";
+  if (e.ok) {
+    os << "ok " << DoubleBitsHex(e.metrics.er) << " "
+       << DoubleBitsHex(e.metrics.msle) << " " << DoubleBitsHex(e.metrics.r2)
+       << " " << DoubleBitsHex(e.metrics.rmse) << " "
+       << DoubleBitsHex(e.metrics.mae);
+  } else {
+    os << "fail " << OneLine(e.error);
+  }
+  return os.str();
+}
+
+std::string Serialize(const std::vector<JournalEntry>& entries) {
+  std::ostringstream out;
+  out << kJournalMagic << " " << kJournalVersion << "\n";
+  for (const JournalEntry& e : entries) {
+    const std::string body = CellBody(e);
+    out << body << "\t" << Crc32Hex(Crc32(body)) << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Status ParseCell(const std::string& line, const std::string& path,
+                 JournalEntry* entry) {
+  const size_t tab = line.rfind('\t');
+  if (tab == std::string::npos) {
+    return Status::ParseError("journal cell line missing CRC field in " + path +
+                              ": " + line);
+  }
+  const std::string body = line.substr(0, tab);
+  uint32_t stored = 0;
+  if (!ParseCrc32Hex(line.substr(tab + 1), &stored)) {
+    return Status::ParseError("bad journal cell CRC in " + path + ": " + line);
+  }
+  if (stored != Crc32(body)) {
+    return Status::ParseError("journal cell CRC mismatch in " + path + ": " +
+                              body);
+  }
+  std::istringstream is(body);
+  std::string tag, status;
+  if (!(is >> tag >> entry->city >> entry->period >> entry->scheme >>
+        status) ||
+      tag != "cell" || (status != "ok" && status != "fail")) {
+    return Status::ParseError("malformed journal cell in " + path + ": " +
+                              body);
+  }
+  entry->ok = status == "ok";
+  if (entry->ok) {
+    std::string er, msle, r2, rmse, mae;
+    if (!(is >> er >> msle >> r2 >> rmse >> mae) ||
+        !ParseDoubleBitsHex(er, &entry->metrics.er) ||
+        !ParseDoubleBitsHex(msle, &entry->metrics.msle) ||
+        !ParseDoubleBitsHex(r2, &entry->metrics.r2) ||
+        !ParseDoubleBitsHex(rmse, &entry->metrics.rmse) ||
+        !ParseDoubleBitsHex(mae, &entry->metrics.mae)) {
+      return Status::ParseError("bad journal metrics in " + path + ": " + body);
+    }
+  } else {
+    std::getline(is, entry->error);
+    const size_t start = entry->error.find_first_not_of(' ');
+    entry->error =
+        start == std::string::npos ? "" : entry->error.substr(start);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExperimentJournal::Load() {
+  entries_.clear();
+  std::ifstream in(path_);
+  if (!in) return Status::OK();  // fresh sweep: nothing recorded yet
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty journal file " + path_);
+  }
+  std::istringstream header(line);
+  std::string magic;
+  int version = 0;
+  if (!(header >> magic >> version) || magic != kJournalMagic) {
+    return Status::ParseError(path_ + " is not an ealgap experiment journal");
+  }
+  if (version != kJournalVersion) {
+    return Status::InvalidArgument("unsupported journal version " +
+                                   std::to_string(version) + " in " + path_);
+  }
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    JournalEntry entry;
+    EALGAP_RETURN_IF_ERROR(ParseCell(line, path_, &entry));
+    entries_.push_back(std::move(entry));
+  }
+  if (!saw_end) {
+    return Status::ParseError("truncated journal (missing end marker) in " +
+                              path_);
+  }
+  return Status::OK();
+}
+
+bool ExperimentJournal::Has(const std::string& city, const std::string& period,
+                            const std::string& scheme) const {
+  return Find(city, period, scheme) != nullptr;
+}
+
+const JournalEntry* ExperimentJournal::Find(const std::string& city,
+                                            const std::string& period,
+                                            const std::string& scheme) const {
+  for (const JournalEntry& e : entries_) {
+    if (e.city == city && e.period == period && e.scheme == scheme) return &e;
+  }
+  return nullptr;
+}
+
+Status ExperimentJournal::Record(const JournalEntry& entry) {
+  entries_.push_back(entry);
+  Status st = WriteFileAtomic(path_, Serialize(entries_));
+  if (!st.ok()) {
+    // The cell is not durably recorded; do not pretend otherwise in memory.
+    entries_.pop_back();
+  }
+  return st;
+}
+
+}  // namespace core
+}  // namespace ealgap

@@ -19,6 +19,18 @@ const char* CityName(City city) {
   return "unknown";
 }
 
+const char* PeriodName(Period period) {
+  switch (period) {
+    case Period::kNormal:
+      return "normal";
+    case Period::kWeather:
+      return "weather";
+    case Period::kHoliday:
+      return "holiday";
+  }
+  return "unknown";
+}
+
 std::vector<City> AllCities() {
   return {City::kNycBike, City::kChicagoBike, City::kNycTaxi,
           City::kChicagoTaxi};

@@ -20,6 +20,10 @@ enum class City { kNycBike, kChicagoBike, kNycTaxi, kChicagoTaxi };
 enum class Period { kNormal, kWeather, kHoliday };
 
 const char* CityName(City city);
+/// Machine-readable period name ("normal" / "weather" / "holiday") —
+/// city-independent, unlike the table label below. Used as a stable key in
+/// experiment journals and per-cell file names.
+const char* PeriodName(Period period);
 std::vector<City> AllCities();
 std::vector<Period> AllPeriods();
 

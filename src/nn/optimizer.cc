@@ -93,6 +93,43 @@ void Adam::Step() {
   }
 }
 
+void Adam::ExportState(int64_t* t, std::vector<Tensor>* m,
+                       std::vector<Tensor>* v) const {
+  *t = t_;
+  m->clear();
+  v->clear();
+  m->reserve(m_.size());
+  v->reserve(v_.size());
+  for (const Tensor& x : m_) m->push_back(x.Clone());
+  for (const Tensor& x : v_) v->push_back(x.Clone());
+}
+
+Status Adam::ImportState(int64_t t, const std::vector<Tensor>& m,
+                         const std::vector<Tensor>& v) {
+  if (t < 0) {
+    return Status::InvalidArgument("Adam step count is negative: " +
+                                   std::to_string(t));
+  }
+  if (m.size() != m_.size() || v.size() != v_.size()) {
+    return Status::InvalidArgument(
+        "Adam state holds " + std::to_string(m.size()) + "/" +
+        std::to_string(v.size()) + " moment tensors but the optimizer has " +
+        std::to_string(m_.size()) + " parameters");
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    if (!(m[i].shape() == m_[i].shape()) || !(v[i].shape() == v_[i].shape())) {
+      return Status::InvalidArgument("Adam moment shape mismatch at index " +
+                                     std::to_string(i));
+    }
+  }
+  t_ = t;
+  for (size_t i = 0; i < m_.size(); ++i) {
+    m_[i].CopyFrom(m[i]);
+    v_[i].CopyFrom(v[i]);
+  }
+  return Status::OK();
+}
+
 float ClipGradNorm(std::vector<Var>& params, float max_norm) {
   double total = 0.0;
   for (Var& p : params) total += ops::SumSquares(p.grad());

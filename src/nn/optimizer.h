@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/autograd.h"
 
 namespace ealgap {
@@ -45,6 +46,26 @@ class Adam : public Optimizer {
   Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f);
   void Step() override;
+
+  /// The learning rate is mutable so divergence rollback can back it off
+  /// mid-training without rebuilding the optimizer (which would zero the
+  /// moments).
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+  /// Number of Step() calls applied (the bias-correction clock).
+  int64_t step_count() const { return t_; }
+
+  /// Deep-copies the full optimizer state (step clock + per-parameter
+  /// first/second moments, in Parameters() order) for train checkpoints.
+  void ExportState(int64_t* t, std::vector<Tensor>* m,
+                   std::vector<Tensor>* v) const;
+
+  /// Restores state captured by ExportState (or parsed from a train
+  /// checkpoint). Counts and shapes must match this optimizer's parameter
+  /// set; mismatches return InvalidArgument and leave the state untouched.
+  Status ImportState(int64_t t, const std::vector<Tensor>& m,
+                     const std::vector<Tensor>& v);
 
  private:
   float lr_, beta1_, beta2_, eps_;

@@ -15,21 +15,42 @@ namespace {
 constexpr int64_t kMaxParameterNumel = int64_t{1} << 28;
 }  // namespace
 
+namespace {
+
+void WriteTensorLine(std::ostream& out, std::ostringstream& line,
+                     const std::string& name, const Tensor& t, LineCrc* crc) {
+  line.str("");
+  line << name << " " << t.ndim();
+  for (int64_t d : t.shape()) line << " " << d;
+  const float* data = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) line << " " << data[i];
+  const std::string text = line.str();
+  out << text << "\n";
+  if (crc != nullptr) crc->Update(text);
+}
+
+}  // namespace
+
 void WriteParameterBlock(std::ostream& out, const Module& module,
                          int64_t* count, LineCrc* crc) {
   int64_t n = 0;
   std::ostringstream line;
   line.precision(std::numeric_limits<float>::max_digits10);
   for (const auto& [name, p] : module.NamedParameters()) {
-    const Tensor& t = p.value();
-    line.str("");
-    line << name << " " << t.ndim();
-    for (int64_t d : t.shape()) line << " " << d;
-    const float* data = t.data();
-    for (int64_t i = 0; i < t.numel(); ++i) line << " " << data[i];
-    const std::string text = line.str();
-    out << text << "\n";
-    if (crc != nullptr) crc->Update(text);
+    WriteTensorLine(out, line, name, p.value(), crc);
+    ++n;
+  }
+  if (count != nullptr) *count = n;
+}
+
+void WriteTensorMapBlock(std::ostream& out,
+                         const std::map<std::string, Tensor>& tensors,
+                         int64_t* count, LineCrc* crc) {
+  int64_t n = 0;
+  std::ostringstream line;
+  line.precision(std::numeric_limits<float>::max_digits10);
+  for (const auto& [name, t] : tensors) {
+    WriteTensorLine(out, line, name, t, crc);
     ++n;
   }
   if (count != nullptr) *count = n;

@@ -45,6 +45,14 @@ Status ReadParameterBlock(std::istream& in, int64_t count,
                           std::map<std::string, Tensor>* loaded,
                           const std::string& context, LineCrc* crc = nullptr);
 
+/// Writes an arbitrary name -> Tensor map in the same line format (and
+/// deterministic map order), so non-module tensors — optimizer moments,
+/// best-validation snapshots — can ride in checksummed checkpoint blocks
+/// that ReadParameterBlock parses back.
+void WriteTensorMapBlock(std::ostream& out,
+                         const std::map<std::string, Tensor>& tensors,
+                         int64_t* count = nullptr, LineCrc* crc = nullptr);
+
 /// Copies `loaded` entries into the matching parameters of `module`.
 /// Every module parameter must be present with an identical shape.
 Status ApplyParameters(Module& module,

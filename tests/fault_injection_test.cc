@@ -57,31 +57,31 @@ TEST(FaultHarnessTest, DisarmedSitesNeverFire) {
   fault::ScopedFaults off("");
   EXPECT_FALSE(fault::Armed());
   for (int i = 0; i < 10; ++i) {
-    EXPECT_FALSE(EALGAP_FAULT("some.site"));
+    EXPECT_FALSE(EALGAP_FAULT("test.some"));
   }
 }
 
 TEST(FaultHarnessTest, EveryClauseFiresPeriodically) {
-  fault::ScopedFaults faults("site.a:every=3");
+  fault::ScopedFaults faults("test.a:every=3");
   std::vector<bool> pattern;
-  for (int i = 0; i < 9; ++i) pattern.push_back(fault::ShouldFail("site.a"));
+  for (int i = 0; i < 9; ++i) pattern.push_back(fault::ShouldFail("test.a"));
   const std::vector<bool> want = {false, false, true,  false, false,
                                   true,  false, false, true};
   EXPECT_EQ(pattern, want);
   const auto snap = fault::Snapshot();
-  ASSERT_EQ(snap.count("site.a"), 1u);
-  EXPECT_EQ(snap.at("site.a").calls, 9);
-  EXPECT_EQ(snap.at("site.a").fires, 3);
+  ASSERT_EQ(snap.count("test.a"), 1u);
+  EXPECT_EQ(snap.at("test.a").calls, 9);
+  EXPECT_EQ(snap.at("test.a").fires, 3);
   // Unarmed sites never fire and are not tracked.
-  EXPECT_FALSE(fault::ShouldFail("site.unarmed"));
-  EXPECT_EQ(fault::Snapshot().count("site.unarmed"), 0u);
+  EXPECT_FALSE(fault::ShouldFail("test.unarmed"));
+  EXPECT_EQ(fault::Snapshot().count("test.unarmed"), 0u);
 }
 
 TEST(FaultHarnessTest, AfterAndMaxBoundTheFireWindow) {
   // Skip the first 2 calls, then fire every call, at most 3 times.
-  fault::ScopedFaults faults("site.t:every=1:after=2:max=3");
+  fault::ScopedFaults faults("test.t:every=1:after=2:max=3");
   std::vector<bool> pattern;
-  for (int i = 0; i < 8; ++i) pattern.push_back(fault::ShouldFail("site.t"));
+  for (int i = 0; i < 8; ++i) pattern.push_back(fault::ShouldFail("test.t"));
   const std::vector<bool> want = {false, false, true, true,
                                   true,  false, false, false};
   EXPECT_EQ(pattern, want);
@@ -90,10 +90,10 @@ TEST(FaultHarnessTest, AfterAndMaxBoundTheFireWindow) {
 TEST(FaultHarnessTest, ProbabilisticSitesAreDeterministicGivenSeed) {
   auto run = [] {
     std::vector<bool> p;
-    for (int i = 0; i < 64; ++i) p.push_back(fault::ShouldFail("site.p"));
+    for (int i = 0; i < 64; ++i) p.push_back(fault::ShouldFail("test.p"));
     return p;
   };
-  fault::ScopedFaults a("site.p:p=0.4:seed=99");
+  fault::ScopedFaults a("test.p:p=0.4:seed=99");
   const std::vector<bool> first = run();
   int fires = 0;
   for (bool b : first) fires += b ? 1 : 0;
@@ -101,28 +101,28 @@ TEST(FaultHarnessTest, ProbabilisticSitesAreDeterministicGivenSeed) {
   EXPECT_LT(fires, 64);
   {
     // Re-arming the identical spec replays the identical fire pattern.
-    fault::ScopedFaults b("site.p:p=0.4:seed=99");
+    fault::ScopedFaults b("test.p:p=0.4:seed=99");
     EXPECT_EQ(run(), first);
   }
   {
     // A different seed draws a different stream.
-    fault::ScopedFaults c("site.p:p=0.4:seed=100");
+    fault::ScopedFaults c("test.p:p=0.4:seed=100");
     EXPECT_NE(run(), first);
   }
 }
 
 TEST(FaultHarnessTest, ParamReadsSiteOptionsWithDefaults) {
-  fault::ScopedFaults faults("site.d:every=1:ms=7.5");
-  EXPECT_DOUBLE_EQ(fault::Param("site.d", "ms", 50.0), 7.5);
-  EXPECT_DOUBLE_EQ(fault::Param("site.d", "other", 3.0), 3.0);
-  EXPECT_DOUBLE_EQ(fault::Param("site.unknown", "ms", 50.0), 50.0);
+  fault::ScopedFaults faults("test.d:every=1:ms=7.5");
+  EXPECT_DOUBLE_EQ(fault::Param("test.d", "ms", 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(fault::Param("test.d", "other", 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(fault::Param("test.unknown", "ms", 50.0), 50.0);
 }
 
 TEST(FaultHarnessTest, MaybeDelaySleepsForTheConfiguredTime) {
-  fault::ScopedFaults faults("site.sleep:every=2:ms=30");
-  EXPECT_FALSE(fault::MaybeDelay("site.sleep"));  // call 1: no fire, no sleep
+  fault::ScopedFaults faults("test.sleep:every=2:ms=30");
+  EXPECT_FALSE(fault::MaybeDelay("test.sleep"));  // call 1: no fire, no sleep
   const auto t0 = std::chrono::steady_clock::now();
-  EXPECT_TRUE(fault::MaybeDelay("site.sleep"));  // call 2 fires
+  EXPECT_TRUE(fault::MaybeDelay("test.sleep"));  // call 2 fires
   const double ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
@@ -130,31 +130,58 @@ TEST(FaultHarnessTest, MaybeDelaySleepsForTheConfiguredTime) {
 }
 
 TEST(FaultHarnessTest, MalformedSpecsAreRejectedWithoutDisarming) {
-  fault::ScopedFaults guard("good.site:every=2");
+  fault::ScopedFaults guard("test.good:every=2");
   for (const char* bad :
-       {":every=1",            // missing site name
-        "site:novalue",        // option without '='
-        "site:p=nope",         // non-numeric value
-        "site:p=1.5"}) {       // probability out of range
+       {":every=1",              // missing site name
+        "test.x:novalue",        // option without '='
+        "test.x:p=nope",         // non-numeric value
+        "test.x:p=1.5"}) {       // probability out of range
     Status st = fault::ArmFromSpec(bad);
     EXPECT_FALSE(st.ok()) << bad;
     EXPECT_EQ(st.code(), StatusCode::kParseError) << bad;
   }
   // The previous configuration survived every rejected spec.
   EXPECT_TRUE(fault::Armed());
-  EXPECT_FALSE(fault::ShouldFail("good.site"));
-  EXPECT_TRUE(fault::ShouldFail("good.site"));
+  EXPECT_FALSE(fault::ShouldFail("test.good"));
+  EXPECT_TRUE(fault::ShouldFail("test.good"));
+}
+
+TEST(FaultHarnessTest, UnknownSiteIsRejectedNamingTheBadToken) {
+  // Restores any ambient (env-derived) arming after the raw ArmFromSpec
+  // calls below — EnvVarArmsTheHarness runs later in this binary.
+  fault::ScopedFaults guard("");
+  // A typo'd site must fail loudly at arm time, not silently never fire.
+  Status st = fault::ArmFromSpec("nn.predct.nan:every=3");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("nn.predct.nan"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("unknown fault site"), std::string::npos)
+      << st.ToString();
+  // Production sites and the reserved test.* namespace both arm cleanly.
+  EXPECT_TRUE(fault::ArmFromSpec("io.write.fail:every=2").ok());
+  EXPECT_TRUE(fault::ArmFromSpec("test.anything.goes:every=2").ok());
+}
+
+TEST(FaultHarnessTest, UnknownOptionKeyIsRejectedNamingTheBadToken) {
+  fault::ScopedFaults guard("");
+  Status st = fault::ArmFromSpec("test.x:evry=3");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("evry"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("unknown fault option key"), std::string::npos)
+      << st.ToString();
 }
 
 TEST(FaultHarnessTest, ScopedFaultsRestoresOuterConfiguration) {
-  fault::ScopedFaults outer("outer.site:every=1");
+  fault::ScopedFaults outer("test.outer:every=1");
   {
-    fault::ScopedFaults inner("inner.site:every=1");
-    EXPECT_TRUE(fault::ShouldFail("inner.site"));
-    EXPECT_FALSE(fault::ShouldFail("outer.site"));
+    fault::ScopedFaults inner("test.inner:every=1");
+    EXPECT_TRUE(fault::ShouldFail("test.inner"));
+    EXPECT_FALSE(fault::ShouldFail("test.outer"));
   }
-  EXPECT_TRUE(fault::ShouldFail("outer.site"));
-  EXPECT_FALSE(fault::ShouldFail("inner.site"));
+  EXPECT_TRUE(fault::ShouldFail("test.outer"));
+  EXPECT_FALSE(fault::ShouldFail("test.inner"));
 }
 
 TEST(FaultHarnessTest, EnvVarArmsTheHarness) {

@@ -10,8 +10,23 @@
 //
 //   evaluate  --trips T.csv --stations S.csv --start YYYY-MM-DD --days N
 //             [--regions K] [--scheme EALGAP] [--epochs N] [--save ckpt.txt]
+//             [--train-state path --checkpoint-every K [--resume]]
 //       Runs the full pipeline on a trip feed, trains the scheme, and
 //       reports the test metrics. --save checkpoints the fitted model.
+//       --train-state writes a crash-safe full-training-state snapshot
+//       every --checkpoint-every epochs; with --resume an interrupted run
+//       continues from it bit-identically to an uninterrupted one.
+//
+//   experiment [--cities A,B] [--periods normal,weather] [--schemes X,Y]
+//              [--epochs N] [--scale F] [--seed N] [--journal J.txt]
+//              [--resume] [--state-dir DIR] [--checkpoint-every K]
+//       Sweeps cities x periods x schemes, training and evaluating every
+//       cell. Each finished cell is recorded atomically in --journal, so
+//       an interrupted sweep rerun with --resume skips completed cells.
+//       A scheme that fails (e.g. diverges past its rollback budget) is
+//       recorded as a failed cell without aborting the sweep. --state-dir
+//       adds per-cell train-state checkpoints every --checkpoint-every
+//       epochs, letting --resume continue even mid-cell.
 //
 //   serve     --trips T.csv --stations S.csv --start YYYY-MM-DD --days N
 //             --checkpoint ckpt.txt [--regions K] [--seed N]
@@ -34,6 +49,7 @@
 #include <chrono>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "common/flags.h"
 #include "common/table_printer.h"
@@ -175,11 +191,30 @@ int Evaluate(const Flags& flags) {
   train.epochs = static_cast<int>(flags.GetInt("epochs", 20));
   train.learning_rate = static_cast<float>(flags.GetDouble("lr", 2e-3));
   train.seed = flags.GetInt("seed", 7);
+  train.checkpoint_path = flags.GetString("train-state", "");
+  train.checkpoint_every =
+      static_cast<int>(flags.GetInt("checkpoint-every", 1));
+  train.resume = flags.GetBool("resume");
   const std::string scheme = flags.GetString("scheme", "EALGAP");
   auto model = core::MakeForecaster(scheme, prepared);
   if (!model.ok()) return Fail(model.status());
   Status fit = (*model)->Fit(prepared.dataset, prepared.split, train);
   if (!fit.ok()) return Fail(fit);
+  if (auto* neural = dynamic_cast<NeuralForecaster*>(model->get())) {
+    const TrainStats& ts = neural->train_stats();
+    if (ts.rollbacks > 0 || ts.resumed_epoch >= 0) {
+      std::cout << "training: " << ts.epochs_completed << " epochs";
+      if (ts.resumed_epoch >= 0) {
+        std::cout << ", resumed at epoch " << ts.resumed_epoch;
+      }
+      if (ts.rollbacks > 0) {
+        std::cout << ", " << ts.rollbacks << " divergence rollbacks ("
+                  << ts.skipped_steps << " steps discarded, final lr "
+                  << ts.final_lr << ")";
+      }
+      std::cout << "\n";
+    }
+  }
 
   const std::string save_path = flags.GetString("save", "");
   if (!save_path.empty()) {
@@ -202,6 +237,105 @@ int Evaluate(const Flags& flags) {
   PrintMetrics("test metrics (" + scheme + ")",
                stats::ComputeMetrics(pred, truth));
   return 0;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int Experiment(const Flags& flags) {
+  core::SweepOptions sweep;
+  if (flags.Has("cities")) {
+    sweep.cities.clear();
+    for (const std::string& name : SplitCsv(flags.GetString("cities"))) {
+      bool found = false;
+      for (data::City c : data::AllCities()) {
+        if (name == data::CityName(c)) {
+          sweep.cities.push_back(c);
+          found = true;
+        }
+      }
+      if (!found) {
+        std::cerr << "error: unknown city '" << name
+                  << "' (known: nyc_bike, chicago_bike, nyc_taxi, "
+                     "chicago_taxi)\n";
+        return 1;
+      }
+    }
+  }
+  if (flags.Has("periods")) {
+    sweep.periods.clear();
+    for (const std::string& name : SplitCsv(flags.GetString("periods"))) {
+      bool found = false;
+      for (data::Period p : data::AllPeriods()) {
+        if (name == data::PeriodName(p)) {
+          sweep.periods.push_back(p);
+          found = true;
+        }
+      }
+      if (!found) {
+        std::cerr << "error: unknown period '" << name
+                  << "' (known: normal, weather, holiday)\n";
+        return 1;
+      }
+    }
+  }
+  if (flags.Has("schemes")) {
+    sweep.experiment.schemes = SplitCsv(flags.GetString("schemes"));
+  }
+  sweep.experiment.seed = flags.GetInt("seed", 7);
+  sweep.experiment.data_scale = flags.GetDouble("scale", 1.0);
+  sweep.experiment.train.epochs =
+      static_cast<int>(flags.GetInt("epochs", 10));
+  sweep.experiment.train.learning_rate =
+      static_cast<float>(flags.GetDouble("lr", 2e-3));
+  sweep.experiment.verbose = flags.GetBool("verbose");
+  sweep.journal_path = flags.GetString("journal", "");
+  sweep.resume = flags.GetBool("resume");
+  sweep.state_dir = flags.GetString("state-dir", "");
+  sweep.checkpoint_every =
+      static_cast<int>(flags.GetInt("checkpoint-every", 1));
+  if (sweep.resume && sweep.journal_path.empty()) {
+    std::cerr << "error: --resume requires --journal\n";
+    return 1;
+  }
+
+  auto result = core::RunSweep(sweep);
+  if (!result.ok()) return Fail(result.status());
+
+  TablePrinter table("experiment sweep (" +
+                         std::to_string(result->entries.size()) + " cells)",
+                     {"city", "period", "scheme", "status", "ER", "MSLE",
+                      "R2"});
+  for (const core::JournalEntry& e : result->entries) {
+    if (e.ok) {
+      table.AddRow({e.city, e.period, e.scheme, "ok",
+                    TablePrinter::Num(e.metrics.er),
+                    TablePrinter::Num(e.metrics.msle),
+                    TablePrinter::Num(e.metrics.r2)});
+    } else {
+      table.AddRow({e.city, e.period, e.scheme, "FAIL", "-", "-", "-"});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "cells: " << result->cells_run << " run, "
+            << result->cells_skipped << " resumed from journal, "
+            << result->cells_failed << " failed\n";
+  for (const core::JournalEntry& e : result->entries) {
+    if (!e.ok) {
+      std::cout << "  FAIL " << e.city << "/" << e.period << "/" << e.scheme
+                << ": " << e.error << "\n";
+    }
+  }
+  // Failed cells make the sweep exit non-zero (they are isolated, not
+  // ignored); a resumed sweep that completes cleanly exits 0.
+  return result->cells_failed > 0 ? 2 : 0;
 }
 
 int Serve(const Flags& flags) {
@@ -314,8 +448,8 @@ int Serve(const Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: ealgap_tool <generate|inspect|evaluate|serve> "
-                 "[flags]\n";
+    std::cerr << "usage: ealgap_tool "
+                 "<generate|inspect|evaluate|experiment|serve> [flags]\n";
     return 1;
   }
   const std::string cmd = argv[1];
@@ -323,6 +457,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return Generate(flags);
   if (cmd == "inspect") return Inspect(flags);
   if (cmd == "evaluate") return Evaluate(flags);
+  if (cmd == "experiment") return Experiment(flags);
   if (cmd == "serve") return Serve(flags);
   std::cerr << "unknown subcommand: " << cmd << "\n";
   return 1;
