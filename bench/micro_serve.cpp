@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -16,7 +18,9 @@
 #include "common/thread_pool.h"
 #include "core/ealgap.h"
 #include "data/dataset.h"
+#include "data/synthetic_city.h"
 #include "serve/online_predictor.h"
+#include "serve/resilient_predictor.h"
 
 namespace {
 
@@ -32,26 +36,10 @@ class ScopedThreads {
 };
 
 data::MobilitySeries MakeSeries(int regions, int days) {
-  Rng rng(5);
-  data::MobilitySeries series;
-  series.num_regions = regions;
-  series.steps_per_day = 24;
-  series.start_date = {2020, 6, 1};
-  series.num_days = days;
-  series.counts = Tensor::Zeros({regions, static_cast<int64_t>(days) * 24});
-  for (int r = 0; r < regions; ++r) {
-    double ar = 0.0;
-    for (int64_t s = 0; s < days * 24; ++s) {
-      const int h = static_cast<int>(s % 24);
-      const double base =
-          20.0 + 15.0 * std::exp(-0.5 * std::pow((h - 8.5) / 2.5, 2)) +
-          18.0 * std::exp(-0.5 * std::pow((h - 17.5) / 2.5, 2));
-      ar = 0.9 * ar + rng.Normal(0.0, 1.5);
-      series.counts.data()[r * days * 24 + s] = static_cast<float>(
-          std::max(0.0, base * (1.0 + 0.1 * r) + ar));
-    }
-  }
-  return series;
+  data::RegionSeriesConfig config;
+  config.num_regions = regions;
+  config.num_days = days;
+  return data::GenerateRegionSeries(config);
 }
 
 /// One fitted model + dataset per region count, shared across iterations.
@@ -61,10 +49,7 @@ struct Fixture {
   std::unique_ptr<core::EalgapForecaster> model;
 };
 
-Fixture& GetFixture(int regions) {
-  static std::map<int, Fixture> cache;
-  auto it = cache.find(regions);
-  if (it != cache.end()) return it->second;
+Fixture MakeFixture(int regions, int epochs) {
   Fixture f;
   data::DatasetOptions options;
   options.history_length = 5;
@@ -76,12 +61,62 @@ Fixture& GetFixture(int regions) {
   f.split = data::MakeChronoSplit(f.dataset).value();
   f.model = std::make_unique<core::EalgapForecaster>();
   TrainConfig train;
-  train.epochs = 2;
+  train.epochs = epochs;
   train.seed = 11;
   train.learning_rate = 3e-3f;
   EALGAP_CHECK(f.model->Fit(f.dataset, f.split, train).ok());
-  return cache.emplace(regions, std::move(f)).first->second;
+  return f;
 }
+
+Fixture& GetFixture(int regions) {
+  static std::map<int, Fixture> cache;
+  auto it = cache.find(regions);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(regions, MakeFixture(regions, /*epochs=*/2))
+      .first->second;
+}
+
+/// Fixtures for the N=20/1k/10k scaling benches. Fit runs with epochs=0:
+/// the model is initialized (shapes, scalers) but never trained — weight
+/// VALUES do not change the serve-step cost, and two training epochs at
+/// N=10k would take longer than the whole bench suite.
+Fixture& GetScaleFixture(int regions) {
+  static std::map<int, Fixture> cache;
+  auto it = cache.find(regions);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(regions, MakeFixture(regions, /*epochs=*/0))
+      .first->second;
+}
+
+/// Tail-latency counters for the scaling benches: google-benchmark reports
+/// the mean; a serving SLO cares about p95/p99, so each iteration is also
+/// timed individually and the percentiles land in the JSON as counters.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(benchmark::State& state) : state_(state) {
+    samples_.reserve(1024);
+  }
+  ~LatencyRecorder() {
+    if (samples_.empty()) return;
+    std::sort(samples_.begin(), samples_.end());
+    state_.counters["p50_us"] = Quantile(0.50);
+    state_.counters["p95_us"] = Quantile(0.95);
+    state_.counters["p99_us"] = Quantile(0.99);
+  }
+  void Record(std::chrono::steady_clock::time_point t0,
+              std::chrono::steady_clock::time_point t1) {
+    samples_.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+
+ private:
+  double Quantile(double q) const {
+    const auto i = static_cast<size_t>(q * (samples_.size() - 1));
+    return samples_[i];
+  }
+  benchmark::State& state_;
+  std::vector<double> samples_;
+};
 
 std::vector<double> Truth(const data::SlidingWindowDataset& ds, int64_t s) {
   const std::vector<float> row = ds.StepCounts(s);
@@ -153,6 +188,69 @@ void BM_ServeStateRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ServeStateRoundTrip);
+
+/// Scaling curve of the serve-SLO number: one steady-state PredictNextInto
+/// (arena-backed, zero-allocation) at city (20), metro (1k), and
+/// metropolis (10k) region counts.
+void BM_ServePredictNextRegions(benchmark::State& state) {
+  Fixture& f = GetScaleFixture(static_cast<int>(state.range(0)));
+  auto predictor = serve::OnlinePredictor::Create(f.model.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  std::vector<double> out;
+  EALGAP_CHECK(predictor.PredictNextInto(&out).ok());  // warm the buffers
+  LatencyRecorder latency(state);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(predictor.PredictNextInto(&out));
+    const auto t1 = std::chrono::steady_clock::now();
+    latency.Record(t0, t1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServePredictNextRegions)->Arg(20)->Arg(1000)->Arg(10000);
+
+/// Scaling curve of per-step ingest: matched-stat refresh over the
+/// flattened slot buffer + ring/rolling-sum update.
+void BM_ServeObserveRegions(benchmark::State& state) {
+  Fixture& f = GetScaleFixture(static_cast<int>(state.range(0)));
+  auto predictor = serve::OnlinePredictor::Create(f.model.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  const std::vector<double> row = Truth(f.dataset, f.split.test_begin);
+  LatencyRecorder latency(state);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(predictor.Observe(row));
+    const auto t1 = std::chrono::steady_clock::now();
+    latency.Record(t0, t1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeObserveRegions)->Arg(20)->Arg(1000)->Arg(10000);
+
+/// Scaling curve of the full guarded serve step: ResilientPredictor
+/// attempt + classification + in-place publish, then Observe of the
+/// served values (self-rollout, so any region count replays indefinitely).
+void BM_ServeResilientStepRegions(benchmark::State& state) {
+  Fixture& f = GetScaleFixture(static_cast<int>(state.range(0)));
+  auto predictor = serve::OnlinePredictor::Create(f.model.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  serve::ResilientPredictor served(&predictor, {});
+  serve::ServedPrediction out;
+  EALGAP_CHECK(served.PredictNextInto(&out).ok());  // warm the buffers
+  LatencyRecorder latency(state);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(served.PredictNextInto(&out));
+    EALGAP_CHECK(served.Observe(out.values).ok());
+    const auto t1 = std::chrono::steady_clock::now();
+    latency.Record(t0, t1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeResilientStepRegions)->Arg(20)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

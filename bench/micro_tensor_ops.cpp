@@ -67,6 +67,22 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
 
+/// Projection-shaped matmul scaled by region count: an (N, d) activation
+/// against a (d, d) weight, the shape every per-region linear layer runs
+/// at N=20 (city), N=1k (metro), and N=10k (metropolis) regions.
+void BM_MatMulRegions(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  constexpr int64_t kD = 64;
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, kD}, rng);
+  Tensor b = Tensor::Randn({kD, kD}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * kD * kD);
+}
+BENCHMARK(BM_MatMulRegions)->Arg(20)->Arg(1000)->Arg(10000);
+
 void BM_MatMulThreads(benchmark::State& state) {
   const int64_t n = 128;
   ScopedThreads threads(static_cast<int>(state.range(0)));

@@ -15,6 +15,10 @@
 #   target           bench binary name (default: micro_tensor_ops)
 #   out.json         output path (default: BENCH_<target minus micro_>.json)
 #   BUILD_DIR=<dir>  bench build directory (default: build-bench)
+#   BENCH_REPS=<n>   benchmark repetitions (default: 3). Each benchmark is
+#                    repeated n times and the JSON carries median aggregates;
+#                    bench_compare.py compares the medians, which keeps the
+#                    regression gate stable on noisy shared hosts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +36,7 @@ trap 'rm -f "$TMP"' EXIT
 "$BIN" \
   --benchmark_out="$TMP" \
   --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-3}" \
   --benchmark_format=console
 
 STAMP="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["context"].get("ealgap_build_type","missing"))' "$TMP")"

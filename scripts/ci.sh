@@ -89,6 +89,13 @@ fi
 cmp "$RESUME_TMP/clean.ckpt" "$RESUME_TMP/resumed.ckpt"
 echo "train resume: interrupted+resumed checkpoint byte-identical to clean"
 
+echo "===== alloc-free stage: zero-allocation serve contract ====="
+# The counting run: alloc_guard_test links a malloc-family interposition
+# hook and asserts 0 heap allocations over 240-step healthy AND
+# fault-degraded ResilientPredictor replays (tier-1 already ran it; this
+# repeats it with the fault env armed so ambient arming is covered too).
+EALGAP_FAULTS="nn.predict.nan:every=7" "./$BUILD_DIR/tests/alloc_guard_test"
+
 echo "===== TSan: concurrent serving + training paths ====="
 # PredictMany fans samples across the pool and EvaluateLoss fans batches;
 # run both under ThreadSanitizer with more threads than the tiny models
@@ -104,15 +111,20 @@ for t in serve_parity_test determinism_test thread_pool_test \
   EALGAP_NUM_THREADS=4 "./$TSAN_BUILD_DIR/tests/$t"
 done
 
-echo "===== ASan: checkpoint/resume + fault-injection paths ====="
+echo "===== ASan: checkpoint/resume + fault-injection + arena paths ====="
 # The resume machinery shuffles large snapshots (params, Adam moments, RNG
 # streams) through text serialization and back; AddressSanitizer guards the
 # parser against overreads on truncated or corrupt state files.
+# alloc_guard_test rides along deliberately: under ASan its malloc hook
+# compiles out (ASan owns malloc) and the counting assertions self-skip,
+# which turns the 240-step replays into a lifetime check of the exact
+# arena checkpoint/rewind scenario — a use-after-rewind trips ASan here.
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -G Ninja -DEALGAP_SANITIZE=address
 cmake --build "$ASAN_BUILD_DIR" -j --target \
-  train_resume_test fault_injection_test experiment_test
-for t in train_resume_test fault_injection_test experiment_test; do
+  train_resume_test fault_injection_test experiment_test alloc_guard_test
+for t in train_resume_test fault_injection_test experiment_test \
+         alloc_guard_test; do
   echo "----- ASan: $t -----"
   "./$ASAN_BUILD_DIR/tests/$t"
 done
@@ -132,8 +144,15 @@ if [[ "${EALGAP_CI_BENCH:-0}" == "1" ]]; then
       continue
     fi
     scripts/bench_to_json.sh "$target" "$BENCH_TMP/$baseline"
+    # Threshold 60, not the script's default 15: on the virtualized CI
+    # hosts two runs of an IDENTICAL binary differ per-benchmark by up to
+    # ~47% even after bench_compare factors out the suite-wide drift
+    # (per-process page placement shifts cache-conflict patterns; the
+    # repetitions within one run are tight, the runs disagree). 60 only
+    # flags unambiguous regressions; use 15 when comparing recordings
+    # from the same process lifetime or a bare-metal box.
     python3 scripts/bench_compare.py "$baseline" "$BENCH_TMP/$baseline" \
-      --threshold 15
+      --threshold 60
   done
 fi
 

@@ -9,6 +9,13 @@ Result<std::vector<double>> Forecaster::PredictSample(
                                 " cannot predict from a bare sample");
 }
 
+Status Forecaster::PredictSampleInto(const data::WindowSample& sample,
+                                     std::vector<double>* out) {
+  EALGAP_ASSIGN_OR_RETURN(std::vector<double> values, PredictSample(sample));
+  *out = std::move(values);
+  return Status::OK();
+}
+
 Status Forecaster::PredictRange(const data::SlidingWindowDataset& dataset,
                                 int64_t begin, int64_t end,
                                 std::vector<double>* predictions,

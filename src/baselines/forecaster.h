@@ -88,6 +88,14 @@ class Forecaster {
   virtual Result<std::vector<double>> PredictSample(
       const data::WindowSample& sample);
 
+  /// PredictSample() into a caller-owned buffer: `out` is resized to one
+  /// value per region and overwritten, so a caller that reuses the same
+  /// vector pays no steady-state allocation (serve::OnlinePredictor's
+  /// zero-allocation contract). The default wraps PredictSample() and
+  /// copies; allocation-free forecasters override both coherently.
+  virtual Status PredictSampleInto(const data::WindowSample& sample,
+                                   std::vector<double>* out);
+
   /// Convenience: predictions and truths flattened over [begin, end),
   /// ready for stats::ComputeMetrics.
   Status PredictRange(const data::SlidingWindowDataset& dataset,

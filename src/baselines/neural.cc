@@ -390,6 +390,13 @@ Result<std::vector<double>> NeuralForecaster::Predict(
 
 Result<std::vector<double>> NeuralForecaster::PredictSample(
     const data::WindowSample& sample) {
+  std::vector<double> out;
+  EALGAP_RETURN_IF_ERROR(PredictSampleInto(sample, &out));
+  return out;
+}
+
+Status NeuralForecaster::PredictSampleInto(const data::WindowSample& sample,
+                                           std::vector<double>* out) {
   if (!fitted_) return Status::FailedPrecondition("PredictSample before Fit");
   // Fault sites modeling the three ways a live forward pass degrades:
   // latency spikes (deadline overruns), hard errors, and numerically
@@ -401,18 +408,24 @@ Result<std::vector<double>> NeuralForecaster::PredictSample(
     }
   }
   NoGradGuard no_grad;
-  std::vector<data::WindowSample> batch = {sample};
+  // Reused one-sample batch. The WindowSample copy is eight tensor
+  // refcount bumps, not a data copy; the vector is cleared before
+  // returning so no tensor handle outlives a serve-path arena scope.
+  static thread_local std::vector<data::WindowSample> batch;
+  batch.clear();
+  batch.push_back(sample);
   Var pred = ForwardBatch(batch);
   Tensor counts = InverseScale(pred.value());
+  batch.clear();
   const float* p = counts.data();
-  std::vector<double> out(counts.numel());
+  out->resize(counts.numel());
   for (int64_t i = 0; i < counts.numel(); ++i) {
-    out[i] = std::max(0.0, static_cast<double>(p[i]));
+    (*out)[i] = std::max(0.0, static_cast<double>(p[i]));
   }
-  if (fault::Armed() && fault::ShouldFail("nn.predict.nan") && !out.empty()) {
-    out[0] = std::numeric_limits<double>::quiet_NaN();
+  if (fault::Armed() && fault::ShouldFail("nn.predict.nan") && !out->empty()) {
+    (*out)[0] = std::numeric_limits<double>::quiet_NaN();
   }
-  return out;
+  return Status::OK();
 }
 
 // --- Checkpointing ----------------------------------------------------------

@@ -40,6 +40,13 @@ class NeuralForecaster : public Forecaster {
   Result<std::vector<double>> PredictSample(
       const data::WindowSample& sample) override;
 
+  /// The real sample-path body: runs the forward pass into `out` (resized,
+  /// capacity reused) through thread-local batch scratch, so the steady
+  /// state allocates nothing — tensors and graph nodes land on the ambient
+  /// arena when serve installed one. PredictSample() wraps this.
+  Status PredictSampleInto(const data::WindowSample& sample,
+                           std::vector<double>* out) override;
+
   /// Writes a versioned checkpoint: header, model name, the EncodeConfig
   /// echo, every parameter, and a trailing end marker (so truncation is
   /// detectable). Requires Fit() or LoadCheckpoint() first.

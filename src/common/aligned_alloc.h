@@ -1,0 +1,124 @@
+#ifndef EALGAP_COMMON_ALIGNED_ALLOC_H_
+#define EALGAP_COMMON_ALIGNED_ALLOC_H_
+
+/// 64-byte-aligned allocation primitives — the memory substrate under
+/// Tensor storage, the serve arena, and the flat ring/slot buffers of
+/// serve::OnlinePredictor (DESIGN.md §8e).
+///
+/// Everything hot allocates through AlignedAlloc so that (a) SIMD kernels
+/// can take the aligned-load path whenever base pointers line up, and
+/// (b) buffers never straddle a cache line boundary mid-vector. Large
+/// blocks can opt into transparent huge pages (EALGAP_HUGE_PAGES=1) via a
+/// private mmap, which removes dTLB pressure for the N=10k-region rings.
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace ealgap {
+
+/// Cache-line / maximum-vector alignment used across the project. AVX2
+/// needs 32; we align to the 64-byte cache line so one constant serves
+/// both the SIMD kernels and false-sharing avoidance.
+inline constexpr std::size_t kCacheAlign = 64;
+
+/// True when `p` is aligned to `align` bytes (power of two).
+inline bool IsAligned(const void* p, std::size_t align = kCacheAlign) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+/// Allocates `bytes` with at least kCacheAlign alignment. Never returns
+/// nullptr (aborts on OOM like operator new). bytes == 0 returns a valid
+/// unique pointer. Free with AlignedFree — NOT free()/delete: blocks above
+/// the huge-page threshold may come from mmap when EALGAP_HUGE_PAGES=1.
+void* AlignedAlloc(std::size_t bytes);
+
+/// Releases a block from AlignedAlloc.
+void AlignedFree(void* p) noexcept;
+
+/// Number of live bytes handed out by AlignedAlloc (diagnostics).
+std::size_t AlignedAllocLiveBytes();
+
+/// STL-compatible allocator over AlignedAlloc — gives std::vector-based
+/// buffers (serve rings, slot stats) 64-byte base pointers so kernels can
+/// prove alignment. Stateless; all instances compare equal.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(AlignedAlloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { AlignedFree(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// Fixed-size 64-byte-aligned array of trivially-destructible T. Thin
+/// owning wrapper for code that wants "a flat aligned buffer" without
+/// vector growth semantics: serve ring buffers, slot stats, scratch rows.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { Reset(n); }
+  ~AlignedBuffer() { AlignedFree(p_); }
+
+  AlignedBuffer(AlignedBuffer&& o) noexcept : p_(o.p_), n_(o.n_) {
+    o.p_ = nullptr;
+    o.n_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      AlignedFree(p_);
+      p_ = o.p_;
+      n_ = o.n_;
+      o.p_ = nullptr;
+      o.n_ = 0;
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Reallocates to `n` zero-initialized elements.
+  void Reset(std::size_t n) {
+    AlignedFree(p_);
+    p_ = static_cast<T*>(AlignedAlloc(n * sizeof(T)));
+    n_ = n;
+    for (std::size_t i = 0; i < n; ++i) p_[i] = T();
+  }
+
+  T* data() { return p_; }
+  const T* data() const { return p_; }
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  T& operator[](std::size_t i) { return p_[i]; }
+  const T& operator[](std::size_t i) const { return p_[i]; }
+  T* begin() { return p_; }
+  T* end() { return p_ + n_; }
+  const T* begin() const { return p_; }
+  const T* end() const { return p_ + n_; }
+
+ private:
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer holds trivially-destructible types only");
+  T* p_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_ALIGNED_ALLOC_H_

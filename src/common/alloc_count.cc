@@ -1,0 +1,39 @@
+#include "common/alloc_count.h"
+
+#include <atomic>
+
+namespace ealgap {
+namespace alloc_count {
+namespace {
+
+struct Counters {
+  std::int64_t allocations = 0;
+  std::int64_t deallocations = 0;
+  std::int64_t bytes = 0;
+};
+
+thread_local Counters t_counters;
+std::atomic<bool> g_hook_linked{false};
+
+}  // namespace
+
+void RecordAllocation(std::size_t bytes) noexcept {
+  if (!g_hook_linked.load(std::memory_order_relaxed)) {
+    g_hook_linked.store(true, std::memory_order_relaxed);
+  }
+  t_counters.allocations += 1;
+  t_counters.bytes += static_cast<std::int64_t>(bytes);
+}
+
+void RecordDeallocation() noexcept { t_counters.deallocations += 1; }
+
+bool HookLinked() noexcept {
+  return g_hook_linked.load(std::memory_order_relaxed);
+}
+
+std::int64_t ThreadAllocations() noexcept { return t_counters.allocations; }
+std::int64_t ThreadDeallocations() noexcept { return t_counters.deallocations; }
+std::int64_t ThreadAllocatedBytes() noexcept { return t_counters.bytes; }
+
+}  // namespace alloc_count
+}  // namespace ealgap

@@ -1,0 +1,58 @@
+#ifndef EALGAP_COMMON_ALLOC_COUNT_H_
+#define EALGAP_COMMON_ALLOC_COUNT_H_
+
+/// Heap-allocation counting used by the zero-allocation serve tests.
+///
+/// The counters live here (always linked, always cheap), but they only
+/// tick when a translation unit overriding the global operator new/delete
+/// calls RecordAllocation()/RecordDeallocation(). That override TU —
+/// tests/alloc_count_hook.cc — is linked ONLY into the allocation tests,
+/// so production binaries keep the stock allocator and pay nothing.
+///
+/// Counters are thread-local: a test measures the allocations of ITS
+/// thread's serve calls without interference from pool workers (whose
+/// steady-state dispatch is itself allocation-free and covered by running
+/// the scenario at several thread counts).
+
+#include <cstdint>
+
+namespace ealgap {
+namespace alloc_count {
+
+/// Called by the interposing operator new/delete (if linked).
+void RecordAllocation(std::size_t bytes) noexcept;
+void RecordDeallocation() noexcept;
+
+/// True when the interposing hook TU is linked into this binary. Lets the
+/// counting test fail loudly if mislinked instead of vacuously passing.
+bool HookLinked() noexcept;
+
+/// Allocation count on this thread since process start.
+std::int64_t ThreadAllocations() noexcept;
+/// Deallocation count on this thread since process start.
+std::int64_t ThreadDeallocations() noexcept;
+/// Bytes requested on this thread since process start.
+std::int64_t ThreadAllocatedBytes() noexcept;
+
+/// Scoped measurement: records the counter at construction; delta() is
+/// the number of operator-new calls on this thread since then.
+class ScopedCounter {
+ public:
+  ScopedCounter()
+      : start_allocs_(ThreadAllocations()),
+        start_bytes_(ThreadAllocatedBytes()) {}
+
+  std::int64_t delta() const { return ThreadAllocations() - start_allocs_; }
+  std::int64_t delta_bytes() const {
+    return ThreadAllocatedBytes() - start_bytes_;
+  }
+
+ private:
+  std::int64_t start_allocs_;
+  std::int64_t start_bytes_;
+};
+
+}  // namespace alloc_count
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_ALLOC_COUNT_H_

@@ -1,0 +1,96 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ealgap {
+
+namespace {
+thread_local Arena* t_current_arena = nullptr;
+
+std::size_t RoundUp(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+Arena::Arena(std::size_t initial_bytes) {
+  next_slab_bytes_ = std::max<std::size_t>(RoundUp(initial_bytes, kCacheAlign),
+                                           kCacheAlign);
+  AddSlab(next_slab_bytes_);
+}
+
+Arena::~Arena() {
+  for (std::size_t i = 0; i < num_slabs_; ++i) AlignedFree(slabs_[i].base);
+}
+
+void Arena::AddSlab(std::size_t min_bytes) {
+  if (num_slabs_ >= kMaxSlabs) {
+    std::fprintf(stderr, "ealgap: Arena exceeded %zu slabs\n", kMaxSlabs);
+    std::abort();
+  }
+  const std::size_t size = std::max(RoundUp(min_bytes, kCacheAlign),
+                                    next_slab_bytes_);
+  slabs_[num_slabs_].base = static_cast<char*>(AlignedAlloc(size));
+  slabs_[num_slabs_].size = size;
+  ++num_slabs_;
+  capacity_bytes_ += size;
+  // Geometric growth keeps the slab count logarithmic in total demand.
+  next_slab_bytes_ = size * 2;
+}
+
+void* Arena::Allocate(std::size_t bytes) {
+  const std::size_t need = RoundUp(bytes == 0 ? 1 : bytes, kCacheAlign);
+  // Find a slab with room, starting at the current one. Skipped tail
+  // space in earlier slabs stays unused until the next rewind — bump
+  // allocation trades that slack for O(1) alloc/free.
+  while (cur_slab_ < num_slabs_ &&
+         cur_offset_ + need > slabs_[cur_slab_].size) {
+    ++cur_slab_;
+    cur_offset_ = 0;
+  }
+  if (cur_slab_ == num_slabs_) {
+    AddSlab(need);
+    cur_offset_ = 0;
+  }
+  char* p = slabs_[cur_slab_].base + cur_offset_;
+  cur_offset_ += need;
+  allocated_bytes_ += need;
+  high_water_bytes_ = std::max(high_water_bytes_, allocated_bytes_);
+  return p;
+}
+
+void Arena::Rewind(Mark mark) {
+  // Recompute allocated_bytes_ from the mark: full slabs before it plus
+  // its offset. (Rewinding partially "forgets" the skipped-tail slack of
+  // later slabs, which is fine — the counter is diagnostic.)
+  std::size_t used = mark.offset;
+  for (std::size_t i = 0; i < mark.slab && i < num_slabs_; ++i) {
+    used += slabs_[i].size;
+  }
+  cur_slab_ = mark.slab;
+  cur_offset_ = mark.offset;
+  allocated_bytes_ = used;
+}
+
+void Arena::Reserve(std::size_t bytes) {
+  std::size_t free_tail = 0;
+  for (std::size_t i = cur_slab_; i < num_slabs_; ++i) {
+    free_tail += slabs_[i].size - (i == cur_slab_ ? cur_offset_ : 0);
+  }
+  if (free_tail < bytes) AddSlab(bytes - free_tail);
+}
+
+Arena* CurrentArena() { return t_current_arena; }
+
+ArenaScope::ArenaScope(Arena* arena)
+    : arena_(arena), prev_(t_current_arena), mark_(arena->Checkpoint()) {
+  t_current_arena = arena_;
+}
+
+ArenaScope::~ArenaScope() {
+  arena_->Rewind(mark_);
+  t_current_arena = prev_;
+}
+
+}  // namespace ealgap

@@ -1,0 +1,115 @@
+#ifndef EALGAP_COMMON_ARENA_H_
+#define EALGAP_COMMON_ARENA_H_
+
+/// Bump-pointer scratch arena with checkpoint/rewind — the allocator behind
+/// the zero-allocation serve step (DESIGN.md §8e).
+///
+/// Lifecycle contract: an ArenaScope installs a thread-local "current"
+/// arena; while it is active, Tensor storage and autograd nodes come from
+/// the arena instead of the heap. When the scope ends, the arena rewinds to
+/// where it was on entry, reclaiming every byte at once. Nothing allocated
+/// inside the scope may outlive the scope — callers copy results out into
+/// caller-owned (heap) buffers before returning.
+///
+/// Slabs are 64-byte aligned (common/aligned_alloc.h) and retained across
+/// rewinds, so after a warm-up pass the steady state performs no heap
+/// allocations at all. Exhaustion grows the arena by appending a bigger
+/// slab — correct but counted, which is exactly what the counting-allocator
+/// test watches for.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_alloc.h"
+
+namespace ealgap {
+
+class Arena {
+ public:
+  /// `initial_bytes` sizes the first slab (rounded up to kCacheAlign).
+  /// Slabs double from there; an oversize request gets a dedicated slab.
+  explicit Arena(std::size_t initial_bytes = std::size_t{1} << 20);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// 64-byte-aligned bump allocation. Never fails (grows or aborts).
+  void* Allocate(std::size_t bytes);
+
+  /// A position in the arena; Rewind(mark) frees everything allocated
+  /// after Checkpoint() returned it. Marks nest like a stack: rewinding to
+  /// an older mark invalidates newer ones.
+  struct Mark {
+    std::size_t slab = 0;
+    std::size_t offset = 0;
+  };
+
+  Mark Checkpoint() const { return Mark{cur_slab_, cur_offset_}; }
+
+  /// Resets the bump pointer to `mark`. Slabs stay allocated (capacity is
+  /// retained for the next pass); only the logical contents are discarded.
+  void Rewind(Mark mark);
+
+  /// Rewind to empty.
+  void Reset() { Rewind(Mark{}); }
+
+  /// Grows capacity so that `bytes` more can be allocated without touching
+  /// the heap. Call once at setup (e.g. predictor creation) to keep the
+  /// first serve step allocation-free too.
+  void Reserve(std::size_t bytes);
+
+  /// Bytes currently allocated (since the last full Reset/Rewind to zero).
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
+  /// Largest allocated_bytes() ever observed — sizing feedback.
+  std::size_t high_water_bytes() const { return high_water_bytes_; }
+  /// Total capacity across slabs.
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  /// Number of slabs (1 after construction unless Reserve/growth added more).
+  std::size_t slab_count() const { return num_slabs_; }
+
+ private:
+  struct Slab {
+    char* base;
+    std::size_t size;
+  };
+
+  /// Appends a slab of at least `min_bytes`.
+  void AddSlab(std::size_t min_bytes);
+
+  static constexpr std::size_t kMaxSlabs = 64;
+  Slab slabs_[kMaxSlabs];
+  std::size_t num_slabs_ = 0;
+  std::size_t cur_slab_ = 0;
+  std::size_t cur_offset_ = 0;
+  std::size_t next_slab_bytes_ = 0;
+  std::size_t allocated_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
+  std::size_t capacity_bytes_ = 0;
+};
+
+/// The arena new allocations on this thread should come from, or nullptr
+/// for plain heap. Installed by ArenaScope.
+Arena* CurrentArena();
+
+/// RAII: installs `arena` as the thread's current arena, checkpoints it,
+/// and on destruction rewinds to the checkpoint and restores the previous
+/// current arena. Scopes nest (inner scopes may use the same or another
+/// arena).
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena* prev_;
+  Arena::Mark mark_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_ARENA_H_

@@ -72,7 +72,7 @@ struct SiteConfig {
   int64_t every = 0;  // 0 = probabilistic
   int64_t after = 0;
   int64_t max_fires = -1;  // <0 = unlimited
-  std::map<std::string, double> params;
+  std::map<std::string, double, std::less<>> params;
 };
 
 struct SiteState {
@@ -125,7 +125,7 @@ class Registry {
   }
 
   Status Arm(const std::string& spec) {
-    std::map<std::string, SiteState> parsed;
+    std::map<std::string, SiteState, std::less<>> parsed;
     Status st = Parse(spec, &parsed);
     if (!st.ok()) return st;
     std::lock_guard<std::mutex> lock(mu_);
@@ -165,7 +165,7 @@ class Registry {
 
  private:
   static Status Parse(const std::string& spec,
-                      std::map<std::string, SiteState>* out) {
+                      std::map<std::string, SiteState, std::less<>>* out) {
     std::stringstream clauses(spec);
     std::string clause;
     while (std::getline(clauses, clause, ',')) {
@@ -229,7 +229,7 @@ class Registry {
   }
 
   std::mutex mu_;
-  std::map<std::string, SiteState> sites_;
+  std::map<std::string, SiteState, std::less<>> sites_;
   std::string spec_;
   std::once_flag env_once_;
 };

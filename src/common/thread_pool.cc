@@ -4,7 +4,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,14 +22,24 @@ int InitialThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-/// One dispatched ParallelFor: workers and the caller claim task indices
-/// with an atomic counter. Heap-held via shared_ptr so a worker that wakes
-/// late and observes an already-finished job never touches freed memory.
+/// One dispatched ParallelFor: workers and the caller claim chunk indices
+/// with an atomic counter. Jobs are pool-owned and recycled through a
+/// freelist instead of heap-allocated per dispatch, so the steady state
+/// performs zero allocations. A job returns to the freelist only when its
+/// reference count (always mutated under mu_) drops to zero, so a worker
+/// that wakes late and still holds an old job never sees its fields
+/// rewritten by the next dispatch.
 struct Job {
-  const std::function<void(int)>* fn = nullptr;
+  internal::ChunkFn fn = nullptr;
+  void* ctx = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 0;
   int ntasks = 0;
   std::atomic<int> next{0};
   std::atomic<int> done{0};
+  int refs = 0;  // guarded by Pool::mu_
+  Job* free_next = nullptr;
 };
 
 class Pool {
@@ -57,17 +66,27 @@ class Pool {
     StartWorkers();
   }
 
-  /// Runs fn(i) for every i in [0, ntasks), the caller participating.
-  /// Returns false without running anything when another dispatch is in
-  /// flight (concurrent caller); the caller then falls back to serial.
-  bool TryRun(int ntasks, const std::function<void(int)>& fn) {
+  /// Runs fn(ctx, b, e) over `ntasks` chunks of [begin, end), the caller
+  /// participating. Returns false without running anything when another
+  /// dispatch is in flight (concurrent caller); the caller then falls back
+  /// to serial.
+  bool TryRun(int ntasks, int64_t begin, int64_t end, int64_t chunk,
+              internal::ChunkFn fn, void* ctx) {
     std::unique_lock<std::mutex> run_lock(run_mu_, std::try_to_lock);
     if (!run_lock.owns_lock()) return false;
-    auto job = std::make_shared<Job>();
-    job->fn = &fn;
-    job->ntasks = ntasks;
+    Job* job;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      job = AcquireJobLocked();
+      job->fn = fn;
+      job->ctx = ctx;
+      job->begin = begin;
+      job->end = end;
+      job->chunk = chunk;
+      job->ntasks = ntasks;
+      job->next.store(0, std::memory_order_relaxed);
+      job->done.store(0, std::memory_order_relaxed);
+      job->refs = 1;  // the dispatching caller
       job_ = job;
       ++seq_;
     }
@@ -78,7 +97,8 @@ class Pool {
       done_cv_.wait(lock, [&] {
         return job->done.load(std::memory_order_acquire) >= job->ntasks;
       });
-      job_.reset();
+      job_ = nullptr;
+      ReleaseJobLocked(job);
     }
     return true;
   }
@@ -105,10 +125,29 @@ class Pool {
     shutdown_ = false;
   }
 
+  Job* AcquireJobLocked() {
+    if (free_jobs_ != nullptr) {
+      Job* job = free_jobs_;
+      free_jobs_ = job->free_next;
+      job->free_next = nullptr;
+      return job;
+    }
+    // Cold path: at most a handful of jobs ever exist (one in flight plus
+    // stragglers still referenced by late-waking workers).
+    return new Job();
+  }
+
+  void ReleaseJobLocked(Job* job) {
+    if (--job->refs == 0) {
+      job->free_next = free_jobs_;
+      free_jobs_ = job;
+    }
+  }
+
   void WorkerLoop() {
     uint64_t last_seq = 0;
     for (;;) {
-      std::shared_ptr<Job> job;
+      Job* job;
       {
         std::unique_lock<std::mutex> lock(mu_);
         work_cv_.wait(lock, [&] {
@@ -117,8 +156,13 @@ class Pool {
         if (shutdown_) return;
         last_seq = seq_;
         job = job_;
+        ++job->refs;
       }
       RunTasks(*job);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ReleaseJobLocked(job);
+      }
     }
   }
 
@@ -127,7 +171,9 @@ class Pool {
     for (;;) {
       const int i = job.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job.ntasks) break;
-      (*job.fn)(i);
+      const int64_t b = job.begin + i * job.chunk;
+      const int64_t e = std::min(job.end, b + job.chunk);
+      if (b < e) job.fn(job.ctx, b, e);
       if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.ntasks) {
         std::lock_guard<std::mutex> lock(mu_);
         done_cv_.notify_all();
@@ -138,10 +184,11 @@ class Pool {
 
   std::mutex resize_mu_;  // serializes Resize calls
   std::mutex run_mu_;     // one dispatch at a time; Resize drains through it
-  std::mutex mu_;         // guards job_, seq_, shutdown_, and both cvs
+  std::mutex mu_;         // guards job_, seq_, shutdown_, refs, freelist, cvs
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::shared_ptr<Job> job_;
+  Job* job_ = nullptr;
+  Job* free_jobs_ = nullptr;
   uint64_t seq_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
@@ -164,20 +211,15 @@ bool ShouldParallelize(int64_t n, int64_t grain) {
   return Pool::Instance().num_threads() > 1 && n >= 2 * grain;
 }
 
-void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
-                     const std::function<void(int64_t, int64_t)>& fn) {
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain, ChunkFn fn,
+                     void* ctx) {
   Pool& pool = Pool::Instance();
   const int64_t n = end - begin;
   const int nt = pool.num_threads();
   const int64_t max_chunks = (n + grain - 1) / grain;
   const int nchunks = static_cast<int>(std::min<int64_t>(nt, max_chunks));
   const int64_t chunk = (n + nchunks - 1) / nchunks;
-  const auto task = [&](int c) {
-    const int64_t b = begin + c * chunk;
-    const int64_t e = std::min(end, b + chunk);
-    if (b < e) fn(b, e);
-  };
-  if (!pool.TryRun(nchunks, task)) fn(begin, end);
+  if (!pool.TryRun(nchunks, begin, end, chunk, fn, ctx)) fn(ctx, begin, end);
 }
 
 }  // namespace internal

@@ -2,7 +2,8 @@
 #define EALGAP_COMMON_THREAD_POOL_H_
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace ealgap {
 
@@ -23,9 +24,15 @@ namespace internal {
 /// True when [0, n) with the given grain should be split across the pool:
 /// more than one thread, n >= 2 * grain, and not already inside a chunk.
 bool ShouldParallelize(int64_t n, int64_t grain);
-/// Type-erased dispatch; only reached when ShouldParallelize said yes.
-void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
-                     const std::function<void(int64_t, int64_t)>& fn);
+/// Type-erased chunk callback: a captureless trampoline plus the address
+/// of the caller's callable. Chosen over std::function so a threaded
+/// dispatch performs no heap allocation — part of the serve path's
+/// zero-allocation contract (DESIGN.md §8e).
+using ChunkFn = void (*)(void* ctx, int64_t chunk_begin, int64_t chunk_end);
+/// Dispatch; only reached when ShouldParallelize said yes. `ctx` must stay
+/// valid until the call returns (it does: ParallelFor blocks).
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain, ChunkFn fn,
+                     void* ctx);
 }  // namespace internal
 
 /// Runs fn(chunk_begin, chunk_end) over a static contiguous partition of
@@ -51,7 +58,11 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
     fn(begin, end);
     return;
   }
-  internal::ParallelForImpl(begin, end, grain, fn);
+  using FnT = std::remove_reference_t<Fn>;
+  internal::ParallelForImpl(
+      begin, end, grain,
+      [](void* ctx, int64_t b, int64_t e) { (*static_cast<FnT*>(ctx))(b, e); },
+      const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
 }
 
 }  // namespace ealgap

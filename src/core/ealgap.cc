@@ -35,15 +35,14 @@ struct EalgapForecaster::Net : nn::Module {
     }
   }
 
-  struct ForwardOutput {
-    Var prediction;            // (N)
-    std::vector<Var> d_steps;  // per-window degree predictions, each (N)
-  };
-
-  // All inputs in model space. Returns the (N) prediction plus Eq. (10)'s
-  // per-window degree predictions for auxiliary supervision.
-  ForwardOutput Forward(const Var& x, const Var& f, const Var& f_mu,
-                        const Var& f_sigma) const {
+  // All inputs in model space. Returns the (N) prediction; when `d_steps`
+  // is non-null (training with degree supervision) it receives Eq. (10)'s
+  // per-window degree predictions. The serve path passes nullptr, so the
+  // per-step forward builds no vectors at all: the extreme module fills a
+  // thread-local scratch Output that is cleared before returning (its Vars
+  // are arena-backed under a serve ArenaScope and must not outlive it).
+  Var Forward(const Var& x, const Var& f, const Var& f_mu, const Var& f_sigma,
+              std::vector<Var>* d_steps) const {
     const int64_t n = x.value().dim(0);
     Var xg_next;
     if (global) {
@@ -53,13 +52,18 @@ struct EalgapForecaster::Net : nn::Module {
     }
     if (!extreme) {
       // ablation (ii): global impacts only
-      return {ReluInPlace(std::move(xg_next)), {}};
+      return ReluInPlace(std::move(xg_next));
     }
-    auto ed = extreme->Forward(f, f_mu, f_sigma);
+    static thread_local ExtremeDegreeModule::Output ed;
+    extreme->ForwardInto(f, f_mu, f_sigma, &ed);
     // Eq. (11): X̂ = ReLU(X̂g + X̂g ⊙ D̂). In serving (no grad) the ReLU
     // overwrites the sum's buffer instead of allocating a per-step temporary.
-    return {ReluInPlace(Add(xg_next, Mul(xg_next, ed.d_next))),
-            std::move(ed.d_steps)};
+    Var result = ReluInPlace(Add(xg_next, Mul(xg_next, ed.d_next)));
+    if (d_steps != nullptr) *d_steps = ed.d_steps;
+    ed.d_next = Var();
+    ed.e.clear();
+    ed.d_steps.clear();
+    return result;
   }
 
   std::unique_ptr<GlobalImpactModule> global;
@@ -98,21 +102,30 @@ void EalgapForecaster::Initialize(const data::SlidingWindowDataset& dataset,
 Var EalgapForecaster::ForwardBatch(
     const std::vector<data::WindowSample>& batch) {
   const float inv = 1.f / scale_;
-  std::vector<Var> outs;
-  std::vector<Var> degree_losses;
+  // Thread-local scratch (ForwardBatch runs concurrently from EvaluateLoss
+  // pool threads): capacity is reused across calls and every vector is
+  // cleared before returning, so no Var survives a serve-path arena rewind
+  // and the steady-state serve step performs zero heap allocations.
+  static thread_local std::vector<Var> outs;
+  static thread_local std::vector<Var> degree_losses;
+  static thread_local std::vector<Var> d_steps;
+  outs.clear();
+  degree_losses.clear();
   outs.reserve(batch.size());
+  const bool want_degree =
+      net_->extreme && options_.degree_loss_weight > 0.f && GradEnabled();
   for (const data::WindowSample& sample : batch) {
     Var x = Var::Leaf(ops::MulScalar(sample.x, inv));
     Var f = Var::Leaf(ops::MulScalar(sample.f, inv));
     Var f_mu = Var::Leaf(ops::MulScalar(sample.f_mu, inv));
     Var f_sigma = Var::Leaf(ops::MulScalar(sample.f_sigma, inv));
-    auto out = net_->Forward(x, f, f_mu, f_sigma);
-    outs.push_back(Reshape(out.prediction, {1, out.prediction.value().numel()}));
+    Var prediction = net_->Forward(x, f, f_mu, f_sigma,
+                                   want_degree ? &d_steps : nullptr);
+    outs.push_back(Reshape(prediction, {1, prediction.value().numel()}));
     // Eq. (10) supervision: each window's degree prediction is pulled
     // toward the realized degree one step past the window (computed with
     // the current gamma/eps, treated as a constant target).
-    if (net_->extreme && options_.degree_loss_weight > 0.f &&
-        GradEnabled()) {
+    if (want_degree) {
       const int64_t m = sample.w_next.dim(0);
       const int64_t n = sample.w_next.dim(1);
       for (int64_t w = 0; w < m; ++w) {
@@ -126,7 +139,7 @@ Var EalgapForecaster::ForwardBatch(
             ops::MulScalar(ops::Slice(sample.w_next_sigma, 0, w, w + 1), inv)
                 .Reshape({n, 1}));
         Var target = net_->extreme->ExtremeDegree(xw, mw, sw).Detach();
-        Var diff = Sub(Reshape(out.d_steps[w], {n, 1}), target);
+        Var diff = Sub(Reshape(d_steps[w], {n, 1}), target);
         degree_losses.push_back(MeanAll(Mul(diff, diff)));
       }
     }
@@ -145,7 +158,11 @@ Var EalgapForecaster::ForwardBatch(
   } else if (GradEnabled()) {
     pending_degree_loss_ = Var();
   }
-  return Concat(outs, 0);  // (B, N)
+  Var result = Concat(outs, 0);  // (B, N)
+  outs.clear();
+  degree_losses.clear();
+  d_steps.clear();
+  return result;
 }
 
 Var EalgapForecaster::ComputeLoss(const Var& predictions,

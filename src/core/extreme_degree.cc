@@ -29,27 +29,36 @@ Var ExtremeDegreeModule::ExtremeDegree(const Var& x, const Var& mu,
 
 ExtremeDegreeModule::Output ExtremeDegreeModule::Forward(
     const Var& f, const Var& f_mu, const Var& f_sigma) const {
+  Output out;
+  ForwardInto(f, f_mu, f_sigma, &out);
+  return out;
+}
+
+void ExtremeDegreeModule::ForwardInto(const Var& f, const Var& f_mu,
+                                      const Var& f_sigma, Output* out) const {
   EALGAP_CHECK_EQ(f.value().ndim(), 3);
   const int64_t m = f.value().dim(0);
   const int64_t n = f.value().dim(1);
   const int64_t l = f.value().dim(2);
   EALGAP_CHECK_EQ(n, n_);
 
-  Output out;
+  out->e.clear();
+  out->d_steps.clear();
+  out->e.reserve(m);
+  out->d_steps.reserve(m);
   Var h = nn::ZeroState(n, gru_.hidden_size());
   for (int64_t w = 0; w < m; ++w) {
     Var fw = Reshape(Slice(f, 0, w, w + 1), {n, l});
     Var mw = Reshape(Slice(f_mu, 0, w, w + 1), {n, l});
     Var sw = Reshape(Slice(f_sigma, 0, w, w + 1), {n, l});
     Var e = ExtremeDegree(fw, mw, sw);  // (N, L)
-    out.e.push_back(e);
+    out->e.push_back(e);
     // Eq. (10): the hidden state of window m seeds window m+1, and each
     // window emits a prediction of the degree one step past its end.
     h = gru_.Forward(e, h);
-    out.d_steps.push_back(Reshape(Tanh(head_.Forward(h)), {n}));
+    out->d_steps.push_back(Reshape(Tanh(head_.Forward(h)), {n}));
   }
-  out.d_next = out.d_steps.back();
-  return out;
+  out->d_next = out->d_steps.back();
 }
 
 }  // namespace core

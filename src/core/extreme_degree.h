@@ -42,6 +42,14 @@ class ExtremeDegreeModule : public nn::Module {
   /// (model space; the degree is scale-invariant).
   Output Forward(const Var& f, const Var& f_mu, const Var& f_sigma) const;
 
+  /// Forward() into a caller-owned Output whose vectors are cleared and
+  /// refilled (capacity reused) — the serve path passes one scratch Output
+  /// per thread so the per-step forward performs no vector allocations.
+  /// Callers that run under an ArenaScope must clear the Output again
+  /// before the scope rewinds (the Vars inside are arena-backed).
+  void ForwardInto(const Var& f, const Var& f_mu, const Var& f_sigma,
+                   Output* out) const;
+
   /// Eq. (9) + tanh for one window (exposed for tests).
   Var ExtremeDegree(const Var& x, const Var& mu, const Var& sigma) const;
 

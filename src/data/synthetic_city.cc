@@ -287,5 +287,36 @@ Result<SyntheticCity> GenerateCity(const CityConfig& config) {
   return city;
 }
 
+MobilitySeries GenerateRegionSeries(const RegionSeriesConfig& config) {
+  Rng rng(config.seed);
+  MobilitySeries series;
+  series.num_regions = config.num_regions;
+  series.steps_per_day = 24;
+  series.start_date = config.start_date;
+  series.num_days = config.num_days;
+  const int64_t steps =
+      static_cast<int64_t>(config.num_days) * series.steps_per_day;
+  series.counts = Tensor::Zeros({config.num_regions, steps});
+  float* counts = series.counts.data();
+  // Diurnal profile depends only on hour-of-day: precompute one period.
+  double profile[24];
+  for (int h = 0; h < 24; ++h) {
+    profile[h] = config.base_rate +
+                 config.am_peak * Gauss(h, 8.5, 2.5) +
+                 config.pm_peak * Gauss(h, 17.5, 2.5);
+  }
+  for (int r = 0; r < config.num_regions; ++r) {
+    const double scale = 1.0 + config.region_scale_step * r;
+    double ar = 0.0;
+    float* row = counts + static_cast<int64_t>(r) * steps;
+    for (int64_t s = 0; s < steps; ++s) {
+      ar = config.ar_coeff * ar + rng.Normal(0.0, config.ar_sigma);
+      row[s] = static_cast<float>(
+          std::max(0.0, profile[s % 24] * scale + ar));
+    }
+  }
+  return series;
+}
+
 }  // namespace data
 }  // namespace ealgap

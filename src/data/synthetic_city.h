@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "data/aggregate.h"
 #include "data/event.h"
 #include "data/trip.h"
 #include "tensor/tensor.h"
@@ -67,6 +68,34 @@ struct SyntheticCity {
 
 /// Generates a deterministic synthetic city from `config`.
 Result<SyntheticCity> GenerateCity(const CityConfig& config);
+
+/// Parameters of the direct region-level series generator — the scaling
+/// path. GenerateCity materializes O(trips) records (≈ regions × rate ×
+/// hours), which is infeasible at metropolis scale; this generator writes
+/// the (num_regions, steps) count matrix directly in O(regions × steps),
+/// so N = 10k regions costs seconds instead of hours. The shape matches
+/// the trip-level city where it matters to EALGAP: a double-peak commute
+/// profile, per-region scale heterogeneity, and per-region AR(1)
+/// turbulence.
+struct RegionSeriesConfig {
+  int num_regions = 1000;
+  int num_days = 40;
+  CivilDate start_date{2020, 6, 1};
+  double base_rate = 20.0;  ///< diurnal floor (counts per region-hour)
+  double am_peak = 15.0;    ///< morning commute peak amplitude (8:30)
+  double pm_peak = 18.0;    ///< evening commute peak amplitude (17:30)
+  double ar_coeff = 0.9;    ///< per-region AR(1) persistence
+  double ar_sigma = 1.5;    ///< AR(1) innovation std
+  /// Per-region multiplicative ramp: region r runs at (1 + r * this) ×
+  /// the base profile, so large cities span orders of magnitude of volume
+  /// (the per-region normalization path has to absorb it).
+  double region_scale_step = 0.1;
+  uint64_t seed = 5;
+};
+
+/// Generates a deterministic region-level count series from `config`.
+/// Counts are clamped non-negative and finite by construction.
+MobilitySeries GenerateRegionSeries(const RegionSeriesConfig& config);
 
 }  // namespace data
 }  // namespace ealgap

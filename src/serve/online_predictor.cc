@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <optional>
 #include <sstream>
 
 #include "common/checksum.h"
@@ -51,6 +50,37 @@ int64_t OnlinePredictor::MinFirstTarget() const {
   return std::max(window_floor, norm_floor);
 }
 
+void OnlinePredictor::InitSlotStorage() {
+  const int64_t nh = options_.norm_history;
+  slot_data_.Reset(2 * static_cast<int64_t>(steps_per_day_) * nh *
+                   num_regions_);
+  slot_head_.assign(2 * steps_per_day_, 0);
+  slot_count_.assign(2 * steps_per_day_, 0);
+}
+
+void OnlinePredictor::InitScratch() {
+  const int n = num_regions_;
+  scratch_x_.resize(n);
+  scratch_mu_.resize(n);
+  scratch_sigma_.resize(n);
+  scratch_synth_.resize(n);
+  slot_rows_.resize(options_.norm_history);
+  arena_ = std::make_unique<Arena>();
+}
+
+void OnlinePredictor::SlotPush(int slot, const float* row) {
+  const int nh = options_.norm_history;
+  const int idx = (slot_head_[slot] + slot_count_[slot]) % nh;
+  float* dst = slot_data_.data() +
+               (static_cast<int64_t>(slot) * nh + idx) * num_regions_;
+  std::copy(row, row + num_regions_, dst);
+  if (slot_count_[slot] < nh) {
+    ++slot_count_[slot];
+  } else {
+    slot_head_[slot] = (slot_head_[slot] + 1) % nh;
+  }
+}
+
 Result<OnlinePredictor> OnlinePredictor::Create(
     Forecaster* model, const data::SlidingWindowDataset& history,
     int64_t history_end) {
@@ -78,10 +108,10 @@ Result<OnlinePredictor> OnlinePredictor::Create(
   }
   p.next_step_ = history_end;
   const int n = p.num_regions_;
-  p.ring_x_.assign(p.window_span_ * n, 0.f);
-  p.ring_mu_.assign(p.window_span_ * n, 0.f);
-  p.ring_sigma_.assign(p.window_span_ * n, 0.f);
-  p.slots_.assign(2 * p.steps_per_day_, {});
+  p.ring_x_.Reset(p.window_span_ * n);
+  p.ring_mu_.Reset(p.window_span_ * n);
+  p.ring_sigma_.Reset(p.window_span_ * n);
+  p.InitSlotStorage();
   p.window_sum_.assign(n, 0.0);
   p.guard_stats_.quarantine.assign(n, 0);
 
@@ -99,12 +129,9 @@ Result<OnlinePredictor> OnlinePredictor::Create(
     if (s >= history_end - p.options_.history_length) {
       for (int r = 0; r < n; ++r) p.window_sum_[r] += x_row[r];
     }
-    auto& slot = p.slots_[p.SlotIndex(s)];
-    slot.push_back(std::move(x_row));
-    if (static_cast<int>(slot.size()) > p.options_.norm_history) {
-      slot.erase(slot.begin());
-    }
+    p.SlotPush(p.SlotIndex(s), x_row.data());
   }
+  p.InitScratch();
   return p;
 }
 
@@ -116,17 +143,20 @@ void OnlinePredictor::MatchedStats(int64_t s, const std::vector<float>& x_row,
   // accumulated newest-to-oldest in double precision — the identical
   // floating-point summation order is what makes streaming bit-identical
   // to the batch pipeline.
-  const auto& slot = slots_[SlotIndex(s)];
-  const int prior = std::min<int>(options_.norm_history,
-                                  static_cast<int>(slot.size()));
+  const int slot = SlotIndex(s);
+  const int prior = slot_count_[slot];
   const double inv = 1.0 / static_cast<double>(1 + prior);
   const int n = num_regions_;
+  // Resolve the circular-window ages once: SlotRowNewest costs a modulo
+  // and a 64-bit multiply, which must not run per region in this loop.
+  const float** rows = slot_rows_.data();
+  for (int k = 0; k < prior; ++k) rows[k] = SlotRowNewest(slot, k);
   mu_row->resize(n);
   sigma_row->resize(n);
   for (int r = 0; r < n; ++r) {
     double m = x_row[r];
     for (int k = 0; k < prior; ++k) {
-      m += slot[slot.size() - 1 - k][r];
+      m += rows[k][r];
     }
     m *= inv;
     double ss = 0.0;
@@ -135,7 +165,7 @@ void OnlinePredictor::MatchedStats(int64_t s, const std::vector<float>& x_row,
       ss += d * d;
     }
     for (int k = 0; k < prior; ++k) {
-      const double d = slot[slot.size() - 1 - k][r] - m;
+      const double d = rows[k][r] - m;
       ss += d * d;
     }
     (*mu_row)[r] = static_cast<float>(m);
@@ -148,11 +178,13 @@ float OnlinePredictor::HoldLastValue(int r) const {
 }
 
 float OnlinePredictor::SlotMeanOrHold(int64_t s, int r) const {
-  const auto& slot = slots_[SlotIndex(s)];
-  if (slot.empty()) return HoldLastValue(r);
+  const int slot = SlotIndex(s);
+  const int count = slot_count_[slot];
+  if (count == 0) return HoldLastValue(r);
+  // Oldest-first, matching the nested-vector implementation's slot order.
   double m = 0.0;
-  for (size_t k = 0; k < slot.size(); ++k) m += slot[k][r];
-  return static_cast<float>(m / static_cast<double>(slot.size()));
+  for (int j = 0; j < count; ++j) m += SlotRowOldest(slot, j)[r];
+  return static_cast<float>(m / static_cast<double>(count));
 }
 
 Status OnlinePredictor::GuardRow(const std::vector<double>& counts,
@@ -199,11 +231,10 @@ Status OnlinePredictor::GuardRow(const std::vector<double>& counts,
   return Status::OK();
 }
 
-Status OnlinePredictor::ObserveRow(std::vector<float> x_row) {
+Status OnlinePredictor::ObserveRow(const std::vector<float>& x_row) {
   const int n = num_regions_;
   const int64_t s = next_step_;
-  std::vector<float> mu_row, sigma_row;
-  MatchedStats(s, x_row, &mu_row, &sigma_row);
+  MatchedStats(s, x_row, &scratch_mu_, &scratch_sigma_);
 
   // O(1) exponential-MLE refresh: slide the L-window sum before the ring
   // slot of step s-L is overwritten (they coincide when M == 1).
@@ -217,22 +248,18 @@ Status OnlinePredictor::ObserveRow(std::vector<float> x_row) {
 
   const int64_t base = RingIndex(s);
   std::copy(x_row.begin(), x_row.end(), ring_x_.begin() + base);
-  std::copy(mu_row.begin(), mu_row.end(), ring_mu_.begin() + base);
-  std::copy(sigma_row.begin(), sigma_row.end(), ring_sigma_.begin() + base);
+  std::copy(scratch_mu_.begin(), scratch_mu_.end(), ring_mu_.begin() + base);
+  std::copy(scratch_sigma_.begin(), scratch_sigma_.end(),
+            ring_sigma_.begin() + base);
 
-  auto& slot = slots_[SlotIndex(s)];
-  slot.push_back(std::move(x_row));
-  if (static_cast<int>(slot.size()) > options_.norm_history) {
-    slot.erase(slot.begin());
-  }
+  SlotPush(SlotIndex(s), x_row.data());
   ++next_step_;
   return Status::OK();
 }
 
 Status OnlinePredictor::Observe(const std::vector<double>& counts) {
-  std::vector<float> x_row;
-  EALGAP_RETURN_IF_ERROR(GuardRow(counts, &x_row));
-  return ObserveRow(std::move(x_row));
+  EALGAP_RETURN_IF_ERROR(GuardRow(counts, &scratch_x_));
+  return ObserveRow(scratch_x_);
 }
 
 Status OnlinePredictor::ObserveAt(int64_t step,
@@ -258,20 +285,26 @@ Status OnlinePredictor::ObserveAt(int64_t step,
     // consistent; every synthetic row is finite by construction.
     while (next_step_ < step) {
       const int n = num_regions_;
-      std::vector<float> synth(n);
       for (int r = 0; r < n; ++r) {
-        synth[r] = guard_policy_.on_gap == RepairPolicy::kImpute
-                       ? SlotMeanOrHold(next_step_, r)
-                       : HoldLastValue(r);
+        scratch_synth_[r] = guard_policy_.on_gap == RepairPolicy::kImpute
+                                ? SlotMeanOrHold(next_step_, r)
+                                : HoldLastValue(r);
       }
-      EALGAP_RETURN_IF_ERROR(ObserveRow(std::move(synth)));
+      EALGAP_RETURN_IF_ERROR(ObserveRow(scratch_synth_));
       ++guard_stats_.gap_steps_filled;
     }
   }
   return Observe(counts);
 }
 
-Result<std::vector<double>> OnlinePredictor::PredictNext() {
+Status OnlinePredictor::PredictNextInto(std::vector<double>* out) {
+  // Everything the forward pass allocates — the sample tensors here, the
+  // activations and graph nodes inside the model — lands on this
+  // predictor's arena and is rewound when the scope dies. `sample` is
+  // declared after `scope` so its arena-backed tensors are released before
+  // the rewind.
+  ArenaScope scope(arena_.get());
+
   const int64_t t = next_step_;  // target step
   const int n = num_regions_;
   const int64_t l = options_.history_length;
@@ -325,54 +358,90 @@ Result<std::vector<double>> OnlinePredictor::PredictNext() {
       }
     }
   }
-  return model_->PredictSample(sample);
+  return model_->PredictSampleInto(sample, out);
 }
 
-std::vector<Result<std::vector<double>>> OnlinePredictor::PredictMany(
-    const std::vector<OnlinePredictor*>& predictors) {
+Result<std::vector<double>> OnlinePredictor::PredictNext() {
+  std::vector<double> out;
+  EALGAP_RETURN_IF_ERROR(PredictNextInto(&out));
+  return out;
+}
+
+void OnlinePredictor::PredictManyInto(
+    const std::vector<OnlinePredictor*>& predictors,
+    std::vector<Status>* statuses, std::vector<std::vector<double>>* outs) {
   const int64_t k = static_cast<int64_t>(predictors.size());
-  std::vector<std::optional<Result<std::vector<double>>>> scratch(k);
+  statuses->resize(k);
+  outs->resize(k);
   // Each slot is written by exactly one index, so the result cannot depend
   // on how the pool splits the range; the model's internal kernels detect
   // the nested region and run serially per request.
   ParallelFor(0, k, 1, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       if (predictors[i] == nullptr) {
-        scratch[i].emplace(Status::InvalidArgument("null predictor"));
+        (*statuses)[i] = Status::InvalidArgument("null predictor");
       } else {
-        scratch[i].emplace(predictors[i]->PredictNext());
+        (*statuses)[i] = predictors[i]->PredictNextInto(&(*outs)[i]);
       }
     }
   });
+}
+
+std::vector<Result<std::vector<double>>> OnlinePredictor::PredictMany(
+    const std::vector<OnlinePredictor*>& predictors) {
+  std::vector<Status> statuses;
+  std::vector<std::vector<double>> values;
+  PredictManyInto(predictors, &statuses, &values);
   std::vector<Result<std::vector<double>>> out;
-  out.reserve(k);
-  for (auto& s : scratch) out.push_back(std::move(*s));
+  out.reserve(predictors.size());
+  for (size_t i = 0; i < predictors.size(); ++i) {
+    if (statuses[i].ok()) {
+      out.emplace_back(std::move(values[i]));
+    } else {
+      out.emplace_back(statuses[i]);
+    }
+  }
   return out;
 }
 
-std::vector<double> OnlinePredictor::MatchedMeanNext() const {
-  std::vector<double> out(num_regions_);
+void OnlinePredictor::MatchedMeanNextInto(std::vector<double>* out) const {
+  out->resize(num_regions_);
   for (int r = 0; r < num_regions_; ++r) {
-    out[r] = std::max(0.0,
-                      static_cast<double>(SlotMeanOrHold(next_step_, r)));
+    (*out)[r] = std::max(0.0,
+                         static_cast<double>(SlotMeanOrHold(next_step_, r)));
   }
+}
+
+void OnlinePredictor::RecentMeanNextInto(std::vector<double>* out) const {
+  const double inv = 1.0 / static_cast<double>(options_.history_length);
+  out->resize(num_regions_);
+  for (int r = 0; r < num_regions_; ++r) {
+    (*out)[r] = std::max(0.0, window_sum_[r] * inv);
+  }
+}
+
+void OnlinePredictor::LastObservedInto(std::vector<double>* out) const {
+  out->resize(num_regions_);
+  for (int r = 0; r < num_regions_; ++r) {
+    (*out)[r] = std::max(0.0, static_cast<double>(HoldLastValue(r)));
+  }
+}
+
+std::vector<double> OnlinePredictor::MatchedMeanNext() const {
+  std::vector<double> out;
+  MatchedMeanNextInto(&out);
   return out;
 }
 
 std::vector<double> OnlinePredictor::RecentMeanNext() const {
-  const double inv = 1.0 / static_cast<double>(options_.history_length);
-  std::vector<double> out(num_regions_);
-  for (int r = 0; r < num_regions_; ++r) {
-    out[r] = std::max(0.0, window_sum_[r] * inv);
-  }
+  std::vector<double> out;
+  RecentMeanNextInto(&out);
   return out;
 }
 
 std::vector<double> OnlinePredictor::LastObserved() const {
-  std::vector<double> out(num_regions_);
-  for (int r = 0; r < num_regions_; ++r) {
-    out[r] = std::max(0.0, static_cast<double>(HoldLastValue(r)));
-  }
+  std::vector<double> out;
+  LastObservedInto(&out);
   return out;
 }
 
@@ -419,10 +488,14 @@ Status OnlinePredictor::SaveState(const std::string& path) const {
     for (int r = 0; r < num_regions_; ++r) line << " " << ring_sigma_[base + r];
     emit();
   }
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    line << "slot " << i << " " << slots_[i].size();
-    for (const auto& row : slots_[i]) {
-      for (float v : row) line << " " << v;
+  // Slot rows oldest-first — the order LoadState re-inserts them in, which
+  // keeps the circular window's age resolution identical after a restore.
+  const int num_slots = 2 * steps_per_day_;
+  for (int i = 0; i < num_slots; ++i) {
+    line << "slot " << i << " " << slot_count_[i];
+    for (int j = 0; j < slot_count_[i]; ++j) {
+      const float* row = SlotRowOldest(i, j);
+      for (int r = 0; r < num_regions_; ++r) line << " " << row[r];
     }
     emit();
   }
@@ -551,9 +624,9 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
 
   std::istringstream body(body_text.str());
   const int n = p.num_regions_;
-  p.ring_x_.assign(p.window_span_ * n, 0.f);
-  p.ring_mu_.assign(p.window_span_ * n, 0.f);
-  p.ring_sigma_.assign(p.window_span_ * n, 0.f);
+  p.ring_x_.Reset(p.window_span_ * n);
+  p.ring_mu_.Reset(p.window_span_ * n);
+  p.ring_sigma_.Reset(p.window_span_ * n);
   for (int64_t s = p.next_step_ - p.window_span_; s < p.next_step_; ++s) {
     EALGAP_RETURN_IF_ERROR(ExpectTag(body, "ring", path));
     const int64_t base = p.RingIndex(s);
@@ -573,16 +646,22 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
       }
     }
   }
-  p.slots_.assign(2 * p.steps_per_day_, {});
-  for (size_t i = 0; i < p.slots_.size(); ++i) {
+  p.InitSlotStorage();
+  const int num_slots = 2 * p.steps_per_day_;
+  for (int i = 0; i < num_slots; ++i) {
     size_t idx = 0, count = 0;
     EALGAP_RETURN_IF_ERROR(ExpectTag(body, "slot", path));
-    if (!(body >> idx >> count) || idx != i ||
+    if (!(body >> idx >> count) || idx != static_cast<size_t>(i) ||
         count > static_cast<size_t>(nh)) {
       return Status::ParseError("bad slot header in " + path);
     }
-    p.slots_[i].assign(count, std::vector<float>(n));
-    for (auto& row : p.slots_[i]) {
+    // Rows are stored oldest-first; with head at 0 the j-th row read is
+    // exactly the j-th oldest, so age resolution survives the round trip.
+    p.slot_count_[i] = static_cast<int>(count);
+    for (size_t j = 0; j < count; ++j) {
+      float* row = p.slot_data_.data() +
+                   (static_cast<int64_t>(i) * nh + static_cast<int64_t>(j)) *
+                       n;
       for (int r = 0; r < n; ++r) {
         if (!(body >> row[r])) {
           return Status::ParseError("truncated slot row in " + path);
@@ -600,6 +679,7 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
   EALGAP_RETURN_IF_ERROR(
       ExpectTag(in, "end", path));
   p.guard_stats_.quarantine.assign(n, 0);
+  p.InitScratch();
   return p;
 }
 

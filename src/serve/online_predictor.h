@@ -1,10 +1,13 @@
 #ifndef EALGAP_SERVE_ONLINE_PREDICTOR_H_
 #define EALGAP_SERVE_ONLINE_PREDICTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/forecaster.h"
+#include "common/aligned_alloc.h"
+#include "common/arena.h"
 #include "common/result.h"
 #include "common/time_util.h"
 #include "data/dataset.h"
@@ -73,6 +76,14 @@ struct GuardStats {
 /// tests/serve_parity_test.cc). tests also cover the SaveState/LoadState
 /// mid-stream checkpoint boundary and thread-count invariance.
 ///
+/// Memory substrate (DESIGN.md §8e): every per-step buffer lives in
+/// pre-sized aligned storage — the ring buffers and the flattened slot
+/// accumulator use 64-byte-aligned blocks, row scratch is member-owned, and
+/// the model forward runs under this predictor's Arena — so steady-state
+/// Observe/ObserveAt/PredictNextInto perform ZERO heap allocations (after a
+/// one-step warm-up that sizes the arena), asserted by
+/// tests/alloc_guard_test.cc.
+///
 /// Real feeds degrade: Observe() validates every incoming count
 /// (NaN/Inf/negative/wrong length) and ObserveAt() additionally detects
 /// stream gaps, repairing either per the configured GuardPolicy; guard_stats()
@@ -107,6 +118,12 @@ class OnlinePredictor {
   /// the realized (or, for rollout, the predicted) counts afterwards.
   Result<std::vector<double>> PredictNext();
 
+  /// PredictNext() into a caller-owned buffer (resized to num_regions()).
+  /// The sample tensors and the whole model forward run on this
+  /// predictor's arena and are rewound before returning, so a caller that
+  /// reuses `out` pays zero heap allocations per step.
+  Status PredictNextInto(std::vector<double>* out);
+
   /// Batched prediction for concurrent requests: fans the predictors out
   /// over the process thread pool. Slot i of the result corresponds to
   /// predictors[i]; results are bit-identical to calling PredictNext() on
@@ -114,6 +131,14 @@ class OnlinePredictor {
   /// one model: the sample path reads only fitted parameters.
   static std::vector<Result<std::vector<double>>> PredictMany(
       const std::vector<OnlinePredictor*>& predictors);
+
+  /// PredictMany() into caller-owned buffers: statuses/outs are resized to
+  /// predictors.size() and slot i is overwritten in place. With reused
+  /// buffers the steady state allocates nothing (each predictor's forward
+  /// runs on its own arena; the pool dispatch is allocation-free).
+  static void PredictManyInto(const std::vector<OnlinePredictor*>& predictors,
+                              std::vector<Status>* statuses,
+                              std::vector<std::vector<double>>* outs);
 
   /// Index of the step PredictNext() predicts (== number of steps the
   /// stream has, counted from the seed dataset's origin).
@@ -132,15 +157,24 @@ class OnlinePredictor {
   ///    statistic behind ExponentialRate) — calendar-free, tracks level.
   ///  * LastObserved: persistence — the final, always-available resort.
   /// MatchedMeanNext falls back per-region to LastObserved when a slot has
-  /// no history yet, so every accessor returns finite values.
+  /// no history yet, so every accessor returns finite values. The *Into
+  /// variants overwrite a caller-owned buffer (zero-allocation serving);
+  /// the value-returning forms are conveniences that wrap them.
   std::vector<double> MatchedMeanNext() const;
   std::vector<double> RecentMeanNext() const;
   std::vector<double> LastObserved() const;
+  void MatchedMeanNextInto(std::vector<double>* out) const;
+  void RecentMeanNextInto(std::vector<double>* out) const;
+  void LastObservedInto(std::vector<double>* out) const;
 
   /// O(1)-maintained exponential-MLE rate lambda = 1/mean over the region's
   /// live L-window (the Eq. 3 fit the global module recomputes internally);
   /// exposed as a serving-time drift diagnostic.
   double ExponentialRate(int region) const;
+
+  /// This predictor's scratch arena (sizing/diagnostics; tests read the
+  /// high-water mark).
+  const Arena* arena() const { return arena_.get(); }
 
   /// Serializes the incremental state (ring, accumulators, calendar) to a
   /// plain-text file, CRC-checksummed and written atomically (temp file +
@@ -167,6 +201,37 @@ class OnlinePredictor {
     return static_cast<int>(s % steps_per_day_) * 2 +
            (IsWeekendStep(s) ? 1 : 0);
   }
+
+  // --- flattened matched-statistic accumulator -----------------------------
+  // slot_data_ holds 2T circular slots of up to norm_history rows of N
+  // floats each, in one aligned block: row j of slot i lives at
+  // slot_data_[(i * norm_history + j) * N]. slot_head_[i]/slot_count_[i]
+  // give the circular window; ages are resolved by SlotRowNewest /
+  // SlotRowOldest so the summation orders of the nested-vector
+  // implementation are preserved bit-for-bit.
+  const float* SlotRowNewest(int slot, int k) const {
+    const int nh = options_.norm_history;
+    const int idx = (slot_head_[slot] + slot_count_[slot] - 1 - k + nh) % nh;
+    return slot_data_.data() + (static_cast<int64_t>(slot) * nh + idx) *
+                                   num_regions_;
+  }
+  const float* SlotRowOldest(int slot, int j) const {
+    const int nh = options_.norm_history;
+    const int idx = (slot_head_[slot] + j) % nh;
+    return slot_data_.data() + (static_cast<int64_t>(slot) * nh + idx) *
+                                   num_regions_;
+  }
+  /// Appends a row to the slot's circular window, evicting the oldest when
+  /// the window is full. Equivalent to push_back + erase(begin()) of the
+  /// old nested-vector representation, without touching the heap.
+  void SlotPush(int slot, const float* row);
+  /// Allocates/zeroes the flattened slot storage for the current geometry.
+  void InitSlotStorage();
+
+  /// Pre-sizes the member scratch rows and the arena so the steady state
+  /// allocates nothing.
+  void InitScratch();
+
   /// Computes mu/sigma rows for step s from x_row and the slot accumulator,
   /// mirroring SlidingWindowDataset::RefreshMatchedStats bit-for-bit.
   void MatchedStats(int64_t s, const std::vector<float>& x_row,
@@ -181,7 +246,7 @@ class OnlinePredictor {
   Status GuardRow(const std::vector<double>& counts,
                   std::vector<float>* x_row);
   /// Core Observe body: advances all incremental state with a clean row.
-  Status ObserveRow(std::vector<float> x_row);
+  Status ObserveRow(const std::vector<float>& x_row);
 
   Forecaster* model_ = nullptr;  // not owned
 
@@ -193,15 +258,30 @@ class OnlinePredictor {
   int64_t window_span_ = 0;  ///< W = T*(M-1) + L ring capacity in steps
   int64_t next_step_ = 0;    ///< first unobserved step
 
-  // Ring buffer over the last W steps; slot (s % W) holds step s's rows.
-  std::vector<float> ring_x_, ring_mu_, ring_sigma_;  // each W * N
+  // Ring buffers over the last W steps; slot (s % W) holds step s's rows.
+  // Aligned so kernel reads of whole rows can take the aligned fast path.
+  AlignedBuffer<float> ring_x_, ring_mu_, ring_sigma_;  // each W * N
 
-  // Matched-statistic accumulators: slot (step % T, weekend) keeps the
-  // newest `norm_history` same-slot observation rows, oldest first.
-  std::vector<std::vector<std::vector<float>>> slots_;  // [2T][<=nh][N]
+  // Flattened matched-statistic accumulator (see SlotRow* above).
+  AlignedBuffer<float> slot_data_;  // [2T * norm_history * N]
+  std::vector<int> slot_head_;     // oldest row index per slot
+  std::vector<int> slot_count_;    // valid rows per slot (<= norm_history)
 
   // Rolling sum over the live L-window per region (exponential MLE state).
   std::vector<double> window_sum_;
+
+  // Member scratch rows (pre-sized; never reallocated in steady state).
+  std::vector<float> scratch_x_, scratch_mu_, scratch_sigma_, scratch_synth_;
+  /// Scratch for MatchedStats' resolved slot-row pointers (norm_history
+  /// entries); mutable because const stat readers share it. Predictors are
+  /// single-stream objects (PredictMany fans out across predictors, never
+  /// within one), so unsynchronized scratch is safe.
+  mutable std::vector<const float*> slot_rows_;
+
+  /// Per-predictor scratch arena: every tensor and autograd node of a
+  /// PredictNextInto forward lands here and is rewound when the call
+  /// returns.
+  std::unique_ptr<Arena> arena_;
 
   GuardPolicy guard_policy_;
   GuardStats guard_stats_;

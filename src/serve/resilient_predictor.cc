@@ -42,28 +42,26 @@ ResilientPredictor::ResilientPredictor(OnlinePredictor* inner,
                                        ResilienceOptions options)
     : inner_(inner), options_(options) {}
 
-ServedPrediction ResilientPredictor::Fallback(FallbackLevel from,
-                                              DegradeCause cause) const {
-  ServedPrediction served;
-  served.cause = cause;
+void ResilientPredictor::FallbackInto(FallbackLevel from, DegradeCause cause,
+                                      ServedPrediction* out) const {
+  out->cause = cause;
   if (from <= FallbackLevel::kMatchedMean) {
-    served.values = inner_->MatchedMeanNext();
-    served.source = FallbackLevel::kMatchedMean;
-    if (AllFinite(served.values)) return served;
+    inner_->MatchedMeanNextInto(&out->values);
+    out->source = FallbackLevel::kMatchedMean;
+    if (AllFinite(out->values)) return;
   }
   if (from <= FallbackLevel::kRecentMean) {
-    served.values = inner_->RecentMeanNext();
-    served.source = FallbackLevel::kRecentMean;
-    if (AllFinite(served.values)) return served;
+    inner_->RecentMeanNextInto(&out->values);
+    out->source = FallbackLevel::kRecentMean;
+    if (AllFinite(out->values)) return;
   }
   // Persistence re-serves values the guards already admitted (finite by
   // construction) — the chain's floor.
-  served.values = inner_->LastObserved();
-  served.source = FallbackLevel::kPersistence;
-  return served;
+  inner_->LastObservedInto(&out->values);
+  out->source = FallbackLevel::kPersistence;
 }
 
-Result<ServedPrediction> ResilientPredictor::PredictNext() {
+Status ResilientPredictor::PredictNextInto(ServedPrediction* out) {
   if (inner_ == nullptr) {
     return Status::InvalidArgument("ResilientPredictor needs a predictor");
   }
@@ -72,7 +70,7 @@ Result<ServedPrediction> ResilientPredictor::PredictNext() {
   // Always attempt the model: when healthy it serves the step, when
   // degraded it is the recovery probe.
   const auto t0 = std::chrono::steady_clock::now();
-  auto attempt = inner_->PredictNext();
+  const Status attempt = inner_->PredictNextInto(&attempt_values_);
   const auto t1 = std::chrono::steady_clock::now();
   const double latency_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -80,42 +78,48 @@ Result<ServedPrediction> ResilientPredictor::PredictNext() {
   DegradeCause failure = DegradeCause::kNone;
   if (!attempt.ok()) {
     failure = DegradeCause::kModelError;
-  } else if (!AllFinite(*attempt)) {
+  } else if (!AllFinite(attempt_values_)) {
     failure = DegradeCause::kNonFinite;
   } else if (options_.deadline_ms > 0.0 && latency_ms > options_.deadline_ms) {
     failure = DegradeCause::kDeadline;
   }
 
-  ServedPrediction served;
   if (failure != DegradeCause::kNone) {
     // Unhealthy answer: (re)enter degraded serving and reset hysteresis.
     state_.consecutive_healthy = 0;
-    served = Fallback(FallbackLevel::kMatchedMean, failure);
+    FallbackInto(FallbackLevel::kMatchedMean, failure, out);
   } else if (!state_.degraded()) {
     // Healthy chain, healthy model: serve the model output untouched.
-    served.values = std::move(*attempt);
-    served.source = FallbackLevel::kFullModel;
-    served.cause = DegradeCause::kNone;
+    // Swap, not move: both buffers stay warm, so neither side reallocates.
+    std::swap(out->values, attempt_values_);
+    out->source = FallbackLevel::kFullModel;
+    out->cause = DegradeCause::kNone;
   } else if (++state_.consecutive_healthy >= options_.recovery_successes) {
     // Hysteresis satisfied: promote back to the model on this very step —
     // the probe answer is healthy, so it is served, not discarded.
-    served.values = std::move(*attempt);
-    served.source = FallbackLevel::kFullModel;
-    served.cause = DegradeCause::kNone;
+    std::swap(out->values, attempt_values_);
+    out->source = FallbackLevel::kFullModel;
+    out->cause = DegradeCause::kNone;
     state_.consecutive_healthy = 0;
   } else {
     // Healthy probe, hysteresis not yet satisfied: keep serving fallback.
-    served = Fallback(FallbackLevel::kMatchedMean, DegradeCause::kProbation);
+    FallbackInto(FallbackLevel::kMatchedMean, DegradeCause::kProbation, out);
   }
-  served.model_latency_ms = latency_ms;
+  out->model_latency_ms = latency_ms;
 
-  state_.level = served.source;
-  state_.last_cause = served.cause;
-  if (served.source != FallbackLevel::kFullModel) {
+  state_.level = out->source;
+  state_.last_cause = out->cause;
+  if (out->source != FallbackLevel::kFullModel) {
     ++state_.degraded_steps;
-    ++state_.by_cause[static_cast<int>(served.cause)];
-    ++state_.by_level[static_cast<int>(served.source)];
+    ++state_.by_cause[static_cast<int>(out->cause)];
+    ++state_.by_level[static_cast<int>(out->source)];
   }
+  return Status::OK();
+}
+
+Result<ServedPrediction> ResilientPredictor::PredictNext() {
+  ServedPrediction served;
+  EALGAP_RETURN_IF_ERROR(PredictNextInto(&served));
   return served;
 }
 

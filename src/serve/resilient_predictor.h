@@ -96,6 +96,13 @@ class ResilientPredictor {
   /// predictor at construction or guard-rejected geometry (empty chain).
   Result<ServedPrediction> PredictNext();
 
+  /// PredictNext() into a caller-owned ServedPrediction: `out->values` is
+  /// overwritten in place (capacity reused), so a serving loop that holds
+  /// one ServedPrediction performs zero steady-state heap allocations on
+  /// both the healthy and the degraded path (tests/alloc_guard_test.cc).
+  /// The value-returning form wraps this.
+  Status PredictNextInto(ServedPrediction* out);
+
   /// Stream advancement passes through to the inner predictor (with its
   /// input guards).
   Status Observe(const std::vector<double>& counts);
@@ -106,12 +113,17 @@ class ResilientPredictor {
   OnlinePredictor* inner() { return inner_; }
 
  private:
-  /// First fallback level at or below `from` whose values are all finite.
-  ServedPrediction Fallback(FallbackLevel from, DegradeCause cause) const;
+  /// First fallback level at or below `from` whose values are all finite,
+  /// written into `out` (values overwritten, capacity reused).
+  void FallbackInto(FallbackLevel from, DegradeCause cause,
+                    ServedPrediction* out) const;
 
   OnlinePredictor* inner_;  // not owned
   ResilienceOptions options_;
   DegradationState state_;
+  /// Reused buffer for the per-step model attempt; swapped into the served
+  /// prediction on a healthy serve so neither side reallocates.
+  std::vector<double> attempt_values_;
 };
 
 }  // namespace serve

@@ -97,7 +97,10 @@ Tensor RowwisePdf(const Tensor& x, DistributionFamily family) {
   Tensor z(x.shape());
   const float* px = x.data();
   float* pz = z.data();
-  std::vector<double> row(l);
+  // Reused across calls: RowwisePdf sits on the per-step serve path, where
+  // a fresh row buffer every call would be the only heap allocation left.
+  static thread_local std::vector<double> row;
+  row.resize(l);
   // Parameter fits stay in double (exact per row); the per-element PDF
   // evaluation runs on the float32 SIMD kernels — bit-identical across
   // backends by the kernel-layer contract.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace ealgap {
@@ -43,34 +44,97 @@ thread_local bool g_grad_enabled = true;
 
 using NodePtr = std::shared_ptr<autograd::Node>;
 
+/// Minimal STL allocator over the current arena. allocate_shared places the
+/// control block and the Node in one arena bump; deallocate is a no-op
+/// because ArenaScope rewind reclaims the whole region. Nodes allocated this
+/// way must not outlive the enclosing arena scope (the serve-path lifetime
+/// rule; see common/arena.h).
+template <class T>
+struct ArenaAlloc {
+  using value_type = T;
+  Arena* arena;
+  explicit ArenaAlloc(Arena* a) : arena(a) {}
+  template <class U>
+  ArenaAlloc(const ArenaAlloc<U>& o) : arena(o.arena) {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena->Allocate(n * sizeof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+  template <class U>
+  bool operator==(const ArenaAlloc<U>& o) const {
+    return arena == o.arena;
+  }
+  template <class U>
+  bool operator!=(const ArenaAlloc<U>& o) const {
+    return arena != o.arena;
+  }
+};
+
+NodePtr NewNode() {
+  if (Arena* arena = CurrentArena()) {
+    return std::allocate_shared<autograd::Node>(
+        ArenaAlloc<autograd::Node>(arena));
+  }
+  return std::make_shared<autograd::Node>();
+}
+
 NodePtr MakeLeafNode(Tensor value, bool requires_grad) {
-  auto n = std::make_shared<autograd::Node>();
+  NodePtr n = NewNode();
   n->value = std::move(value);
   n->requires_grad = requires_grad;
   return n;
 }
 
-bool AnyRequiresGrad(const std::vector<Var>& inputs) {
-  for (const Var& v : inputs) {
-    if (v.requires_grad()) return true;
+/// Creates an op node. `make_back` is a factory returning the backward
+/// closure; it is invoked — and the std::function materialized — only when
+/// grad recording is on AND some input requires gradients. The no-grad
+/// serve path therefore never constructs a std::function or parents vector,
+/// and with an arena installed never touches the heap. Inputs arrive as a
+/// pointer list so the call sites' brace lists live on the stack.
+template <class MakeBack>
+Var MakeOp(Tensor value, std::initializer_list<const Var*> inputs,
+           MakeBack&& make_back) {
+  bool record = GradEnabled();
+  if (record) {
+    record = false;
+    for (const Var* v : inputs) {
+      if (v->requires_grad()) {
+        record = true;
+        break;
+      }
+    }
   }
-  return false;
+  if (!record) return Var::Leaf(std::move(value), /*requires_grad=*/false);
+  NodePtr n = NewNode();
+  n->value = std::move(value);
+  n->requires_grad = true;
+  n->parents.reserve(inputs.size());
+  for (const Var* v : inputs) n->parents.push_back(v->node());
+  n->backfn = make_back();
+  return Var(std::move(n));
 }
 
-/// Creates an op node: `value` is the forward result; `backfn` routes the
-/// output gradient into the input nodes. When grad recording is off or no
-/// input needs gradients, returns a history-less leaf.
-Var MakeOp(Tensor value, const std::vector<Var>& inputs,
-           std::function<void(const Tensor&)> backfn) {
-  if (!GradEnabled() || !AnyRequiresGrad(inputs)) {
-    return Var::Leaf(std::move(value), /*requires_grad=*/false);
+/// Variadic-input variant for Concat.
+template <class MakeBack>
+Var MakeOpN(Tensor value, const std::vector<Var>& inputs,
+            MakeBack&& make_back) {
+  bool record = GradEnabled();
+  if (record) {
+    record = false;
+    for (const Var& v : inputs) {
+      if (v.requires_grad()) {
+        record = true;
+        break;
+      }
+    }
   }
-  auto n = std::make_shared<autograd::Node>();
+  if (!record) return Var::Leaf(std::move(value), /*requires_grad=*/false);
+  NodePtr n = NewNode();
   n->value = std::move(value);
   n->requires_grad = true;
   n->parents.reserve(inputs.size());
   for (const Var& v : inputs) n->parents.push_back(v.node());
-  n->backfn = std::move(backfn);
+  n->backfn = make_back();
   return Var(std::move(n));
 }
 
@@ -146,123 +210,150 @@ void Backward(const Var& root) {
 }
 
 // ---------------------------------------------------------------------------
-// Op definitions. Each captures the input nodes it needs by shared_ptr so the
-// graph stays alive until backward completes.
+// Op definitions. Each backward closure captures the input nodes it needs by
+// shared_ptr so the graph stays alive until backward completes. The closures
+// are built inside a factory lambda so nothing is materialized on the
+// no-grad path.
 // ---------------------------------------------------------------------------
 
 Var Add(const Var& a, const Var& b) {
   Tensor out = ops::Add(a.value(), b.value());
-  auto na = a.node(), nb = b.node();
-  return MakeOp(std::move(out), {a, b}, [na, nb](const Tensor& g) {
-    na->AccumulateGrad(g);
-    nb->AccumulateGrad(g);
+  return MakeOp(std::move(out), {&a, &b}, [&] {
+    auto na = a.node(), nb = b.node();
+    return [na, nb](const Tensor& g) {
+      na->AccumulateGrad(g);
+      nb->AccumulateGrad(g);
+    };
   });
 }
 
 Var Sub(const Var& a, const Var& b) {
   Tensor out = ops::Sub(a.value(), b.value());
-  auto na = a.node(), nb = b.node();
-  return MakeOp(std::move(out), {a, b}, [na, nb](const Tensor& g) {
-    na->AccumulateGrad(g);
-    nb->AccumulateGrad(ops::Neg(g));
+  return MakeOp(std::move(out), {&a, &b}, [&] {
+    auto na = a.node(), nb = b.node();
+    return [na, nb](const Tensor& g) {
+      na->AccumulateGrad(g);
+      nb->AccumulateGrad(ops::Neg(g));
+    };
   });
 }
 
 Var Mul(const Var& a, const Var& b) {
   Tensor out = ops::Mul(a.value(), b.value());
-  auto na = a.node(), nb = b.node();
-  return MakeOp(std::move(out), {a, b}, [na, nb](const Tensor& g) {
-    na->AccumulateGrad(ops::Mul(g, nb->value));
-    nb->AccumulateGrad(ops::Mul(g, na->value));
+  return MakeOp(std::move(out), {&a, &b}, [&] {
+    auto na = a.node(), nb = b.node();
+    return [na, nb](const Tensor& g) {
+      na->AccumulateGrad(ops::Mul(g, nb->value));
+      nb->AccumulateGrad(ops::Mul(g, na->value));
+    };
   });
 }
 
 Var Div(const Var& a, const Var& b) {
   Tensor out = ops::Div(a.value(), b.value());
-  auto na = a.node(), nb = b.node();
-  return MakeOp(std::move(out), {a, b}, [na, nb](const Tensor& g) {
-    na->AccumulateGrad(ops::Div(g, nb->value));
-    // d/db (a/b) = -a / b^2
-    Tensor b2 = ops::Mul(nb->value, nb->value);
-    nb->AccumulateGrad(ops::Neg(ops::Div(ops::Mul(g, na->value), b2)));
+  return MakeOp(std::move(out), {&a, &b}, [&] {
+    auto na = a.node(), nb = b.node();
+    return [na, nb](const Tensor& g) {
+      na->AccumulateGrad(ops::Div(g, nb->value));
+      // d/db (a/b) = -a / b^2
+      Tensor b2 = ops::Mul(nb->value, nb->value);
+      nb->AccumulateGrad(ops::Neg(ops::Div(ops::Mul(g, na->value), b2)));
+    };
   });
 }
 
 Var AddScalar(const Var& a, float s) {
-  auto na = a.node();
-  return MakeOp(ops::AddScalar(a.value(), s), {a},
-                [na](const Tensor& g) { na->AccumulateGrad(g); });
+  return MakeOp(ops::AddScalar(a.value(), s), {&a}, [&] {
+    auto na = a.node();
+    return [na](const Tensor& g) { na->AccumulateGrad(g); };
+  });
 }
 
 Var MulScalar(const Var& a, float s) {
-  auto na = a.node();
-  return MakeOp(ops::MulScalar(a.value(), s), {a}, [na, s](const Tensor& g) {
-    na->AccumulateGrad(ops::MulScalar(g, s));
+  return MakeOp(ops::MulScalar(a.value(), s), {&a}, [&] {
+    auto na = a.node();
+    return [na, s](const Tensor& g) {
+      na->AccumulateGrad(ops::MulScalar(g, s));
+    };
   });
 }
 
 Var PowScalar(const Var& a, float p) {
-  auto na = a.node();
-  return MakeOp(ops::PowScalar(a.value(), p), {a}, [na, p](const Tensor& g) {
-    Tensor d = ops::MulScalar(ops::PowScalar(na->value, p - 1.f), p);
-    na->AccumulateGrad(ops::Mul(g, d));
+  return MakeOp(ops::PowScalar(a.value(), p), {&a}, [&] {
+    auto na = a.node();
+    return [na, p](const Tensor& g) {
+      Tensor d = ops::MulScalar(ops::PowScalar(na->value, p - 1.f), p);
+      na->AccumulateGrad(ops::Mul(g, d));
+    };
   });
 }
 
 Var Neg(const Var& a) {
-  auto na = a.node();
-  return MakeOp(ops::Neg(a.value()), {a}, [na](const Tensor& g) {
-    na->AccumulateGrad(ops::Neg(g));
+  return MakeOp(ops::Neg(a.value()), {&a}, [&] {
+    auto na = a.node();
+    return [na](const Tensor& g) { na->AccumulateGrad(ops::Neg(g)); };
   });
 }
 
 Var Exp(const Var& a) {
   Tensor out = ops::Exp(a.value());
-  auto na = a.node();
-  return MakeOp(out, {a}, [na, out](const Tensor& g) {
-    na->AccumulateGrad(ops::Mul(g, out));
+  return MakeOp(out, {&a}, [&] {
+    auto na = a.node();
+    return [na, out](const Tensor& g) {
+      na->AccumulateGrad(ops::Mul(g, out));
+    };
   });
 }
 
 Var Log(const Var& a) {
-  auto na = a.node();
-  return MakeOp(ops::Log(a.value()), {a}, [na](const Tensor& g) {
-    na->AccumulateGrad(ops::Div(g, na->value));
+  return MakeOp(ops::Log(a.value()), {&a}, [&] {
+    auto na = a.node();
+    return [na](const Tensor& g) {
+      na->AccumulateGrad(ops::Div(g, na->value));
+    };
   });
 }
 
 Var Sqrt(const Var& a) {
   Tensor out = ops::Sqrt(a.value());
-  auto na = a.node();
-  return MakeOp(out, {a}, [na, out](const Tensor& g) {
-    na->AccumulateGrad(ops::Div(ops::MulScalar(g, 0.5f), out));
+  return MakeOp(out, {&a}, [&] {
+    auto na = a.node();
+    return [na, out](const Tensor& g) {
+      na->AccumulateGrad(ops::Div(ops::MulScalar(g, 0.5f), out));
+    };
   });
 }
 
 Var Tanh(const Var& a) {
   Tensor out = ops::Tanh(a.value());
-  auto na = a.node();
-  return MakeOp(out, {a}, [na, out](const Tensor& g) {
-    // 1 - tanh^2
-    Tensor d = ops::AddScalar(ops::Neg(ops::Mul(out, out)), 1.f);
-    na->AccumulateGrad(ops::Mul(g, d));
+  return MakeOp(out, {&a}, [&] {
+    auto na = a.node();
+    return [na, out](const Tensor& g) {
+      // 1 - tanh^2
+      Tensor d = ops::AddScalar(ops::Neg(ops::Mul(out, out)), 1.f);
+      na->AccumulateGrad(ops::Mul(g, d));
+    };
   });
 }
 
 Var Sigmoid(const Var& a) {
   Tensor out = ops::Sigmoid(a.value());
-  auto na = a.node();
-  return MakeOp(out, {a}, [na, out](const Tensor& g) {
-    Tensor d = ops::Mul(out, ops::AddScalar(ops::Neg(out), 1.f));
-    na->AccumulateGrad(ops::Mul(g, d));
+  return MakeOp(out, {&a}, [&] {
+    auto na = a.node();
+    return [na, out](const Tensor& g) {
+      Tensor d = ops::Mul(out, ops::AddScalar(ops::Neg(out), 1.f));
+      na->AccumulateGrad(ops::Mul(g, d));
+    };
   });
 }
 
 Var Relu(const Var& a) {
-  auto na = a.node();
-  return MakeOp(ops::Relu(a.value()), {a}, [na](const Tensor& g) {
-    Tensor mask = ops::Relu(ops::Sign(na->value));  // 1 where input > 0
-    na->AccumulateGrad(ops::Mul(g, mask));
+  return MakeOp(ops::Relu(a.value()), {&a}, [&] {
+    auto na = a.node();
+    return [na](const Tensor& g) {
+      Tensor mask = ops::Relu(ops::Sign(na->value));  // 1 where input > 0
+      na->AccumulateGrad(ops::Mul(g, mask));
+    };
   });
 }
 
@@ -279,65 +370,78 @@ Var ReluInPlace(Var a) {
 }
 
 Var Abs(const Var& a) {
-  auto na = a.node();
-  return MakeOp(ops::Abs(a.value()), {a}, [na](const Tensor& g) {
-    na->AccumulateGrad(ops::Mul(g, ops::Sign(na->value)));
+  return MakeOp(ops::Abs(a.value()), {&a}, [&] {
+    auto na = a.node();
+    return [na](const Tensor& g) {
+      na->AccumulateGrad(ops::Mul(g, ops::Sign(na->value)));
+    };
   });
 }
 
 Var MatMul(const Var& a, const Var& b) {
   Tensor out = ops::MatMul(a.value(), b.value());
-  auto na = a.node(), nb = b.node();
-  return MakeOp(std::move(out), {a, b}, [na, nb](const Tensor& g) {
-    na->AccumulateGrad(ops::MatMul(g, ops::TransposeLast2(nb->value)));
-    nb->AccumulateGrad(ops::MatMul(ops::TransposeLast2(na->value), g));
+  return MakeOp(std::move(out), {&a, &b}, [&] {
+    auto na = a.node(), nb = b.node();
+    return [na, nb](const Tensor& g) {
+      na->AccumulateGrad(ops::MatMul(g, ops::TransposeLast2(nb->value)));
+      nb->AccumulateGrad(ops::MatMul(ops::TransposeLast2(na->value), g));
+    };
   });
 }
 
 Var BMatMul(const Var& a, const Var& b) {
   Tensor out = ops::BMatMul(a.value(), b.value());
-  auto na = a.node(), nb = b.node();
-  return MakeOp(std::move(out), {a, b}, [na, nb](const Tensor& g) {
-    na->AccumulateGrad(ops::BMatMul(g, ops::TransposeLast2(nb->value)));
-    nb->AccumulateGrad(ops::BMatMul(ops::TransposeLast2(na->value), g));
+  return MakeOp(std::move(out), {&a, &b}, [&] {
+    auto na = a.node(), nb = b.node();
+    return [na, nb](const Tensor& g) {
+      na->AccumulateGrad(ops::BMatMul(g, ops::TransposeLast2(nb->value)));
+      nb->AccumulateGrad(ops::BMatMul(ops::TransposeLast2(na->value), g));
+    };
   });
 }
 
 Var TransposeLast2(const Var& a) {
-  auto na = a.node();
-  return MakeOp(ops::TransposeLast2(a.value()), {a}, [na](const Tensor& g) {
-    na->AccumulateGrad(ops::TransposeLast2(g));
+  return MakeOp(ops::TransposeLast2(a.value()), {&a}, [&] {
+    auto na = a.node();
+    return [na](const Tensor& g) {
+      na->AccumulateGrad(ops::TransposeLast2(g));
+    };
   });
 }
 
 Var SumAll(const Var& a) {
-  auto na = a.node();
-  return MakeOp(ops::SumAll(a.value()), {a}, [na](const Tensor& g) {
-    na->AccumulateGrad(Tensor::Full(na->value.shape(), g.data()[0]));
+  return MakeOp(ops::SumAll(a.value()), {&a}, [&] {
+    auto na = a.node();
+    return [na](const Tensor& g) {
+      na->AccumulateGrad(Tensor::Full(na->value.shape(), g.data()[0]));
+    };
   });
 }
 
 Var MeanAll(const Var& a) {
-  auto na = a.node();
   const float inv = 1.f / static_cast<float>(a.value().numel());
-  return MakeOp(ops::MeanAll(a.value()), {a}, [na, inv](const Tensor& g) {
-    na->AccumulateGrad(Tensor::Full(na->value.shape(), g.data()[0] * inv));
+  return MakeOp(ops::MeanAll(a.value()), {&a}, [&] {
+    auto na = a.node();
+    return [na, inv](const Tensor& g) {
+      na->AccumulateGrad(Tensor::Full(na->value.shape(), g.data()[0] * inv));
+    };
   });
 }
 
 Var SumAxis(const Var& a, int64_t axis, bool keepdim) {
   if (axis < 0) axis += a.value().ndim();
-  auto na = a.node();
-  return MakeOp(ops::SumAxis(a.value(), axis, keepdim), {a},
-                [na, axis, keepdim](const Tensor& g) {
-                  Tensor gk = g;
-                  if (!keepdim) {
-                    Shape s = g.shape();
-                    s.insert(s.begin() + axis, 1);
-                    gk = g.Reshape(s);
-                  }
-                  na->AccumulateGrad(ops::BroadcastTo(gk, na->value.shape()));
-                });
+  return MakeOp(ops::SumAxis(a.value(), axis, keepdim), {&a}, [&] {
+    auto na = a.node();
+    return [na, axis, keepdim](const Tensor& g) {
+      Tensor gk = g;
+      if (!keepdim) {
+        Shape s = g.shape();
+        s.insert(s.begin() + axis, 1);
+        gk = g.Reshape(s);
+      }
+      na->AccumulateGrad(ops::BroadcastTo(gk, na->value.shape()));
+    };
+  });
 }
 
 Var MeanAxis(const Var& a, int64_t axis, bool keepdim) {
@@ -348,58 +452,71 @@ Var MeanAxis(const Var& a, int64_t axis, bool keepdim) {
 
 Var SoftmaxLastDim(const Var& a) {
   Tensor out = ops::SoftmaxLastDim(a.value());
-  auto na = a.node();
-  return MakeOp(out, {a}, [na, out](const Tensor& g) {
-    // ds = s * (g - sum(g*s, last, keepdim))
-    Tensor gs = ops::Mul(g, out);
-    Tensor dot = ops::SumAxis(gs, out.ndim() - 1, /*keepdim=*/true);
-    na->AccumulateGrad(ops::Mul(out, ops::Sub(g, dot)));
+  return MakeOp(out, {&a}, [&] {
+    auto na = a.node();
+    return [na, out](const Tensor& g) {
+      // ds = s * (g - sum(g*s, last, keepdim))
+      Tensor gs = ops::Mul(g, out);
+      Tensor dot = ops::SumAxis(gs, out.ndim() - 1, /*keepdim=*/true);
+      na->AccumulateGrad(ops::Mul(out, ops::Sub(g, dot)));
+    };
   });
 }
 
 Var Slice(const Var& a, int64_t axis, int64_t start, int64_t end) {
   if (axis < 0) axis += a.value().ndim();
   Tensor out = ops::Slice(a.value(), axis, start, end);
-  auto na = a.node();
-  return MakeOp(std::move(out), {a}, [na, axis, start](const Tensor& g) {
-    // Scatter g back into a zero tensor of the input shape.
-    Tensor full = Tensor::Zeros(na->value.shape());
-    int64_t outer = 1, inner = 1;
-    const Shape& s = na->value.shape();
-    for (int64_t i = 0; i < axis; ++i) outer *= s[i];
-    for (size_t i = axis + 1; i < s.size(); ++i) inner *= s[i];
-    const int64_t n = s[axis];
-    const int64_t len = g.shape()[axis];
-    const float* pg = g.data();
-    float* pf = full.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      std::copy(pg + o * len * inner, pg + (o + 1) * len * inner,
-                pf + (o * n + start) * inner);
-    }
-    na->AccumulateGrad(full);
+  return MakeOp(std::move(out), {&a}, [&] {
+    auto na = a.node();
+    return [na, axis, start](const Tensor& g) {
+      // Scatter g back into a zero tensor of the input shape.
+      Tensor full = Tensor::Zeros(na->value.shape());
+      int64_t outer = 1, inner = 1;
+      const Shape& s = na->value.shape();
+      for (int64_t i = 0; i < axis; ++i) outer *= s[i];
+      for (size_t i = axis + 1; i < s.size(); ++i) inner *= s[i];
+      const int64_t n = s[axis];
+      const int64_t len = g.shape()[axis];
+      const float* pg = g.data();
+      float* pf = full.data();
+      for (int64_t o = 0; o < outer; ++o) {
+        std::copy(pg + o * len * inner, pg + (o + 1) * len * inner,
+                  pf + (o * n + start) * inner);
+      }
+      na->AccumulateGrad(full);
+    };
   });
 }
 
 Var Concat(const std::vector<Var>& parts, int64_t axis) {
   EALGAP_CHECK(!parts.empty());
+  // Single-part concat is the identity: same values bit-for-bit, and the
+  // part's own node already carries the right gradient plumbing. Skipping
+  // the copy keeps degenerate call sites allocation-free on the serve path.
+  if (parts.size() == 1) return parts[0];
   if (axis < 0) axis += parts[0].value().ndim();
   std::vector<Tensor> values;
   values.reserve(parts.size());
   for (const Var& p : parts) values.push_back(p.value());
   Tensor out = ops::Concat(values, axis);
-  std::vector<NodePtr> nodes;
-  std::vector<int64_t> sizes;
-  for (const Var& p : parts) {
-    nodes.push_back(p.node());
-    sizes.push_back(p.value().shape()[axis]);
-  }
-  return MakeOp(std::move(out), parts, [nodes, sizes, axis](const Tensor& g) {
-    int64_t offset = 0;
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      nodes[i]->AccumulateGrad(
-          ops::Slice(g, axis, offset, offset + sizes[i]));
-      offset += sizes[i];
+  return MakeOpN(std::move(out), parts, [&] {
+    std::vector<NodePtr> nodes;
+    std::vector<int64_t> sizes;
+    nodes.reserve(parts.size());
+    sizes.reserve(parts.size());
+    for (const Var& p : parts) {
+      nodes.push_back(p.node());
+      sizes.push_back(p.value().shape()[axis]);
     }
+    return [nodes = std::move(nodes), sizes = std::move(sizes),
+            axis](const Tensor& g) {
+      int64_t offset = 0;
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        nodes[i]->AccumulateGrad(
+            ops::Slice(g, axis, offset, offset + sizes[i]));
+        offset += sizes[i];
+      }
+    };
   });
 }
 
@@ -417,9 +534,11 @@ Var Stack(const std::vector<Var>& parts) {
 
 Var Reshape(const Var& a, Shape shape) {
   Tensor out = a.value().Reshape(shape);
-  auto na = a.node();
-  return MakeOp(std::move(out), {a}, [na](const Tensor& g) {
-    na->AccumulateGrad(g.Reshape(na->value.shape()));
+  return MakeOp(std::move(out), {&a}, [&] {
+    auto na = a.node();
+    return [na](const Tensor& g) {
+      na->AccumulateGrad(g.Reshape(na->value.shape()));
+    };
   });
 }
 

@@ -26,9 +26,11 @@ enum class Backend { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
 const char* BackendName(Backend b);
 
 /// All kernels take raw pointers (no alignment requirement) and an element
-/// count; `n == 0` is a no-op. Reduction kernels define a fixed
-/// accumulation order (4 interleaved double lanes, combined in lane order)
-/// that callers rely on for thread-count determinism.
+/// count; `n == 0` is a no-op. Kernels internally detect 64-byte-aligned
+/// operands and switch to aligned load/store instructions — same bits,
+/// same results (kernels_impl.h, AlignedIO). Reduction kernels define a
+/// fixed accumulation order (4 interleaved double lanes, combined in lane
+/// order) that callers rely on for thread-count determinism.
 struct KernelTable {
   Backend backend;
 
@@ -71,6 +73,11 @@ struct KernelTable {
   double (*sum_block)(const float* p, int64_t n);
   double (*sumsq_block)(const float* p, int64_t n);
   float (*max_block)(const float* p, int64_t n);  // n >= 1; NaN-free input
+
+  /// Contiguous copy (memcpy semantics, regions must not overlap). Routes
+  /// Slice/CopyFrom through the kernel layer; preserves no alignment
+  /// guarantee beyond what the destination already has.
+  void (*copy)(const float* src, float* dst, int64_t n);
 
   // fused rows
   void (*softmax_row)(const float* src, float* dst, int64_t n);

@@ -55,7 +55,10 @@ Tensor BroadcastRows(const Tensor& a, const Tensor& b, RowFn row) {
     return out;
   }
   // Right-aligned strides for a and b (0 = broadcast along that dim).
-  std::vector<int64_t> ta(rank, 0), tb(rank, 0);
+  // Fixed-size stack arrays (rank <= Shape::kMaxRank): no per-op heap
+  // traffic — this runs on the zero-allocation serve path.
+  int64_t ta[Shape::kMaxRank] = {0};
+  int64_t tb[Shape::kMaxRank] = {0};
   {
     int64_t stride = 1;
     for (int64_t i = a.ndim() - 1, j = rank - 1; i >= 0; --i, --j) {
@@ -77,7 +80,7 @@ Tensor BroadcastRows(const Tensor& a, const Tensor& b, RowFn row) {
   const int64_t grain = std::max<int64_t>(1, kElemGrain / inner);
   ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
     // Seed the outer multi-index and input offsets for row r0.
-    std::vector<int64_t> idx(rank - 1, 0);
+    int64_t idx[Shape::kMaxRank] = {0};
     int64_t oa = 0, ob = 0;
     for (int64_t d = rank - 2, rem = r0; d >= 0; --d) {
       idx[d] = rem % out_shape[d];
@@ -515,14 +518,23 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t end) {
   AxisSplit(a.shape(), axis, &outer, &n, &inner);
   Shape out_shape = a.shape();
   out_shape[axis] = end - start;
+  const KernelTable& t = kernels::Active();
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();
   const int64_t len = end - start;
+  if (outer == 1) {
+    // Contiguous row range (no dims outside `axis`): ONE kernel copy of
+    // the whole block. Alignment guarantee: the destination is fresh
+    // 64-byte-aligned tensor storage, but the source offset start*inner
+    // is arbitrary — the copy kernel accepts that (memcpy semantics), so
+    // this fast path preserves the output's alignment and requires none
+    // of the input slice.
+    t.copy(pa + start * inner, po, len * inner);
+    return out;
+  }
   for (int64_t o = 0; o < outer; ++o) {
-    const float* src = pa + (o * n + start) * inner;
-    float* dst = po + o * len * inner;
-    std::copy(src, src + len * inner, dst);
+    t.copy(pa + (o * n + start) * inner, po + o * len * inner, len * inner);
   }
   return out;
 }
@@ -540,6 +552,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   }
   Shape out_shape = parts[0].shape();
   out_shape[axis] = total;
+  const KernelTable& t = kernels::Active();
   Tensor out(out_shape);
   int64_t outer, n_out, inner;
   AxisSplit(out_shape, axis, &outer, &n_out, &inner);
@@ -549,8 +562,8 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
     const int64_t n = p.shape()[axis];
     const float* pp = p.data();
     for (int64_t o = 0; o < outer; ++o) {
-      std::copy(pp + o * n * inner, pp + (o + 1) * n * inner,
-                po + (o * n_out + written) * inner);
+      t.copy(pp + o * n * inner, po + (o * n_out + written) * inner,
+             n * inner);
     }
     written += n;
   }

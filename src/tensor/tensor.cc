@@ -1,21 +1,40 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
+#include <ostream>
 #include <sstream>
 
+#include "common/aligned_alloc.h"
+#include "common/arena.h"
 #include "common/logging.h"
 #include "tensor/kernels.h"
 
 namespace ealgap {
 
-std::string ShapeToString(const Shape& shape) {
-  std::ostringstream os;
+// Storage::payload() hardcodes the header-to-payload offset.
+static_assert(kCacheAlign == 64, "Tensor storage assumes 64-byte alignment");
+
+size_t Shape::CheckedSize(size_t n) {
+  EALGAP_CHECK_LE(n, static_cast<size_t>(kMaxRank))
+      << "tensor rank above " << kMaxRank << " is unsupported";
+  return n;
+}
+
+std::ostream& operator<<(std::ostream& os, const Shape& shape) {
   os << "[";
   for (size_t i = 0; i < shape.size(); ++i) {
     if (i) os << ", ";
     os << shape[i];
   }
   os << "]";
+  return os;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << shape;
   return os.str();
 }
 
@@ -50,11 +69,28 @@ Shape BroadcastShape(const Shape& a, const Shape& b) {
   return out;
 }
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      numel_(ShapeNumel(shape_)),
-      storage_(std::make_shared<std::vector<float>>(numel_, 0.f)) {
+Tensor::Storage* Tensor::NewStorage(int64_t numel) {
+  const std::size_t bytes =
+      kCacheAlign + static_cast<std::size_t>(numel) * sizeof(float);
+  Arena* arena = CurrentArena();
+  void* base = arena ? arena->Allocate(bytes) : AlignedAlloc(bytes);
+  auto* s = new (base) Storage;
+  s->refs.store(1, std::memory_order_relaxed);
+  s->arena = arena;
+  return s;
+}
+
+void Tensor::FreeStorage(Storage* s) {
+  s->~Storage();
+  AlignedFree(s);
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   for (int64_t d : shape_) EALGAP_CHECK_GE(d, 0);
+  numel_ = ShapeNumel(shape_);
+  storage_ = NewStorage(numel_);
+  std::memset(storage_->payload(), 0,
+              static_cast<std::size_t>(numel_) * sizeof(float));
 }
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -69,14 +105,16 @@ Tensor Tensor::Full(Shape shape, float value) {
 
 Tensor Tensor::Scalar(float value) { return Full({1}, value); }
 
-Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
+Tensor Tensor::FromVector(Shape shape, const std::vector<float>& values) {
   const int64_t n = ShapeNumel(shape);
   EALGAP_CHECK_EQ(n, static_cast<int64_t>(values.size()))
       << "shape " << ShapeToString(shape);
   Tensor t;
   t.shape_ = std::move(shape);
   t.numel_ = n;
-  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.storage_ = NewStorage(n);
+  std::memcpy(t.storage_->payload(), values.data(),
+              static_cast<std::size_t>(n) * sizeof(float));
   return t;
 }
 
@@ -113,12 +151,12 @@ int64_t Tensor::dim(int64_t i) const {
 
 float* Tensor::data() {
   EALGAP_CHECK(defined());
-  return storage_->data();
+  return storage_->payload();
 }
 
 const float* Tensor::data() const {
   EALGAP_CHECK(defined());
-  return storage_->data();
+  return storage_->payload();
 }
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
@@ -131,7 +169,7 @@ float& Tensor::at(std::initializer_list<int64_t> idx) {
     off = off * shape_[i] + v;
     ++i;
   }
-  return (*storage_)[off];
+  return data()[off];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
@@ -143,7 +181,9 @@ Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
   t.numel_ = numel_;
-  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  t.storage_ = NewStorage(numel_);
+  std::memcpy(t.storage_->payload(), storage_->payload(),
+              static_cast<std::size_t>(numel_) * sizeof(float));
   return t;
 }
 
@@ -154,16 +194,19 @@ Tensor Tensor::Reshape(Shape shape) const {
   t.shape_ = std::move(shape);
   t.numel_ = numel_;
   t.storage_ = storage_;
+  t.Retain();
   return t;
 }
 
 void Tensor::CopyFrom(const Tensor& src) {
   EALGAP_CHECK(SameShape(src));
-  std::copy(src.data(), src.data() + numel_, data());
+  std::memcpy(data(), src.data(),
+              static_cast<std::size_t>(numel_) * sizeof(float));
 }
 
 void Tensor::Fill(float value) {
-  std::fill(storage_->begin(), storage_->end(), value);
+  float* p = data();
+  std::fill(p, p + numel_, value);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
@@ -174,6 +217,14 @@ void Tensor::AddInPlace(const Tensor& other) {
 
 void Tensor::ScaleInPlace(float s) {
   kernels::Active().scale_ip(data(), s, numel_);
+}
+
+bool Tensor::StorageUnique() const {
+  return storage_ && storage_->refs.load(std::memory_order_acquire) == 1;
+}
+
+bool Tensor::ArenaBacked() const {
+  return storage_ && storage_->arena != nullptr;
 }
 
 std::string Tensor::ToString() const {

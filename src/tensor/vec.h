@@ -50,6 +50,10 @@ struct VScalar {
 
   static V Load(const float* p) { return *p; }
   static void Store(float* p, V v) { *p = v; }
+  /// Aligned variants: identical semantics (a scalar load has no alignment
+  /// requirement); kept so kernels can template over the access mode.
+  static V LoadA(const float* p) { return *p; }
+  static void StoreA(float* p, V v) { *p = v; }
   static V Set1(float v) { return v; }
 
   static V Add(V a, V b) { return a + b; }
@@ -132,6 +136,11 @@ struct VSse2 {
 
   static V Load(const float* p) { return _mm_loadu_ps(p); }
   static void Store(float* p, V v) { _mm_storeu_ps(p, v); }
+  /// Aligned load/store (MOVAPS): p must be 16-byte aligned. Loads the
+  /// same bits as Load — callers switch on provable alignment only, so
+  /// results are identical by construction.
+  static V LoadA(const float* p) { return _mm_load_ps(p); }
+  static void StoreA(float* p, V v) { _mm_store_ps(p, v); }
   static V Set1(float v) { return _mm_set1_ps(v); }
 
   static V Add(V a, V b) { return _mm_add_ps(a, b); }
@@ -200,6 +209,10 @@ struct VAvx2 {
 
   static V Load(const float* p) { return _mm256_loadu_ps(p); }
   static void Store(float* p, V v) { _mm256_storeu_ps(p, v); }
+  /// Aligned load/store (VMOVAPS): p must be 32-byte aligned. Same bits as
+  /// Load; selected only when alignment is provable.
+  static V LoadA(const float* p) { return _mm256_load_ps(p); }
+  static void StoreA(float* p, V v) { _mm256_store_ps(p, v); }
   static V Set1(float v) { return _mm256_set1_ps(v); }
 
   static V Add(V a, V b) { return _mm256_add_ps(a, b); }

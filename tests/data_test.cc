@@ -149,6 +149,51 @@ TEST(GeneratorTest, PerRegionSeverityVaries) {
   }
 }
 
+TEST(RegionSeriesTest, DirectGeneratorScalesToManyRegions) {
+  RegionSeriesConfig config;
+  config.num_regions = 1000;
+  config.num_days = 6;
+  MobilitySeries series = GenerateRegionSeries(config);
+  EXPECT_EQ(series.num_regions, 1000);
+  EXPECT_EQ(series.total_steps(), 6 * 24);
+  ASSERT_EQ(series.counts.numel(), 1000 * 6 * 24);
+  const float* p = series.counts.data();
+  for (int64_t i = 0; i < series.counts.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(p[i]));
+    ASSERT_GE(p[i], 0.f);
+  }
+  // The per-region ramp: last region runs ~100x the first's volume.
+  double first = 0.0, last = 0.0;
+  for (int64_t s = 0; s < series.total_steps(); ++s) {
+    first += p[s];
+    last += p[999 * series.total_steps() + s];
+  }
+  EXPECT_GT(last, 50.0 * first);
+
+  // Deterministic for the same config.
+  MobilitySeries again = GenerateRegionSeries(config);
+  const float* q = again.counts.data();
+  for (int64_t i = 0; i < series.counts.numel(); ++i) {
+    ASSERT_EQ(p[i], q[i]);
+  }
+}
+
+TEST(RegionSeriesTest, FeedsTheDatasetPipeline) {
+  RegionSeriesConfig config;
+  config.num_regions = 50;
+  config.num_days = 40;
+  DatasetOptions options;
+  options.history_length = 5;
+  options.num_windows = 3;
+  options.norm_history = 3;
+  auto dataset =
+      SlidingWindowDataset::Create(GenerateRegionSeries(config), options);
+  ASSERT_TRUE(dataset.ok());
+  auto split = MakeChronoSplit(*dataset);
+  ASSERT_TRUE(split.ok());
+  EXPECT_GT(split->test_begin, split->train_begin);
+}
+
 TEST(GeneratorTest, RejectsInvalidConfigs) {
   auto config = SmallCity();
   config.num_regions = 100;  // more regions than stations
