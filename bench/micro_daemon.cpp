@@ -1,0 +1,162 @@
+// google-benchmark microbenchmarks of the sharded serving daemon: the
+// bounded-queue ingest edge, the steady-state virtual-time tick at several
+// fleet sizes (the number an admission-control SLO budget is built from),
+// the same tick under deliberate overload (shed path), and the
+// quarantine -> restart-from-checkpoint recovery cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/ealgap.h"
+#include "data/aggregate.h"
+#include "data/dataset.h"
+#include "data/synthetic_city.h"
+#include "serve/daemon.h"
+#include "serve/load_gen.h"
+#include "serve/shard.h"
+
+namespace {
+
+using namespace ealgap;
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(GetNumThreads()) { SetNumThreads(n); }
+  ~ScopedThreads() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+constexpr int kRegionsPerShard = 8;
+
+/// Builds a daemon fleet over slices of one synthetic city. Models are
+/// initialized but untrained (epochs=0): weight values do not change the
+/// control-plane or forward-pass cost being measured, and training would
+/// dominate suite runtime (same tradeoff as micro_serve's scale fixtures).
+std::unique_ptr<serve::Daemon> MakeFleet(int shards,
+                                         const serve::DaemonConfig& dcfg,
+                                         size_t queue_capacity,
+                                         const std::string& state_root = "") {
+  data::RegionSeriesConfig series_config;
+  series_config.num_regions = shards * kRegionsPerShard;
+  series_config.num_days = 40;
+  const data::MobilitySeries city = data::GenerateRegionSeries(series_config);
+  auto daemon = std::make_unique<serve::Daemon>(dcfg);
+  for (int s = 0; s < shards; ++s) {
+    auto slice = data::SliceRegions(city, s * kRegionsPerShard,
+                                    (s + 1) * kRegionsPerShard);
+    EALGAP_CHECK(slice.ok());
+    data::DatasetOptions dopts;
+    dopts.history_length = 5;
+    dopts.num_windows = 3;
+    dopts.norm_history = 3;
+    auto dataset =
+        data::SlidingWindowDataset::Create(std::move(slice).value(), dopts);
+    EALGAP_CHECK(dataset.ok());
+    auto split = data::MakeChronoSplit(*dataset);
+    EALGAP_CHECK(split.ok());
+    auto model = std::make_unique<core::EalgapForecaster>();
+    TrainConfig train;
+    train.epochs = 0;
+    train.seed = 11 + s;
+    EALGAP_CHECK(model->Fit(*dataset, *split, train).ok());
+    serve::ShardConfig config;
+    config.name = "s" + std::to_string(s);
+    config.queue_capacity = queue_capacity;
+    if (!state_root.empty()) config.state_dir = state_root + "/" + config.name;
+    config.guard.on_bad_value = serve::RepairPolicy::kImpute;
+    config.guard.on_gap = serve::RepairPolicy::kImpute;
+    config.guard.max_gap_steps = 4096;
+    auto shard = serve::Shard::Create(std::move(*dataset), std::move(model),
+                                      split->test_begin, config);
+    EALGAP_CHECK(shard.ok());
+    daemon->AddShard(std::move(shard).value());
+  }
+  return daemon;
+}
+
+void BM_BoundedQueuePushPop(benchmark::State& state) {
+  BoundedQueue<serve::Request> queue(1024);
+  serve::Request req;
+  req.kind = serve::RequestKind::kPredict;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    req.id = ops;
+    benchmark::DoNotOptimize(queue.TryPush(req));
+    serve::Request out;
+    benchmark::DoNotOptimize(queue.TryPop(&out));
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BoundedQueuePushPop);
+
+/// Steady-state tick: moderate load every shard keeps up with. Items =
+/// predict answers, so items/s is the fleet's serving throughput.
+void BM_DaemonTick(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ScopedThreads threads(4);
+  serve::DaemonConfig dcfg;
+  auto daemon = MakeFleet(shards, dcfg, 256);
+  serve::LoadGenConfig lcfg;
+  lcfg.num_shards = shards;
+  lcfg.phases = {{32, 4.0}};
+  serve::LoadGen gen(lcfg);
+  std::vector<int> arrivals;
+  for (auto _ : state) {
+    gen.ArrivalsAt(daemon->now_tick(), &arrivals);
+    daemon->Tick(arrivals);
+  }
+  const serve::SloReport report = daemon->Report();
+  state.SetItemsProcessed(report.served_model + report.served_degraded);
+  state.counters["shed"] = static_cast<double>(report.shed_overload_predict);
+}
+BENCHMARK(BM_DaemonTick)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+/// The same tick drowning: 64 predicts/tick against a 16-slot queue and
+/// batch_max 8. Measures the cost of REJECTING — admission control has to
+/// be much cheaper than serving, or overload cascades.
+void BM_DaemonTickOverload(benchmark::State& state) {
+  ScopedThreads threads(4);
+  serve::DaemonConfig dcfg;
+  dcfg.batch_max = 8;
+  auto daemon = MakeFleet(2, dcfg, 16);
+  serve::LoadGenConfig lcfg;
+  lcfg.num_shards = 2;
+  lcfg.phases = {{32, 64.0}};
+  serve::LoadGen gen(lcfg);
+  std::vector<int> arrivals;
+  for (auto _ : state) {
+    gen.ArrivalsAt(daemon->now_tick(), &arrivals);
+    daemon->Tick(arrivals);
+  }
+  const serve::SloReport report = daemon->Report();
+  state.SetItemsProcessed(report.predict_requests);
+  state.counters["shed"] = static_cast<double>(report.shed_overload_predict);
+}
+BENCHMARK(BM_DaemonTickOverload)->Unit(benchmark::kMicrosecond);
+
+/// Quarantine -> restart from the on-disk CRC'd checkpoint: the recovery
+/// latency a watchdog-supervised shard pays before re-entering probation.
+void BM_ShardRestartFromCheckpoint(benchmark::State& state) {
+  const std::string root = "/tmp/ealgap_bench_daemon_state";
+  auto daemon = MakeFleet(1, serve::DaemonConfig{}, 64, root);
+  serve::Shard* shard = daemon->shard(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    shard->BeginQuarantine(daemon->now_tick(), /*injected_crash=*/false);
+    state.ResumeTiming();
+    EALGAP_CHECK(shard->Restart().ok());
+  }
+}
+BENCHMARK(BM_ShardRestartFromCheckpoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -2,6 +2,12 @@
 """Compare two google-benchmark JSON files and fail on regressions.
 
 Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+       [--allow-missing]
+
+A missing or unreadable baseline fails with a one-line message naming the
+file (exit 1). With --allow-missing it warns and exits 0 instead — for
+fresh checkouts and new benchmark suites that have no recorded baseline
+yet (the first recording session creates it).
 
 Benchmarks are matched by name; a benchmark regresses when its candidate
 cpu_time exceeds baseline cpu_time by more than --threshold percent
@@ -66,10 +72,31 @@ def main():
     ap.add_argument("--absolute", action="store_true",
                     help="compare raw cpu_time ratios without factoring "
                          "out the suite-wide median shift")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="warn (exit 0) instead of failing when the "
+                         "baseline file is missing or unreadable")
     args = ap.parse_args()
 
-    base_ctx, base = load_benchmarks(args.baseline)
-    cand_ctx, cand = load_benchmarks(args.candidate)
+    try:
+        base_ctx, base = load_benchmarks(args.baseline)
+    except (OSError, ValueError) as e:
+        reason = ("no such file" if isinstance(e, FileNotFoundError)
+                  else "not valid benchmark JSON")
+        line = f"baseline {args.baseline}: {reason}"
+        if args.allow_missing:
+            print(f"WARNING: {line}; skipping comparison (--allow-missing)",
+                  file=sys.stderr)
+            return 0
+        print(f"ERROR: {line} (record one with bench_to_json.sh, or pass "
+              "--allow-missing)", file=sys.stderr)
+        return 1
+    try:
+        cand_ctx, cand = load_benchmarks(args.candidate)
+    except (OSError, ValueError) as e:
+        reason = ("no such file" if isinstance(e, FileNotFoundError)
+                  else "not valid benchmark JSON")
+        print(f"ERROR: candidate {args.candidate}: {reason}", file=sys.stderr)
+        return 1
 
     for name, ctx in (("baseline", base_ctx), ("candidate", cand_ctx)):
         stamp = ctx.get("ealgap_build_type", "unknown")

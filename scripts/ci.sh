@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: build, run the full test suite, rehearse an interrupted
 # experiment sweep (crash + resume must reproduce the clean run byte for
-# byte), TSan the concurrent serving paths, and ASan the checkpoint/resume
-# parsers.
+# byte), chaos-soak the serving daemon with faults armed, TSan the
+# concurrent serving paths, and ASan the checkpoint/resume parsers.
 #
 # Usage: scripts/ci.sh
 #   BUILD_DIR=<dir>       main build directory   (default: build)
@@ -89,6 +89,19 @@ fi
 cmp "$RESUME_TMP/clean.ckpt" "$RESUME_TMP/resumed.ckpt"
 echo "train resume: interrupted+resumed checkpoint byte-identical to clean"
 
+echo "===== chaos stage: fault-armed daemon soak ====="
+# A short soak of the sharded serving daemon with the overload and crash
+# sites armed on top of the load generator's own burst phases: queues
+# fill, shards die mid-serve and restart from their checkpoints. The tool
+# exits 3 (naming the counter that leaked) if any request or degraded
+# step ends the run unattributed, so this stage's exit 0 IS the
+# zero-unattributed assertion. The replay-digest line in the output is
+# the hook for debugging a failure by re-running the same seeds.
+EALGAP_FAULTS="daemon.queue.full:p=0.05:seed=11,daemon.shard.crash:p=0.01:seed=13" \
+  "$TOOL" daemon --shards 3 --ticks 200 --days 40 --epochs 0 \
+  --state-dir "$RESUME_TMP/daemon_state" | tail -n 2
+echo "daemon soak: fault-armed run exited clean with full attribution"
+
 echo "===== alloc-free stage: zero-allocation serve contract ====="
 # The counting run: alloc_guard_test links a malloc-family interposition
 # hook and asserts 0 heap allocations over 240-step healthy AND
@@ -102,11 +115,15 @@ echo "===== TSan: concurrent serving + training paths ====="
 # need, to force interleavings. The fault suite rides along: fault
 # decisions are mutex-serialized and must stay race-free under load.
 cmake -B "$TSAN_BUILD_DIR" -S . -G Ninja -DEALGAP_SANITIZE=thread
+# daemon_test is the TSan leg of the daemon soak: the multi-producer
+# queue stress and the cross-shard ParallelFor serve fan-out both run
+# with sanitized interleavings here.
 cmake --build "$TSAN_BUILD_DIR" -j --target \
   serve_parity_test determinism_test thread_pool_test ops_parallel_test \
-  fault_injection_test train_resume_test
+  fault_injection_test train_resume_test daemon_test
 for t in serve_parity_test determinism_test thread_pool_test \
-         ops_parallel_test fault_injection_test train_resume_test; do
+         ops_parallel_test fault_injection_test train_resume_test \
+         daemon_test; do
   echo "----- TSan: $t -----"
   EALGAP_NUM_THREADS=4 "./$TSAN_BUILD_DIR/tests/$t"
 done
@@ -136,7 +153,8 @@ if [[ "${EALGAP_CI_BENCH:-0}" == "1" ]]; then
   BENCH_TMP="$(mktemp -d)"
   trap 'rm -rf "$BENCH_TMP"' EXIT
   for pair in "micro_tensor_ops:BENCH_tensor_ops.json" \
-              "micro_serve:BENCH_serve.json"; do
+              "micro_serve:BENCH_serve.json" \
+              "micro_daemon:BENCH_daemon.json"; do
     target="${pair%%:*}"
     baseline="${pair##*:}"
     if [[ ! -f "$baseline" ]]; then

@@ -1,0 +1,131 @@
+#ifndef EALGAP_COMMON_BOUNDED_QUEUE_H_
+#define EALGAP_COMMON_BOUNDED_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace ealgap {
+
+/// Bounded lock-free multi-producer queue (Vyukov ring): the daemon's
+/// ingest edge. Capacity is fixed at construction — a full queue makes
+/// TryPush() return false *immediately*, which is the backpressure signal
+/// admission control turns into an attributed shed. Nothing here ever
+/// blocks, allocates after construction, or grows: overload cannot
+/// translate into unbounded memory, only into rejected pushes.
+///
+/// The algorithm is the classic sequence-stamped ring (Vyukov MPMC, used
+/// here MPSC): each cell carries an atomic sequence number that encodes
+/// whether it is free for the producer of ticket `t` (seq == t) or holds
+/// the element of ticket `t` (seq == t + 1). Producers claim tickets with
+/// a CAS loop on `tail_`; the consumer walks `head_` without contention
+/// (single consumer), so TryPop is a load + store on the popped cell.
+///
+/// Progress/failure semantics:
+///  * TryPush returns false only when the queue is full at the claimed
+///    ticket (the ring has wrapped onto an unconsumed cell).
+///  * TryPop returns false only when the queue is empty (no committed
+///    cell at head). A producer that has claimed a ticket but not yet
+///    stored its element makes the consumer treat the queue as empty at
+///    that cell — pops never observe half-constructed elements.
+///  * Elements are consumed in ticket order (FIFO across all producers'
+///    committed pushes).
+///
+/// T must be nothrow-movable; elements are moved in and out.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (masking beats
+  /// modulo on the hot path); minimum 2.
+  explicit BoundedQueue(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Attempts to enqueue; false means FULL (never spurious). Safe from any
+  /// number of threads.
+  bool TryPush(T value) {
+    size_t ticket = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[ticket & mask_];
+      const size_t seq = cell.seq.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(ticket);
+      if (diff == 0) {
+        // Cell free for this ticket: claim it.
+        if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(ticket + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: `ticket` was reloaded, retry with the new one.
+      } else if (diff < 0) {
+        // The ring wrapped onto a cell the consumer has not drained: full.
+        return false;
+      } else {
+        // Another producer claimed this ticket; chase the tail.
+        ticket = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Attempts to dequeue into *out; false means empty (or the element at
+  /// head is still being committed). Single consumer only.
+  bool TryPop(T* out) {
+    const size_t ticket = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[ticket & mask_];
+    const size_t seq = cell.seq.load(std::memory_order_acquire);
+    const intptr_t diff =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(ticket + 1);
+    if (diff < 0) return false;  // not yet committed: empty
+    *out = std::move(cell.value);
+    // Free the cell for the producer one lap ahead.
+    cell.seq.store(ticket + capacity_, std::memory_order_release);
+    head_.store(ticket + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Instantaneous occupancy estimate (exact when producers are quiet;
+  /// used for reporting, never for correctness).
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  // Head and tail on separate cache lines so the consumer's head updates
+  // do not false-share with producer CAS traffic.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+}  // namespace ealgap
+
+#endif  // EALGAP_COMMON_BOUNDED_QUEUE_H_

@@ -31,10 +31,11 @@ uint64_t HashName(const std::string& name) {
 /// instead of silently never firing. Tests may arm arbitrary sites under
 /// the reserved "test." namespace.
 constexpr const char* kKnownSites[] = {
-    "nn.predict.nan",  "nn.predict.error", "nn.predict.delay",
-    "io.open.fail",    "io.write.fail",    "io.write.partial",
-    "train.step.nan",  "train.step.error", "train.step.delay",
-    "train.eval.error",
+    "nn.predict.nan",    "nn.predict.error",  "nn.predict.delay",
+    "io.open.fail",      "io.write.fail",     "io.write.partial",
+    "io.dir.fsync.fail", "train.step.nan",    "train.step.error",
+    "train.step.delay",  "train.eval.error",  "daemon.queue.full",
+    "daemon.shard.stall", "daemon.shard.crash",
 };
 
 bool IsKnownSite(const std::string& site) {

@@ -34,7 +34,7 @@ namespace fault {
 ///   EALGAP_FAULTS="nn.predict.nan:p=0.2:seed=11,io.write.fail:every=3:max=2"
 ///
 /// Specs are validated when armed: a site name that is not one of the
-/// production sites (nn.predict.*, io.*, train.*) is rejected with a
+/// production sites (nn.predict.*, io.*, train.*, daemon.*) is rejected with a
 /// ParseError naming the bad token, so a typo'd EALGAP_FAULTS clause can
 /// never silently arm nothing. Sites under the reserved "test." namespace
 /// are always accepted (tests use them to probe harness semantics).

@@ -1,5 +1,6 @@
 #include "common/file_util.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -14,8 +15,35 @@ namespace ealgap {
 
 namespace {
 
-/// One write attempt: temp file -> write -> flush -> fsync -> rename.
-/// Uses stdio so the fsync can target the real descriptor.
+/// fsyncs the directory containing `path`, so the rename that just
+/// published a file inside it is itself durable: POSIX only guarantees
+/// the *file contents* survived the pre-rename fsync — the directory
+/// entry pointing at them lives in the directory's own metadata, and a
+/// crash between rename and the next journal flush can otherwise forget
+/// the rename entirely (leaving the old file, or nothing).
+Status FsyncParentDir(const std::string& path) {
+  if (EALGAP_FAULT("io.dir.fsync.fail")) {
+    return Status::IoError("injected directory fsync failure for " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory " + dir + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync of directory " + dir + " failed");
+  }
+  return Status::OK();
+}
+
+/// One write attempt: temp file -> write -> flush -> fsync -> rename ->
+/// fsync parent directory. Uses stdio so the fsync can target the real
+/// descriptor.
 Status TryWriteOnce(const std::string& path, const std::string& tmp,
                     const std::string& content) {
   if (EALGAP_FAULT("io.open.fail")) {
@@ -58,7 +86,11 @@ Status TryWriteOnce(const std::string& path, const std::string& tmp,
     std::remove(tmp.c_str());
     return Status::IoError("rename " + tmp + " -> " + path + " failed");
   }
-  return Status::OK();
+  // The rename happened; now make it durable. On failure the destination
+  // already holds the new content but its directory entry may not survive
+  // a crash, so the attempt reports failure and the retry loop re-runs the
+  // whole write (idempotent: same content, same destination).
+  return FsyncParentDir(path);
 }
 
 }  // namespace

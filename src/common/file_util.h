@@ -20,18 +20,24 @@ struct AtomicWriteOptions {
 /// Durably replaces the contents of `path` with `content`, or leaves the
 /// previous file untouched — never a torn mix of the two.
 ///
-/// Writes `path`.tmp.<pid>, flushes and fsyncs it, then renames over
-/// `path` (atomic within a filesystem per POSIX rename). A reader — or a
-/// crash — at any point observes either the complete old file or the
-/// complete new one. Failed attempts remove their temp file and retry per
-/// `options`; the final failure returns IoError with the cause.
+/// Writes `path`.tmp.<pid>, flushes and fsyncs it, renames over `path`
+/// (atomic within a filesystem per POSIX rename), then fsyncs the parent
+/// directory so the rename itself survives a crash — without that final
+/// step a power cut right after checkpoint publish can forget the rename
+/// and resurrect the old file. A reader — or a crash — at any point
+/// observes either the complete old file or the complete new one. Failed
+/// attempts remove their temp file and retry per `options`; the final
+/// failure returns IoError with the cause.
 ///
-/// Fault sites (see common/fault_injection.h), all pre-rename so an
-/// injected failure can never tear the destination:
-///   "io.open.fail"      temp file creation fails
-///   "io.write.fail"     the write reports an error
-///   "io.write.partial"  only half the bytes reach the temp file before
-///                       the write fails (simulated crash mid-write)
+/// Fault sites (see common/fault_injection.h). The first three are
+/// pre-rename so an injected failure can never tear the destination;
+/// the directory-fsync site fires after the rename (the new content is
+/// in place but reported non-durable, and the attempt is retried):
+///   "io.open.fail"       temp file creation fails
+///   "io.write.fail"      the write reports an error
+///   "io.write.partial"   only half the bytes reach the temp file before
+///                        the write fails (simulated crash mid-write)
+///   "io.dir.fsync.fail"  the parent-directory fsync after rename fails
 Status WriteFileAtomic(const std::string& path, const std::string& content,
                        const AtomicWriteOptions& options = {});
 

@@ -1,6 +1,9 @@
 #include "data/aggregate.h"
 
 #include <map>
+#include <string>
+
+#include "tensor/ops.h"
 
 namespace ealgap {
 namespace data {
@@ -70,6 +73,22 @@ Result<MobilitySeries> AggregateTrips(const std::vector<TripRecord>& trips,
   }
   if (dropped != nullptr) *dropped = local_dropped;
   return series;
+}
+
+Result<MobilitySeries> SliceRegions(const MobilitySeries& series, int begin,
+                                    int end) {
+  if (begin < 0 || end > series.num_regions || begin >= end) {
+    return Status::InvalidArgument(
+        "SliceRegions: bad region range [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") of " + std::to_string(series.num_regions));
+  }
+  MobilitySeries out;
+  out.counts = ops::Slice(series.counts, 0, begin, end);
+  out.num_regions = end - begin;
+  out.steps_per_day = series.steps_per_day;
+  out.start_date = series.start_date;
+  out.num_days = series.num_days;
+  return out;
 }
 
 }  // namespace data

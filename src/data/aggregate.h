@@ -47,6 +47,14 @@ Result<MobilitySeries> AggregateTrips(const std::vector<TripRecord>& trips,
                                       int num_days, size_t* dropped = nullptr,
                                       CountKind kind = CountKind::kPickups);
 
+/// Sub-series holding regions [begin, end) of `series`, same calendar.
+/// This is the serving daemon's shard-partitioning primitive: one city
+/// series splits into per-shard slices that each get their own model and
+/// predictor. The slice owns its counts (a copy), so shards never share
+/// mutable state.
+Result<MobilitySeries> SliceRegions(const MobilitySeries& series, int begin,
+                                    int end);
+
 }  // namespace data
 }  // namespace ealgap
 

@@ -1,0 +1,40 @@
+#include "serve/load_gen.h"
+
+namespace ealgap {
+namespace serve {
+
+LoadGen::LoadGen(LoadGenConfig config) : config_(std::move(config)) {
+  if (config_.phases.empty()) config_.phases.push_back(LoadPhase{});
+  if (config_.num_shards < 1) config_.num_shards = 1;
+  for (const LoadPhase& phase : config_.phases) {
+    cycle_ticks_ += phase.ticks > 0 ? phase.ticks : 1;
+  }
+  // Independent per-shard streams forked off one seeded parent, so the
+  // schedule for shard s is invariant to the total shard count up to s.
+  Rng parent(config_.seed);
+  rngs_.reserve(config_.num_shards);
+  for (int s = 0; s < config_.num_shards; ++s) {
+    rngs_.push_back(parent.Fork());
+  }
+}
+
+double LoadGen::RateAt(int64_t tick) const {
+  int64_t offset = tick % cycle_ticks_;
+  for (const LoadPhase& phase : config_.phases) {
+    const int64_t len = phase.ticks > 0 ? phase.ticks : 1;
+    if (offset < len) return phase.predict_rate;
+    offset -= len;
+  }
+  return config_.phases.back().predict_rate;
+}
+
+void LoadGen::ArrivalsAt(int64_t tick, std::vector<int>* out) {
+  const double rate = RateAt(tick);
+  out->resize(static_cast<size_t>(config_.num_shards));
+  for (int s = 0; s < config_.num_shards; ++s) {
+    (*out)[s] = static_cast<int>(rngs_[static_cast<size_t>(s)].Poisson(rate));
+  }
+}
+
+}  // namespace serve
+}  // namespace ealgap

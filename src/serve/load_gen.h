@@ -1,0 +1,60 @@
+#ifndef EALGAP_SERVE_LOAD_GEN_H_
+#define EALGAP_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ealgap {
+namespace serve {
+
+/// One phase of the open-loop arrival process: `ticks` daemon ticks at a
+/// mean of `predict_rate` PredictNext requests per shard per tick. Phases
+/// cycle, so a {steady, burst} pair produces the periodic overload waves
+/// the admission-control and shed paths are tested against.
+struct LoadPhase {
+  int64_t ticks = 32;
+  double predict_rate = 2.0;
+};
+
+struct LoadGenConfig {
+  /// Cycled in order. Empty falls back to one steady phase.
+  std::vector<LoadPhase> phases;
+  uint64_t seed = 17;
+  int num_shards = 1;
+};
+
+/// Deterministic open-loop load generator. Arrivals are OPEN loop: the
+/// process emits requests at its own seeded pace regardless of whether the
+/// daemon keeps up — which is exactly what makes overload reproducible
+/// (a closed-loop generator would politely slow down and never fill a
+/// queue). Per-shard arrival streams come from independent forked RNGs,
+/// so adding a shard never perturbs another shard's schedule, and the
+/// whole schedule is a pure function of (seed, tick): two runs with the
+/// same config replay bit-identical arrival sequences.
+class LoadGen {
+ public:
+  explicit LoadGen(LoadGenConfig config);
+
+  /// Number of PredictNext arrivals at each shard for tick `tick`.
+  /// Must be called with strictly increasing ticks (the RNG streams
+  /// advance one draw per shard per call); `out` is resized to
+  /// num_shards.
+  void ArrivalsAt(int64_t tick, std::vector<int>* out);
+
+  /// Mean predict rate of the phase containing `tick` (cycled).
+  double RateAt(int64_t tick) const;
+
+  const LoadGenConfig& config() const { return config_; }
+
+ private:
+  LoadGenConfig config_;
+  std::vector<Rng> rngs_;   // one independent stream per shard
+  int64_t cycle_ticks_ = 0;  // sum of phase lengths
+};
+
+}  // namespace serve
+}  // namespace ealgap
+
+#endif  // EALGAP_SERVE_LOAD_GEN_H_

@@ -112,6 +112,13 @@ class ResilientPredictor {
   const ResilienceOptions& options() const { return options_; }
   OnlinePredictor* inner() { return inner_; }
 
+  /// Rebinds the model-attempt deadline before a step. The serving daemon
+  /// uses this to propagate each request's *remaining* budget into the
+  /// chain: a request that has already burned most of its deadline in the
+  /// queue gets a tighter model cap, so a late answer degrades instead of
+  /// blocking the serve loop. <= 0 disables the deadline.
+  void set_deadline_ms(double ms) { options_.deadline_ms = ms; }
+
  private:
   /// First fallback level at or below `from` whose values are all finite,
   /// written into `out` (values overwritten, capacity reused).

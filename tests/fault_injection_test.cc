@@ -785,5 +785,153 @@ TEST_F(FaultServeTest, FaultArmedFullReplayIsAttributedAndBitIdentical) {
   EXPECT_GT(state.by_cause[static_cast<int>(DegradeCause::kProbation)], 0);
 }
 
+// --- durable renames ---------------------------------------------------------
+
+// WriteFileAtomic's rename is only durable once the PARENT DIRECTORY is
+// fsynced — the directory entry lives in directory metadata, not the file.
+// io.dir.fsync.fail fires after the rename already landed.
+
+TEST(AtomicWriteTest, DirectoryFsyncFailureIsRetriedToSuccess) {
+  const std::string path = ::testing::TempDir() + "/aw_dirsync.txt";
+  fault::ScopedFaults faults("io.dir.fsync.fail:every=1:max=1");
+  ASSERT_TRUE(WriteFileAtomic(path, "durable\n").ok());
+  EXPECT_EQ(ReadAll(path), "durable\n");
+  const auto snap = fault::Snapshot();
+  ASSERT_EQ(snap.count("io.dir.fsync.fail"), 1u);
+  EXPECT_EQ(snap.at("io.dir.fsync.fail").fires, 1);
+}
+
+TEST(AtomicWriteTest, PersistentDirectoryFsyncFailureSurfacesAnError) {
+  const std::string path = ::testing::TempDir() + "/aw_dirsync_fail.txt";
+  fault::ScopedFaults faults("io.dir.fsync.fail:every=1");
+  const Status st = WriteFileAtomic(path, "maybe durable\n");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // The failure is about DURABILITY, not content: every attempt's rename
+  // landed before its directory fsync failed, so the file reads back fine
+  // — the error tells the caller the entry may not survive a power cut.
+  EXPECT_EQ(ReadAll(path), "maybe durable\n");
+}
+
+// --- resilience edges: deadlines and recovery hysteresis ---------------------
+
+// recovery_successes at its boundaries. 0 and 1 both promote on the FIRST
+// healthy probe after a failure (the probe's own healthy answer is served);
+// a large value pins the chain in probation for the rest of the run.
+TEST_F(FaultServeTest, RecoveryHysteresisBoundaryValues) {
+  const int64_t begin = split_->test_begin;
+  for (const int recovery : {0, 1}) {
+    auto inner = NewPredictor();
+    ResilienceOptions options;
+    options.recovery_successes = recovery;
+    ResilientPredictor resilient(&inner, options);
+    fault::ScopedFaults faults("nn.predict.nan:every=1:max=1");
+    for (int k = 0; k < 6; ++k) {
+      auto served = resilient.PredictNext();
+      ASSERT_TRUE(served.ok());
+      if (k == 0) {
+        EXPECT_EQ(served->cause, DegradeCause::kNonFinite) << recovery;
+      } else {
+        // No probation window at 0 or 1: healthy probe => model, served.
+        EXPECT_EQ(served->cause, DegradeCause::kNone)
+            << "recovery=" << recovery << " step " << k;
+        EXPECT_EQ(served->source, FallbackLevel::kFullModel);
+      }
+      ASSERT_TRUE(resilient.Observe(StepTruth(*dataset_, begin + k)).ok());
+    }
+    EXPECT_EQ(resilient.degradation().degraded_steps, 1) << recovery;
+  }
+
+  {
+    auto inner = NewPredictor();
+    ResilienceOptions options;
+    options.recovery_successes = 1000;  // unreachable within the run
+    ResilientPredictor resilient(&inner, options);
+    fault::ScopedFaults faults("nn.predict.nan:every=1:max=1");
+    for (int k = 0; k < 10; ++k) {
+      auto served = resilient.PredictNext();
+      ASSERT_TRUE(served.ok());
+      EXPECT_EQ(served->cause, k == 0 ? DegradeCause::kNonFinite
+                                      : DegradeCause::kProbation)
+          << "step " << k;
+      EXPECT_NE(served->source, FallbackLevel::kFullModel) << "step " << k;
+      ASSERT_TRUE(resilient.Observe(StepTruth(*dataset_, begin + k)).ok());
+    }
+    EXPECT_EQ(resilient.degradation().degraded_steps, 10);
+    EXPECT_TRUE(resilient.degradation().degraded());  // still in probation
+  }
+}
+
+// After re-promotion the chain is a pure passthrough again: every healthy
+// step's values are bit-identical to a predictor that never faulted.
+TEST_F(FaultServeTest, RepromotedChainIsBitIdenticalToClean) {
+  const int64_t begin = split_->test_begin;
+  const int kSteps = 20;
+  std::vector<std::vector<double>> base;
+  {
+    fault::ScopedFaults off("");
+    auto clean = NewPredictor();
+    for (int k = 0; k < kSteps; ++k) {
+      auto pred = clean.PredictNext();
+      ASSERT_TRUE(pred.ok());
+      base.push_back(std::move(pred).value());
+      ASSERT_TRUE(clean.Observe(StepTruth(*dataset_, begin + k)).ok());
+    }
+  }
+  auto inner = NewPredictor();
+  ResilienceOptions options;
+  options.recovery_successes = 2;
+  ResilientPredictor resilient(&inner, options);
+  // One failure at step 3; probation at 4; promotion serves at 5.
+  fault::ScopedFaults faults("nn.predict.error:every=4:max=1");
+  for (int k = 0; k < kSteps; ++k) {
+    auto served = resilient.PredictNext();
+    ASSERT_TRUE(served.ok());
+    if (k >= 5) {
+      EXPECT_EQ(served->source, FallbackLevel::kFullModel) << "step " << k;
+      ASSERT_EQ(served->values, base[static_cast<size_t>(k)])
+          << "post-promotion step " << k << " is not a clean passthrough";
+    }
+    ASSERT_TRUE(resilient.Observe(StepTruth(*dataset_, begin + k)).ok());
+  }
+}
+
+// The daemon rebinds each batch's remaining budget via set_deadline_ms():
+// the SAME chain must enforce a deadline one step and ignore it the next.
+TEST_F(FaultServeTest, DeadlineRebindsPerStep) {
+  const int64_t begin = split_->test_begin;
+  auto inner = NewPredictor();
+  ResilienceOptions options;
+  options.deadline_ms = 0.0;  // start unbounded
+  options.recovery_successes = 1;
+  ResilientPredictor resilient(&inner, options);
+  fault::ScopedFaults faults("nn.predict.delay:every=1:ms=120");
+
+  // Unbounded: the injected 120ms delay is slow but not a failure.
+  auto served = resilient.PredictNext();
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->cause, DegradeCause::kNone);
+  EXPECT_GE(served->model_latency_ms, 100.0);
+  ASSERT_TRUE(resilient.Observe(StepTruth(*dataset_, begin)).ok());
+
+  // A tight budget arrives: the same delay now degrades with kDeadline.
+  resilient.set_deadline_ms(30.0);
+  served = resilient.PredictNext();
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->cause, DegradeCause::kDeadline);
+  EXPECT_EQ(served->source, FallbackLevel::kMatchedMean);
+  ASSERT_TRUE(resilient.Observe(StepTruth(*dataset_, begin + 1)).ok());
+
+  // Budget relaxes again: the healthy (if slow) probe re-promotes.
+  resilient.set_deadline_ms(0.0);
+  served = resilient.PredictNext();
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->cause, DegradeCause::kNone);
+  EXPECT_EQ(served->source, FallbackLevel::kFullModel);
+  EXPECT_EQ(resilient.degradation()
+                .by_cause[static_cast<int>(DegradeCause::kDeadline)],
+            1);
+}
+
 }  // namespace
 }  // namespace ealgap

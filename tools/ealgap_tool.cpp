@@ -43,6 +43,26 @@
 //       back from a fallback. Arm EALGAP_FAULTS (see
 //       src/common/fault_injection.h) to rehearse failures.
 //
+//   daemon    [--shards N] [--regions-per-shard R] [--days D] [--epochs E]
+//             [--ticks T] [--seed S] [--threads W] [--state-dir DIR]
+//             [--queue-capacity C] [--batch-max B] [--deadline-ticks K]
+//             [--ms-per-tick MS] [--model-deadline-ms MS]
+//             [--checkpoint-every K] [--steady-rate X] [--steady-ticks A]
+//             [--burst-rate Y] [--burst-ticks B] [--load-seed S]
+//       Overload-safe sharded serving soak (DESIGN.md §8f): builds a
+//       synthetic fleet of N shards (R regions each), fits a small EALGAP
+//       model per shard, and drives T virtual-time ticks of seeded
+//       open-loop load (cycling steady/burst phases) through bounded
+//       queues, admission control, deadline budgets, and the
+//       watchdog-supervised restart path. Prints the SLO report
+//       (throughput, latency percentiles, full shed/degraded/restart
+//       attribution, per-region guard quarantines) and the replay digest;
+//       exits non-zero if any request went unattributed. --state-dir
+//       enables on-disk CRC'd checkpoints so restarts rehearse the
+//       recover-from-disk path. Arm EALGAP_FAULTS with daemon.queue.full /
+//       daemon.shard.stall / daemon.shard.crash (plus the nn.* sites) for
+//       chaos soaks.
+//
 // Exit code 0 on success; errors go to stderr.
 
 #include <algorithm>
@@ -51,17 +71,21 @@
 #include <map>
 #include <sstream>
 
+#include "common/checksum.h"
 #include "common/flags.h"
 #include "common/table_printer.h"
-#include "serve/resilient_predictor.h"
+#include "common/thread_pool.h"
 #include "core/ealgap.h"
 #include "core/experiment.h"
 #include "data/aggregate.h"
 #include "data/cleaning.h"
 #include "data/dataset.h"
 #include "data/partition.h"
+#include "data/synthetic_city.h"
 #include "data/trip.h"
+#include "serve/daemon.h"
 #include "serve/online_predictor.h"
+#include "serve/resilient_predictor.h"
 #include "stats/metrics.h"
 
 namespace {
@@ -173,6 +197,35 @@ int BuildPrepared(const Flags& flags, core::PreparedData* prepared) {
   if (!split.ok()) return Fail(split.status());
   prepared->split = *split;
   return 0;
+}
+
+/// Per-region guard-quarantine summary: the regions whose inputs tripped
+/// the guard most, worst first. Quiet fleets print a one-liner instead of
+/// an empty table.
+void PrintRegionQuarantines(const std::vector<int64_t>& quarantine) {
+  std::vector<std::pair<int64_t, int>> worst;
+  for (size_t r = 0; r < quarantine.size(); ++r) {
+    if (quarantine[r] > 0) {
+      worst.emplace_back(quarantine[r], static_cast<int>(r));
+    }
+  }
+  if (worst.empty()) {
+    std::cout << "guard quarantines by region: none\n";
+    return;
+  }
+  std::sort(worst.begin(), worst.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  const size_t shown = std::min<size_t>(worst.size(), 10);
+  TablePrinter table("guard quarantines by region (" +
+                         std::to_string(worst.size()) + " regions, top " +
+                         std::to_string(shown) + ")",
+                     {"region", "quarantined-values"});
+  for (size_t i = 0; i < shown; ++i) {
+    table.AddRow({std::to_string(worst[i].second),
+                  std::to_string(worst[i].first)});
+  }
+  table.Print(std::cout);
 }
 
 void PrintMetrics(const std::string& title, const stats::MetricReport& m) {
@@ -441,6 +494,201 @@ int Serve(const Flags& flags) {
              std::to_string(gs.gap_steps_filled),
              std::to_string(gs.rejected_observations)});
   gt.Print(std::cout);
+  std::vector<int64_t> quarantine(gs.quarantine.begin(), gs.quarantine.end());
+  PrintRegionQuarantines(quarantine);
+  return 0;
+}
+
+int Daemon(const Flags& flags) {
+  const int shards = static_cast<int>(flags.GetInt("shards", 4));
+  const int regions_per_shard =
+      static_cast<int>(flags.GetInt("regions-per-shard", 8));
+  const int days = static_cast<int>(flags.GetInt("days", 30));
+  const int epochs = static_cast<int>(flags.GetInt("epochs", 1));
+  const int64_t ticks = flags.GetInt("ticks", 256);
+  if (shards < 1 || regions_per_shard < 1 || ticks < 1) {
+    std::cerr << "error: --shards, --regions-per-shard, --ticks must be >= 1\n";
+    return 1;
+  }
+  if (flags.Has("threads")) {
+    SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
+
+  // One synthetic city, partitioned into contiguous region slices — each
+  // slice gets its own dataset, fitted model, and supervised shard.
+  data::RegionSeriesConfig series_config;
+  series_config.num_regions = shards * regions_per_shard;
+  series_config.num_days = days;
+  series_config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const data::MobilitySeries city = data::GenerateRegionSeries(series_config);
+
+  serve::DaemonConfig daemon_config;
+  daemon_config.batch_max = static_cast<int>(flags.GetInt("batch-max", 64));
+  daemon_config.deadline_ticks = flags.GetInt("deadline-ticks", 8);
+  daemon_config.ms_per_tick = flags.GetDouble("ms-per-tick", 10.0);
+  daemon_config.model_deadline_ms =
+      flags.GetDouble("model-deadline-ms", 50.0);
+  serve::Daemon daemon(daemon_config);
+
+  const std::string state_dir = flags.GetString("state-dir", "");
+  for (int s = 0; s < shards; ++s) {
+    auto slice = data::SliceRegions(city, s * regions_per_shard,
+                                    (s + 1) * regions_per_shard);
+    if (!slice.ok()) return Fail(slice.status());
+    data::DatasetOptions dopts;
+    dopts.history_length = 5;
+    dopts.num_windows = 3;
+    dopts.norm_history = 3;
+    auto dataset =
+        data::SlidingWindowDataset::Create(std::move(slice).value(), dopts);
+    if (!dataset.ok()) return Fail(dataset.status());
+    auto split = data::MakeChronoSplit(*dataset);
+    if (!split.ok()) return Fail(split.status());
+    auto model = std::make_unique<core::EalgapForecaster>();
+    TrainConfig train;
+    train.epochs = epochs;
+    train.learning_rate = static_cast<float>(flags.GetDouble("lr", 3e-3));
+    train.seed = flags.GetInt("seed", 7) + s;  // per-shard init streams
+    Status fit = model->Fit(*dataset, *split, train);
+    if (!fit.ok()) return Fail(fit);
+
+    serve::ShardConfig shard_config;
+    shard_config.name = "shard" + std::to_string(s);
+    shard_config.queue_capacity =
+        static_cast<size_t>(flags.GetInt("queue-capacity", 128));
+    shard_config.checkpoint_every_steps =
+        static_cast<int>(flags.GetInt("checkpoint-every", 16));
+    if (!state_dir.empty()) {
+      shard_config.state_dir = state_dir + "/" + shard_config.name;
+    }
+    // Steps lost while a shard is quarantined come back as a feed gap on
+    // its first post-restart observe; impute-with-generous-window absorbs
+    // them instead of rejecting the feed forever.
+    shard_config.guard.on_bad_value = serve::RepairPolicy::kImpute;
+    shard_config.guard.on_gap = serve::RepairPolicy::kImpute;
+    shard_config.guard.max_gap_steps = 4096;
+    shard_config.resilience.recovery_successes =
+        static_cast<int>(flags.GetInt("recovery", 3));
+    auto shard = serve::Shard::Create(
+        std::move(*dataset), std::move(model), split->test_begin,
+        shard_config, [](const std::string& path) {
+          return core::LoadForecasterFromCheckpoint(path);
+        });
+    if (!shard.ok()) return Fail(shard.status());
+    daemon.AddShard(std::move(shard).value());
+  }
+
+  serve::LoadGenConfig load_config;
+  load_config.num_shards = shards;
+  load_config.seed = static_cast<uint64_t>(flags.GetInt("load-seed", 17));
+  serve::LoadPhase steady;
+  steady.ticks = flags.GetInt("steady-ticks", 48);
+  steady.predict_rate = flags.GetDouble("steady-rate", 2.0);
+  serve::LoadPhase burst;
+  burst.ticks = flags.GetInt("burst-ticks", 16);
+  burst.predict_rate = flags.GetDouble("burst-rate", 24.0);
+  load_config.phases = {steady, burst};
+  serve::LoadGen load(load_config);
+
+  std::cout << "daemon soak: " << shards << " shards x "
+            << regions_per_shard << " regions, " << ticks
+            << " ticks, load seed " << load_config.seed << "\n";
+  const serve::SloReport report = daemon.Run(&load, ticks);
+
+  TablePrinter slo("SLO (" + std::to_string(report.ticks) + " ticks, " +
+                       TablePrinter::Num(report.wall_seconds) + " s)",
+                   {"answers/s", "mean-ms", "p50-ms", "p95-ms", "p99-ms"});
+  slo.AddRow({TablePrinter::Num(report.throughput_rps),
+              TablePrinter::Num(report.mean_ms),
+              TablePrinter::Num(report.p50_ms),
+              TablePrinter::Num(report.p95_ms),
+              TablePrinter::Num(report.p99_ms)});
+  slo.Print(std::cout);
+
+  TablePrinter pt("predict attribution (" +
+                      std::to_string(report.predict_requests) + " requests)",
+                  {"model", "degraded", "expired", "shed-overload",
+                   "shed-quarantine", "queued"});
+  pt.AddRow({std::to_string(report.served_model),
+             std::to_string(report.served_degraded),
+             std::to_string(report.expired_fallback),
+             std::to_string(report.shed_overload_predict),
+             std::to_string(report.shed_quarantine_predict),
+             std::to_string(report.queued_predict)});
+  pt.Print(std::cout);
+
+  TablePrinter ot("observe attribution (" +
+                      std::to_string(report.observe_requests) + " requests)",
+                  {"applied", "guard-rejected", "shed-overload",
+                   "shed-quarantine", "queued"});
+  ot.AddRow({std::to_string(report.observes_applied),
+             std::to_string(report.observes_guard_rejected),
+             std::to_string(report.shed_overload_observe),
+             std::to_string(report.shed_quarantine_observe),
+             std::to_string(report.queued_observe)});
+  ot.Print(std::cout);
+
+  TablePrinter dt("degraded answers by cause (" +
+                      std::to_string(report.served_degraded) + " of " +
+                      std::to_string(report.served_model +
+                                     report.served_degraded) +
+                      " served)",
+                  {"non-finite", "model-error", "deadline", "probation"});
+  auto cause = [&](serve::DegradeCause c) {
+    return std::to_string(report.degraded_by_cause[static_cast<int>(c)]);
+  };
+  dt.AddRow({cause(serve::DegradeCause::kNonFinite),
+             cause(serve::DegradeCause::kModelError),
+             cause(serve::DegradeCause::kDeadline),
+             cause(serve::DegradeCause::kProbation)});
+  dt.Print(std::cout);
+
+  TablePrinter st("supervisor",
+                  {"crashes", "stall-ticks", "quarantines", "restarts",
+                   "from-ckpt", "ckpts", "ckpt-fail"});
+  st.AddRow({std::to_string(report.crashes_injected),
+             std::to_string(report.stall_ticks_injected),
+             std::to_string(report.watchdog_quarantines),
+             std::to_string(report.restarts),
+             std::to_string(report.restarts_from_checkpoint),
+             std::to_string(report.checkpoints_written),
+             std::to_string(report.checkpoint_failures)});
+  st.Print(std::cout);
+
+  TablePrinter ht("shards", {"name", "health", "quarantines", "restarts",
+                             "observes", "degraded"});
+  std::vector<int64_t> fleet_quarantine;
+  for (int s = 0; s < daemon.num_shards(); ++s) {
+    serve::Shard* sh = daemon.shard(s);
+    const serve::ShardTotals t = sh->Totals();
+    ht.AddRow({sh->name(), serve::ShardHealthName(sh->health()),
+               std::to_string(t.quarantines), std::to_string(t.restarts),
+               std::to_string(t.observes_applied),
+               std::to_string(t.predicts_degraded)});
+    // Shard-local region q maps to city region s * regions_per_shard + q.
+    for (size_t r = 0; r < t.quarantine_by_region.size(); ++r) {
+      const size_t global =
+          static_cast<size_t>(s) * static_cast<size_t>(regions_per_shard) + r;
+      if (fleet_quarantine.size() <= global) {
+        fleet_quarantine.resize(global + 1, 0);
+      }
+      fleet_quarantine[global] += t.quarantine_by_region[r];
+    }
+  }
+  ht.Print(std::cout);
+  PrintRegionQuarantines(fleet_quarantine);
+
+  std::cout << "replay digest: " << Crc32Hex(daemon.digest()) << "\n";
+  const int64_t bad_predicts = report.UnattributedPredicts();
+  const int64_t bad_observes = report.UnattributedObserves();
+  const int64_t bad_causes = report.DegradedCauseMismatch();
+  if (bad_predicts != 0 || bad_observes != 0 || bad_causes != 0) {
+    std::cerr << "error: attribution broken — " << bad_predicts
+              << " predicts, " << bad_observes << " observes unattributed, "
+              << bad_causes << " degraded-cause mismatch\n";
+    return 3;
+  }
+  std::cout << "attribution: every request accounted for\n";
   return 0;
 }
 
@@ -449,7 +697,8 @@ int Serve(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: ealgap_tool "
-                 "<generate|inspect|evaluate|experiment|serve> [flags]\n";
+                 "<generate|inspect|evaluate|experiment|serve|daemon> "
+                 "[flags]\n";
     return 1;
   }
   const std::string cmd = argv[1];
@@ -459,6 +708,7 @@ int main(int argc, char** argv) {
   if (cmd == "evaluate") return Evaluate(flags);
   if (cmd == "experiment") return Experiment(flags);
   if (cmd == "serve") return Serve(flags);
+  if (cmd == "daemon") return Daemon(flags);
   std::cerr << "unknown subcommand: " << cmd << "\n";
   return 1;
 }
