@@ -1,0 +1,353 @@
+// google-benchmark microbenchmarks of the int8 quantized inference path
+// (DESIGN.md §8g): the kernel primitives (dynamic activation quantization,
+// int32-accumulation GEMM, dequant+bias epilogue), the float-vs-int8 layer
+// forward at representative serve shapes, and the end-to-end quantized
+// serve step at city (20) / metro (1k) / metropolis (10k) region counts —
+// the float counterparts run in the same process so BENCH_quant.json
+// carries the speedup, not just the absolute numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/ealgap.h"
+#include "data/dataset.h"
+#include "data/synthetic_city.h"
+#include "nn/quant.h"
+#include "serve/online_predictor.h"
+#include "serve/quantized_forecaster.h"
+#include "tensor/kernels.h"
+
+namespace {
+
+using namespace ealgap;
+
+// ---------------------------------------------------------------------------
+// Kernel-level: float matmul vs the full int8 pipeline at the same shape.
+// ---------------------------------------------------------------------------
+
+/// Deterministic value streams (no RNG in benches: identical work every
+/// run keeps the regression gate stable).
+float TestValue(int64_t i) {
+  return static_cast<float>(((i * 2654435761u) % 2000) - 1000) * 0.01f;
+}
+int8_t TestQ8(int64_t i) {
+  return static_cast<int8_t>(static_cast<int>((i * 2654435761u) % 255u) - 127);
+}
+
+/// Pair-interleaved int16 weight pack for a logical (k, n) matrix — the
+/// layout nn/quant.cc produces and quant_gemm_rows consumes.
+std::vector<int16_t> MakePack(int64_t k, int64_t n) {
+  const int64_t pairs = (k + 1) / 2;
+  std::vector<int16_t> pack(static_cast<size_t>(pairs * 2 * n), 0);
+  for (int64_t x = 0; x < k; ++x) {
+    for (int64_t j = 0; j < n; ++j) {
+      pack[(x / 2) * 2 * n + 2 * j + (x & 1)] = TestQ8(x * n + j);
+    }
+  }
+  return pack;
+}
+
+/// o = a(1,k) x w(k,n) in float — the kernel the int8 path replaces.
+void BM_FloatGemv(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  const int64_t n = state.range(1);
+  std::vector<float> a(static_cast<size_t>(k));
+  std::vector<float> w(static_cast<size_t>(k * n));
+  std::vector<float> o(static_cast<size_t>(n));
+  for (int64_t i = 0; i < k; ++i) a[static_cast<size_t>(i)] = TestValue(i);
+  for (int64_t i = 0; i < k * n; ++i) {
+    w[static_cast<size_t>(i)] = TestValue(i + 7);
+  }
+  const kernels::KernelTable& kt = kernels::Active();
+  for (auto _ : state) {
+    std::fill(o.begin(), o.end(), 0.0f);  // matmul_rows accumulates
+    kt.matmul_rows(a.data(), w.data(), o.data(), 0, 1, k, n);
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * n);
+}
+BENCHMARK(BM_FloatGemv)
+    ->Args({64, 64})
+    ->Args({256, 256})
+    ->Args({1024, 1024})
+    ->Args({4096, 1024});
+
+/// The full int8 pipeline at the same shape, following the serve kernel
+/// policy (kernels.h, kQuantFusedMaxK): dynamic activation quant (absmax
+/// + quantize), then the fused register-tile kernel for shallow
+/// reductions or the streaming GEMM + dequant epilogue for deep ones.
+/// Weights are pre-packed (that is serve reality: packs are built once at
+/// checkpoint load, only activations quantize per step).
+void BM_QuantGemv(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  const int64_t n = state.range(1);
+  std::vector<float> a(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) a[static_cast<size_t>(i)] = TestValue(i);
+  const std::vector<int16_t> pack = MakePack(k, n);
+  std::vector<float> w_scale(static_cast<size_t>(n), 0.01f);
+  std::vector<float> bias(static_cast<size_t>(n), 0.5f);
+  std::vector<int8_t> aq(static_cast<size_t>(k));
+  std::vector<int32_t> acc(static_cast<size_t>(n));
+  std::vector<float> o(static_cast<size_t>(n));
+  const bool fused = k <= kernels::kQuantFusedMaxK;
+  const kernels::KernelTable& kt = kernels::Active();
+  for (auto _ : state) {
+    const float absmax = kt.absmax_block(a.data(), k);
+    const float inv_scale = 127.0f / absmax;
+    kt.quantize_s8(a.data(), inv_scale, aq.data(), k);
+    if (fused) {
+      kt.quant_gemm_dequant_rows(aq.data(), pack.data(), absmax / 127.0f,
+                                 w_scale.data(), bias.data(), o.data(), 0, 1,
+                                 k, n);
+    } else {
+      kt.quant_gemm_rows(aq.data(), pack.data(), acc.data(), 0, 1, k, n);
+      kt.dequant_bias_row(acc.data(), absmax / 127.0f, w_scale.data(),
+                          bias.data(), o.data(), n);
+    }
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * n);
+}
+BENCHMARK(BM_QuantGemv)
+    ->Args({64, 64})
+    ->Args({256, 256})
+    ->Args({1024, 1024})
+    ->Args({4096, 1024});
+
+/// Tall-activation GEMM (rows = num_regions, k and n = feature/hidden
+/// widths — the per-region head and recurrent-cell shape). Float baseline
+/// vs the fused int8 kernel, which holds the accumulator tile in
+/// registers across the whole reduction.
+void BM_FloatGemmTall(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t k = 32, n = 32;
+  std::vector<float> a(static_cast<size_t>(m * k));
+  for (int64_t i = 0; i < m * k; ++i) {
+    a[static_cast<size_t>(i)] = TestValue(i);
+  }
+  std::vector<float> w(static_cast<size_t>(k * n));
+  for (int64_t i = 0; i < k * n; ++i) {
+    w[static_cast<size_t>(i)] = TestValue(i + 7);
+  }
+  std::vector<float> o(static_cast<size_t>(m * n));
+  const kernels::KernelTable& kt = kernels::Active();
+  for (auto _ : state) {
+    std::fill(o.begin(), o.end(), 0.0f);  // matmul_rows accumulates
+    kt.matmul_rows(a.data(), w.data(), o.data(), 0, m, k, n);
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK(BM_FloatGemmTall)->Arg(1000)->Arg(10000);
+
+void BM_QuantGemmTall(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const int64_t k = 32, n = 32;
+  std::vector<float> a(static_cast<size_t>(m * k));
+  for (int64_t i = 0; i < m * k; ++i) {
+    a[static_cast<size_t>(i)] = TestValue(i);
+  }
+  const std::vector<int16_t> pack = MakePack(k, n);
+  std::vector<float> w_scale(static_cast<size_t>(n), 0.01f);
+  std::vector<float> bias(static_cast<size_t>(n), 0.5f);
+  std::vector<int8_t> aq(static_cast<size_t>(m * k));
+  std::vector<float> o(static_cast<size_t>(m * n));
+  const kernels::KernelTable& kt = kernels::Active();
+  for (auto _ : state) {
+    const float absmax = kt.absmax_block(a.data(), m * k);
+    const float inv_scale = 127.0f / absmax;
+    kt.quantize_s8(a.data(), inv_scale, aq.data(), m * k);
+    kt.quant_gemm_dequant_rows(aq.data(), pack.data(), absmax / 127.0f,
+                               w_scale.data(), bias.data(), o.data(), 0, m,
+                               k, n);
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n);
+}
+BENCHMARK(BM_QuantGemmTall)->Arg(1000)->Arg(10000);
+
+/// Per-step activation quantization alone (absmax + round/clamp/store).
+void BM_QuantizeActivations(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> x(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) x[static_cast<size_t>(i)] = TestValue(i);
+  std::vector<int8_t> q(static_cast<size_t>(n));
+  const kernels::KernelTable& kt = kernels::Active();
+  for (auto _ : state) {
+    const float absmax = kt.absmax_block(x.data(), n);
+    kt.quantize_s8(x.data(), 127.0f / absmax, q.data(), n);
+    benchmark::DoNotOptimize(q.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QuantizeActivations)->Arg(1024)->Arg(16384);
+
+/// Dequant + bias epilogue alone.
+void BM_DequantBiasRow(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<int32_t> acc(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    acc[static_cast<size_t>(i)] = static_cast<int32_t>((i * 97) % 20011) - 10000;
+  }
+  std::vector<float> w_scale(static_cast<size_t>(n), 0.01f);
+  std::vector<float> bias(static_cast<size_t>(n), 0.5f);
+  std::vector<float> o(static_cast<size_t>(n));
+  const kernels::KernelTable& kt = kernels::Active();
+  for (auto _ : state) {
+    kt.dequant_bias_row(acc.data(), 0.02f, w_scale.data(), bias.data(),
+                        o.data(), n);
+    benchmark::DoNotOptimize(o.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DequantBiasRow)->Arg(1024)->Arg(16384);
+
+// ---------------------------------------------------------------------------
+// End-to-end: the quantized serve step vs the float serve step.
+// ---------------------------------------------------------------------------
+
+/// One fitted model + dataset per region count, shared across iterations.
+/// Fit runs with epochs=0 (initialized, never trained): weight VALUES do
+/// not change the serve-step cost — micro_serve.cpp uses the same trick.
+struct Fixture {
+  data::SlidingWindowDataset dataset;
+  data::StepRanges split;
+  std::unique_ptr<core::EalgapForecaster> model;
+};
+
+Fixture& GetScaleFixture(int regions) {
+  static std::map<int, Fixture> cache;
+  auto it = cache.find(regions);
+  if (it != cache.end()) return it->second;
+  Fixture f;
+  data::RegionSeriesConfig series_config;
+  series_config.num_regions = regions;
+  series_config.num_days = 40;
+  data::DatasetOptions options;
+  options.history_length = 5;
+  options.num_windows = 3;
+  options.norm_history = 3;
+  f.dataset = data::SlidingWindowDataset::Create(
+                  data::GenerateRegionSeries(series_config), options)
+                  .value();
+  f.split = data::MakeChronoSplit(f.dataset).value();
+  f.model = std::make_unique<core::EalgapForecaster>();
+  TrainConfig train;
+  train.epochs = 0;
+  train.seed = 11;
+  EALGAP_CHECK(f.model->Fit(f.dataset, f.split, train).ok());
+  return cache.emplace(regions, std::move(f)).first->second;
+}
+
+/// Tail latency counters, same shape as micro_serve.cpp's.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(benchmark::State& state) : state_(state) {
+    samples_.reserve(1024);
+  }
+  ~LatencyRecorder() {
+    if (samples_.empty()) return;
+    std::sort(samples_.begin(), samples_.end());
+    state_.counters["p50_us"] = Quantile(0.50);
+    state_.counters["p95_us"] = Quantile(0.95);
+    state_.counters["p99_us"] = Quantile(0.99);
+  }
+  void Record(std::chrono::steady_clock::time_point t0,
+              std::chrono::steady_clock::time_point t1) {
+    samples_.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+
+ private:
+  double Quantile(double q) const {
+    const auto i = static_cast<size_t>(q * (samples_.size() - 1));
+    return samples_[i];
+  }
+  benchmark::State& state_;
+  std::vector<double> samples_;
+};
+
+/// Float baseline in THIS binary so the speedup is one JSON file, not a
+/// cross-file join against BENCH_serve.json.
+void BM_ServeFloatPredictNextRegions(benchmark::State& state) {
+  Fixture& f = GetScaleFixture(static_cast<int>(state.range(0)));
+  auto predictor = serve::OnlinePredictor::Create(f.model.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  std::vector<double> out;
+  EALGAP_CHECK(predictor.PredictNextInto(&out).ok());  // warm the buffers
+  LatencyRecorder latency(state);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(predictor.PredictNextInto(&out));
+    const auto t1 = std::chrono::steady_clock::now();
+    latency.Record(t0, t1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeFloatPredictNextRegions)->Arg(20)->Arg(1000)->Arg(10000);
+
+/// The quantized serve step, probing disabled: pure int8 forward.
+void BM_ServeQuantPredictNextRegions(benchmark::State& state) {
+  Fixture& f = GetScaleFixture(static_cast<int>(state.range(0)));
+  serve::QuantOptions qopt;
+  qopt.check_every = 0;
+  auto quant =
+      serve::QuantizedForecaster::Create(f.model.get(), qopt).value();
+  auto predictor = serve::OnlinePredictor::Create(quant.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  std::vector<double> out;
+  EALGAP_CHECK(predictor.PredictNextInto(&out).ok());  // warm the buffers
+  LatencyRecorder latency(state);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(predictor.PredictNextInto(&out));
+    const auto t1 = std::chrono::steady_clock::now();
+    latency.Record(t0, t1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeQuantPredictNextRegions)->Arg(20)->Arg(1000)->Arg(10000);
+
+/// A probing serve step: the float shadow forward runs EVERY step (the
+/// bench replays one target step, so a %64 cadence would be all-or-nothing
+/// here). This is the worst-case guarded step; a deployment at
+/// check_every=N pays (this - pure_quant) / N extra on average.
+void BM_ServeQuantProbedPredictNextRegions(benchmark::State& state) {
+  Fixture& f = GetScaleFixture(static_cast<int>(state.range(0)));
+  serve::QuantOptions qopt;
+  qopt.check_every = 1;        // probe every step
+  qopt.drift_threshold = 1e9;  // measure probing cost, not fallback serving
+  auto quant =
+      serve::QuantizedForecaster::Create(f.model.get(), qopt).value();
+  auto predictor = serve::OnlinePredictor::Create(quant.get(), f.dataset,
+                                                  f.split.test_begin)
+                       .value();
+  std::vector<double> out;
+  EALGAP_CHECK(predictor.PredictNextInto(&out).ok());  // warm the buffers
+  LatencyRecorder latency(state);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(predictor.PredictNextInto(&out));
+    const auto t1 = std::chrono::steady_clock::now();
+    latency.Record(t0, t1);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServeQuantProbedPredictNextRegions)
+    ->Arg(20)
+    ->Arg(1000)
+    ->Arg(10000);
+
+}  // namespace
+
+// main() lives in bench_main.cc (stamps ealgap_build_type / ealgap_simd).

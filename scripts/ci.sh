@@ -37,6 +37,18 @@ echo "===== fault stage: serve tests with injection armed ====="
 EALGAP_FAULTS="nn.predict.nan:every=7,io.write.fail:p=0.5:seed=5" \
   "./$BUILD_DIR/tests/fault_injection_test"
 
+echo "===== quant stage: int8 parity suite on every SIMD backend ====="
+# The int8 serve path's core promise is bit-identical predictions across
+# kernel backends; tier-1 already ran the suite under scalar and native
+# dispatch, this pins each backend explicitly (the in-process cross-backend
+# tests re-run under each pin, so an sse2-vs-avx2 divergence cannot hide
+# behind the host's widest ISA).
+for simd in scalar sse2 avx2; do
+  echo "----- quant parity: EALGAP_SIMD=$simd -----"
+  EALGAP_SIMD="$simd" "./$BUILD_DIR/tests/quant_kernel_test"
+  EALGAP_SIMD="$simd" "./$BUILD_DIR/tests/quant_parity_test"
+done
+
 echo "===== interrupt-resume stage: crash a sweep, resume it, diff vs clean ====="
 # Leg 1 — journal resume. A tiny sweep with io.write.fail armed so the
 # first cell's journal record lands and the second cell's record fails all
@@ -102,6 +114,16 @@ EALGAP_FAULTS="daemon.queue.full:p=0.05:seed=11,daemon.shard.crash:p=0.01:seed=1
   --state-dir "$RESUME_TMP/daemon_state" | tail -n 2
 echo "daemon soak: fault-armed run exited clean with full attribution"
 
+# The same soak serving through the int8 path, with nn.quant.drift armed on
+# top: a forced drift trip mid-soak must degrade that shard's wrapper to
+# float serving (sticky, attributed in the drift-guard table) while the
+# fleet keeps full request attribution — and crashed shards must come back
+# quantized (the restart path re-wraps the reloaded checkpoint).
+EALGAP_FAULTS="daemon.queue.full:p=0.05:seed=11,daemon.shard.crash:p=0.01:seed=13,nn.quant.drift:every=97:max=2" \
+  "$TOOL" daemon --shards 3 --ticks 200 --days 40 --epochs 0 --quant \
+  --state-dir "$RESUME_TMP/daemon_state_quant" | tail -n 3
+echo "daemon soak: quantized fault-armed run exited clean with full attribution"
+
 echo "===== alloc-free stage: zero-allocation serve contract ====="
 # The counting run: alloc_guard_test links a malloc-family interposition
 # hook and asserts 0 heap allocations over 240-step healthy AND
@@ -154,7 +176,8 @@ if [[ "${EALGAP_CI_BENCH:-0}" == "1" ]]; then
   trap 'rm -rf "$BENCH_TMP"' EXIT
   for pair in "micro_tensor_ops:BENCH_tensor_ops.json" \
               "micro_serve:BENCH_serve.json" \
-              "micro_daemon:BENCH_daemon.json"; do
+              "micro_daemon:BENCH_daemon.json" \
+              "micro_quant:BENCH_quant.json"; do
     target="${pair%%:*}"
     baseline="${pair##*:}"
     if [[ ! -f "$baseline" ]]; then

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "nn/loss.h"
+#include "nn/quant.h"
 #include "nn/serialize.h"
 
 namespace ealgap {
@@ -428,6 +429,41 @@ Status NeuralForecaster::PredictSampleInto(const data::WindowSample& sample,
   return Status::OK();
 }
 
+// --- Int8 inference packs ---------------------------------------------------
+
+Result<int64_t> NeuralForecaster::PackQuantized() {
+  if (!fitted_) return Status::FailedPrecondition("PackQuantized before Fit");
+  return nn::quant::PackLinears(*module());
+}
+
+namespace {
+/// CRC32 of a whole file's bytes — the key tying a quant-pack cache to the
+/// exact checkpoint it was derived from.
+Result<uint32_t> FileCrc32(const std::string& path) {
+  EALGAP_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return Crc32(bytes);
+}
+}  // namespace
+
+Status NeuralForecaster::SaveQuantPack(const std::string& pack_path,
+                                       const std::string& checkpoint_path) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SaveQuantPack before Fit");
+  }
+  EALGAP_ASSIGN_OR_RETURN(uint32_t crc, FileCrc32(checkpoint_path));
+  return nn::quant::SavePackCache(*module(), pack_path, crc);
+}
+
+Status NeuralForecaster::LoadQuantPack(const std::string& pack_path,
+                                       const std::string& checkpoint_path) {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "LoadQuantPack before Fit/LoadCheckpoint");
+  }
+  EALGAP_ASSIGN_OR_RETURN(uint32_t crc, FileCrc32(checkpoint_path));
+  return nn::quant::LoadPackCache(*module(), pack_path, crc);
+}
+
 // --- Checkpointing ----------------------------------------------------------
 
 namespace {
@@ -524,8 +560,10 @@ Status NeuralForecaster::LoadCheckpoint(const std::string& path) {
     return Status::ParseError(path + " is not an ealgap checkpoint");
   }
   if (version != kCheckpointVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version " +
-                                   std::to_string(version) + " in " + path);
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) + " in " +
+        path + " (maximum supported: " + std::to_string(kCheckpointVersion) +
+        ")");
   }
   std::string key, model;
   if (!(in >> key >> model) || key != "model") {
@@ -717,8 +755,10 @@ Status NeuralForecaster::LoadTrainState(const std::string& path,
     return Status::ParseError(path + " is not an ealgap train state");
   }
   if (version != kTrainStateVersion) {
-    return Status::InvalidArgument("unsupported train-state version " +
-                                   std::to_string(version) + " in " + path);
+    return Status::InvalidArgument(
+        "unsupported train-state version " + std::to_string(version) +
+        " in " + path + " (maximum supported: " +
+        std::to_string(kTrainStateVersion) + ")");
   }
   std::string tag, model;
   if (!(in >> tag >> model) || tag != "model") {

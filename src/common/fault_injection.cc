@@ -32,10 +32,10 @@ uint64_t HashName(const std::string& name) {
 /// the reserved "test." namespace.
 constexpr const char* kKnownSites[] = {
     "nn.predict.nan",    "nn.predict.error",  "nn.predict.delay",
-    "io.open.fail",      "io.write.fail",     "io.write.partial",
-    "io.dir.fsync.fail", "train.step.nan",    "train.step.error",
-    "train.step.delay",  "train.eval.error",  "daemon.queue.full",
-    "daemon.shard.stall", "daemon.shard.crash",
+    "nn.quant.drift",    "io.open.fail",      "io.write.fail",
+    "io.write.partial",  "io.dir.fsync.fail", "train.step.nan",
+    "train.step.error",  "train.step.delay",  "train.eval.error",
+    "daemon.queue.full", "daemon.shard.stall", "daemon.shard.crash",
 };
 
 bool IsKnownSite(const std::string& site) {

@@ -113,8 +113,10 @@ Status ExperimentJournal::Load() {
     return Status::ParseError(path_ + " is not an ealgap experiment journal");
   }
   if (version != kJournalVersion) {
-    return Status::InvalidArgument("unsupported journal version " +
-                                   std::to_string(version) + " in " + path_);
+    return Status::InvalidArgument(
+        "unsupported journal version " + std::to_string(version) + " in " +
+        path_ + " (maximum supported: " + std::to_string(kJournalVersion) +
+        ")");
   }
   bool saw_end = false;
   while (std::getline(in, line)) {

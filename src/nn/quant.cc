@@ -1,0 +1,396 @@
+#include "nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/checksum.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "nn/linear.h"
+#include "tensor/kernels.h"
+#include "tensor/vec.h"
+
+namespace ealgap {
+namespace nn {
+namespace quant {
+namespace {
+
+thread_local bool g_quant_mode = false;
+
+/// Same cost model as ops.cc MatMul: chunk rows so one chunk is ~2^15
+/// multiply-adds (int ops are cheaper than float, but the constant only
+/// shifts the parallelism threshold, not correctness).
+constexpr int64_t kQuantGrainOps = 1 << 15;
+
+/// Grow-only thread-local scratch for callers without an ambient Arena
+/// (training-side tools, tests). The serve path installs an ArenaScope in
+/// PredictNextInto, so the steady-state serve step never touches these.
+struct TlScratch {
+  AlignedBuffer<int8_t> aq;
+  AlignedBuffer<int32_t> acc;  // streaming (k > kQuantFusedMaxK) path only
+};
+
+TlScratch& Scratch() {
+  static thread_local TlScratch s;
+  return s;
+}
+
+constexpr char kPackMagic[] = "ealgap-quant-pack";
+constexpr int kPackVersion = 1;
+
+/// Reads one '\n'-terminated line starting at *pos; advances past it.
+bool NextLine(const std::string& s, size_t* pos, std::string* line) {
+  if (*pos >= s.size()) return false;
+  const size_t nl = s.find('\n', *pos);
+  if (nl == std::string::npos) return false;
+  line->assign(s, *pos, nl - *pos);
+  *pos = nl + 1;
+  return true;
+}
+
+std::vector<std::pair<std::string, Linear*>> CollectLinears(Module& root) {
+  std::vector<std::pair<std::string, Linear*>> out;
+  root.VisitModules([&out](const std::string& name, Module* m) {
+    if (auto* linear = dynamic_cast<Linear*>(m)) {
+      out.emplace_back(name, linear);
+    }
+  });
+  return out;
+}
+
+std::vector<std::pair<std::string, const Linear*>> CollectLinears(
+    const Module& root) {
+  std::vector<std::pair<std::string, const Linear*>> out;
+  root.VisitModules([&out](const std::string& name, const Module* m) {
+    if (const auto* linear = dynamic_cast<const Linear*>(m)) {
+      out.emplace_back(name, linear);
+    }
+  });
+  return out;
+}
+
+Result<std::unique_ptr<QuantPack>> PackLinear(const Linear& layer,
+                                              const std::string& name) {
+  const Tensor& w = layer.weight().value();
+  const int64_t in = layer.in_features();
+  const int64_t out = layer.out_features();
+  if (in > kQuantMaxK) {
+    return Status::InvalidArgument(
+        "cannot int8-pack layer " + name + ": in_features " +
+        std::to_string(in) + " exceeds the int32-accumulation bound " +
+        std::to_string(kQuantMaxK));
+  }
+  const float* pw = w.data();
+  std::vector<float> absmax(static_cast<size_t>(out), 0.f);
+  for (int64_t p = 0; p < in; ++p) {
+    const float* row = pw + p * out;
+    for (int64_t j = 0; j < out; ++j) {
+      const float a = std::fabs(row[j]);
+      if (!std::isfinite(a)) {
+        return Status::InvalidArgument("cannot int8-pack layer " + name +
+                                       ": non-finite weight");
+      }
+      absmax[j] = std::max(absmax[j], a);
+    }
+  }
+  auto pack = std::make_unique<QuantPack>();
+  pack->in = in;
+  pack->out = out;
+  pack->scales.Reset(static_cast<size_t>(out));
+  std::vector<float> inv(static_cast<size_t>(out), 0.f);
+  for (int64_t j = 0; j < out; ++j) {
+    pack->scales[j] = absmax[j] / 127.f;
+    inv[j] = absmax[j] > 0.f ? 127.f / absmax[j] : 0.f;
+  }
+  const int64_t pairs = (in + 1) / 2;
+  pack->wpack.Reset(static_cast<size_t>(pairs * 2 * out));  // zero-filled
+  for (int64_t p2 = 0; p2 < pairs; ++p2) {
+    int16_t* row = pack->wpack.data() + p2 * 2 * out;
+    const float* w0 = pw + (2 * p2) * out;
+    const float* w1 = (2 * p2 + 1 < in) ? pw + (2 * p2 + 1) * out : nullptr;
+    for (int64_t j = 0; j < out; ++j) {
+      row[2 * j] = vec::QuantizeOneS8(w0[j], inv[j]);
+      if (w1 != nullptr) row[2 * j + 1] = vec::QuantizeOneS8(w1[j], inv[j]);
+    }
+  }
+  return pack;
+}
+
+}  // namespace
+
+bool ModeEnabled() { return g_quant_mode; }
+
+ScopedQuantMode::ScopedQuantMode() : prev_(g_quant_mode) {
+  g_quant_mode = true;
+}
+
+ScopedQuantMode::~ScopedQuantMode() { g_quant_mode = prev_; }
+
+Tensor QuantLinearForward(const QuantPack& pack, const Tensor& x,
+                          const float* bias) {
+  const int64_t k = pack.in;
+  const int64_t n = pack.out;
+  EALGAP_CHECK_EQ(x.numel() % k, 0);
+  const int64_t rows = x.numel() / k;
+  const kernels::KernelTable& t = kernels::Active();
+  const float* px = x.data();
+  const float absmax = t.absmax_block(px, rows * k);
+  if (!(absmax > 0.f) || !std::isfinite(absmax)) return Tensor();
+  const float inv_scale = 127.f / absmax;
+  const float a_scale = absmax / 127.f;
+
+  // Kernel policy (kernels.h, kQuantFusedMaxK): shallow reductions — every
+  // tall-activation layer, where rows = num_regions — take the fused
+  // register-tile kernel (no int32 scratch, no per-row epilogue); deeper
+  // reductions (the single-row decoder GEMVs, k up to num_regions *
+  // window) take the streaming pair, which reads the weight pack
+  // sequentially exactly once. Both are bit-identical by kernel contract.
+  const bool fused = k <= kernels::kQuantFusedMaxK;
+
+  // Per-step scratch: arena-resident on the serve path (rewound by the
+  // caller's ArenaScope), thread-local grow-only elsewhere.
+  int8_t* aq = nullptr;
+  int32_t* acc = nullptr;
+  const size_t aq_elems = static_cast<size_t>(rows * k);
+  const size_t acc_elems = fused ? 0 : static_cast<size_t>(rows * n);
+  if (Arena* arena = CurrentArena()) {
+    aq = static_cast<int8_t*>(arena->Allocate(aq_elems));
+    if (!fused) {
+      acc = static_cast<int32_t*>(
+          arena->Allocate(acc_elems * sizeof(int32_t)));
+    }
+  } else {
+    TlScratch& s = Scratch();
+    if (s.aq.size() < aq_elems) s.aq.Reset(aq_elems);
+    aq = s.aq.data();
+    if (!fused) {
+      if (s.acc.size() < acc_elems) s.acc.Reset(acc_elems);
+      acc = s.acc.data();
+    }
+  }
+
+  t.quantize_s8(px, inv_scale, aq, rows * k);
+
+  Tensor out({rows, n});
+  float* po = out.data();
+  const float* w_scale = pack.scales.data();
+  const int16_t* wp = pack.wpack.data();
+  const int64_t row_ops = std::max<int64_t>(1, k * n);
+  const int64_t grain = std::max<int64_t>(1, kQuantGrainOps / row_ops);
+  ParallelFor(0, rows, grain, [&](int64_t i0, int64_t i1) {
+    if (fused) {
+      t.quant_gemm_dequant_rows(aq, wp, a_scale, w_scale, bias, po, i0, i1,
+                                k, n);
+      return;
+    }
+    t.quant_gemm_rows(aq, wp, acc, i0, i1, k, n);
+    for (int64_t i = i0; i < i1; ++i) {
+      t.dequant_bias_row(acc + i * n, a_scale, w_scale, bias, po + i * n, n);
+    }
+  });
+  return out;
+}
+
+bool QuantEligible(const Linear& layer) {
+  return layer.in_features() >= kQuantMinDim &&
+         layer.out_features() >= kQuantMinDim;
+}
+
+Result<int64_t> PackLinears(Module& root) {
+  int64_t packed = 0;
+  for (auto& [name, layer] : CollectLinears(root)) {
+    if (!QuantEligible(*layer)) {
+      layer->set_quant_pack(nullptr);
+      continue;
+    }
+    EALGAP_ASSIGN_OR_RETURN(std::unique_ptr<QuantPack> pack,
+                            PackLinear(*layer, name));
+    layer->set_quant_pack(std::move(pack));
+    ++packed;
+  }
+  return packed;
+}
+
+void ClearPacks(Module& root) {
+  for (auto& [name, layer] : CollectLinears(root)) {
+    layer->set_quant_pack(nullptr);
+  }
+}
+
+int64_t PackedLinearCount(const Module& root) {
+  int64_t count = 0;
+  for (const auto& [name, layer] : CollectLinears(root)) {
+    if (layer->quant_pack() != nullptr) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+/// The quantized layer roster (cache contents, pack counts) covers only
+/// QuantEligible layers — ineligible ones serve float and carry no pack.
+template <class Pairs>
+Pairs FilterEligible(Pairs linears) {
+  Pairs out;
+  for (auto& entry : linears) {
+    if (QuantEligible(*entry.second)) out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SavePackCache(const Module& root, const std::string& path,
+                     uint32_t source_crc) {
+  auto linears = FilterEligible(CollectLinears(root));
+  for (const auto& [name, layer] : linears) {
+    if (layer->quant_pack() == nullptr) {
+      return Status::FailedPrecondition(
+          "layer " + name + " has no int8 pack; run PackLinears first");
+    }
+  }
+  std::string body;
+  body += std::string(kPackMagic) + " " + std::to_string(kPackVersion) + "\n";
+  body += "source_crc " + Crc32Hex(source_crc) + "\n";
+  body += "layers " + std::to_string(linears.size()) + "\n";
+  for (const auto& [name, layer] : linears) {
+    const QuantPack& pack = *layer->quant_pack();
+    body += "layer " + name + " " + std::to_string(pack.in) + " " +
+            std::to_string(pack.out) + "\n";
+    body.append(reinterpret_cast<const char*>(pack.scales.data()),
+                pack.scales.size() * sizeof(float));
+    body.append(reinterpret_cast<const char*>(pack.wpack.data()),
+                pack.wpack.size() * sizeof(int16_t));
+    body += "\n";
+  }
+  const uint32_t crc = Crc32(body);
+  body += "crc " + Crc32Hex(crc) + "\nend\n";
+  return WriteFileAtomic(path, body);
+}
+
+Status LoadPackCache(Module& root, const std::string& path,
+                     uint32_t expected_source_crc) {
+  EALGAP_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  size_t pos = 0;
+  std::string line;
+  if (!NextLine(text, &pos, &line)) {
+    return Status::ParseError(path + " is not a quant-pack cache");
+  }
+  {
+    std::istringstream h(line);
+    std::string magic;
+    int version = 0;
+    if (!(h >> magic >> version) || magic != kPackMagic) {
+      return Status::ParseError(path + " is not a quant-pack cache");
+    }
+    if (version != kPackVersion) {
+      return Status::InvalidArgument(
+          "unsupported quant-pack version " + std::to_string(version) +
+          " in " + path + " (maximum supported: " +
+          std::to_string(kPackVersion) + ")");
+    }
+  }
+  if (!NextLine(text, &pos, &line) || line.rfind("source_crc ", 0) != 0) {
+    return Status::ParseError("missing source_crc in " + path);
+  }
+  uint32_t stored_crc = 0;
+  if (!ParseCrc32Hex(line.substr(11), &stored_crc)) {
+    return Status::ParseError("malformed source_crc in " + path);
+  }
+  if (stored_crc != expected_source_crc) {
+    return Status::InvalidArgument(
+        "quant-pack cache " + path + " was built from a checkpoint with CRC " +
+        Crc32Hex(stored_crc) + " but the current checkpoint has CRC " +
+        Crc32Hex(expected_source_crc) +
+        "; refusing to serve stale packs (rebuild with PackLinears/--quant)");
+  }
+  if (!NextLine(text, &pos, &line) || line.rfind("layers ", 0) != 0) {
+    return Status::ParseError("missing layer count in " + path);
+  }
+  const int64_t layer_count = std::atoll(line.c_str() + 7);
+
+  auto linears = FilterEligible(CollectLinears(root));
+  if (layer_count != static_cast<int64_t>(linears.size())) {
+    return Status::InvalidArgument(
+        path + " holds " + std::to_string(layer_count) +
+        " layers but the model has " + std::to_string(linears.size()) +
+        " quantizable ones");
+  }
+  std::vector<std::unique_ptr<QuantPack>> packs;
+  packs.reserve(linears.size());
+  for (size_t li = 0; li < linears.size(); ++li) {
+    if (!NextLine(text, &pos, &line) || line.rfind("layer ", 0) != 0) {
+      return Status::ParseError("truncated layer table in " + path);
+    }
+    std::istringstream h(line.substr(6));
+    std::string name;
+    int64_t in = 0, out = 0;
+    if (!(h >> name >> in >> out)) {
+      return Status::ParseError("malformed layer header in " + path);
+    }
+    const auto& [want_name, layer] = linears[li];
+    if (name != want_name || in != layer->in_features() ||
+        out != layer->out_features()) {
+      return Status::InvalidArgument(
+          path + " layer " + std::to_string(li) + " is " + name + " (" +
+          std::to_string(in) + "x" + std::to_string(out) +
+          ") but the model expects " + want_name + " (" +
+          std::to_string(layer->in_features()) + "x" +
+          std::to_string(layer->out_features()) + ")");
+    }
+    const int64_t pairs = (in + 1) / 2;
+    const size_t scale_bytes = static_cast<size_t>(out) * sizeof(float);
+    const size_t wpack_bytes =
+        static_cast<size_t>(pairs * 2 * out) * sizeof(int16_t);
+    if (pos + scale_bytes + wpack_bytes + 1 > text.size()) {
+      return Status::ParseError("truncated pack payload in " + path);
+    }
+    auto pack = std::make_unique<QuantPack>();
+    pack->in = in;
+    pack->out = out;
+    pack->scales.Reset(static_cast<size_t>(out));
+    std::memcpy(pack->scales.data(), text.data() + pos, scale_bytes);
+    pos += scale_bytes;
+    pack->wpack.Reset(static_cast<size_t>(pairs * 2 * out));
+    std::memcpy(pack->wpack.data(), text.data() + pos, wpack_bytes);
+    pos += wpack_bytes;
+    if (text[pos] != '\n') {
+      return Status::ParseError("malformed pack payload in " + path);
+    }
+    ++pos;
+    packs.push_back(std::move(pack));
+  }
+  const size_t crc_start = pos;
+  if (!NextLine(text, &pos, &line) || line.rfind("crc ", 0) != 0) {
+    return Status::ParseError("missing crc in " + path);
+  }
+  uint32_t stored_body_crc = 0;
+  if (!ParseCrc32Hex(line.substr(4), &stored_body_crc)) {
+    return Status::ParseError("malformed crc in " + path);
+  }
+  const uint32_t actual = Crc32(text.data(), crc_start);
+  if (stored_body_crc != actual) {
+    return Status::ParseError("quant-pack cache " + path + " is corrupt: CRC " +
+                              Crc32Hex(actual) + " != recorded " +
+                              Crc32Hex(stored_body_crc));
+  }
+  if (!NextLine(text, &pos, &line) || line != "end") {
+    return Status::ParseError("missing end marker in " + path);
+  }
+  for (size_t li = 0; li < linears.size(); ++li) {
+    linears[li].second->set_quant_pack(std::move(packs[li]));
+  }
+  return Status::OK();
+}
+
+}  // namespace quant
+}  // namespace nn
+}  // namespace ealgap

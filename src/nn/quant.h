@@ -1,0 +1,126 @@
+#ifndef EALGAP_NN_QUANT_H_
+#define EALGAP_NN_QUANT_H_
+
+/// Int8 inference path for the serve-side forward pass (DESIGN.md §8g).
+///
+/// Scheme: per-output-row symmetric int8 weight quantization (scale_j =
+/// absmax of column j / 127, no zero point) with dynamic per-tensor
+/// activation quantization (scale = absmax of the activation block / 127,
+/// recomputed per forward). The GEMM accumulates in int32 exactly — see
+/// tensor/kernels_impl.h QuantGemmRows — so quantized predictions are
+/// bit-identical across SIMD backends and thread counts by integer
+/// arithmetic alone; only the (per-element pure) quantize/dequantize float
+/// steps carry rounding, and they keep fixed expression trees.
+///
+/// Weight layout: the pack stores quantized values widened to int16 in
+/// pair-interleaved order — ceil(in/2) rows of `out` (lo, hi) pairs, pair
+/// p2 of column j holding (W[2*p2][j], W[2*p2+1][j]), an odd trailing k
+/// padded with 0 — which is exactly the operand shape [V]PMADDWD consumes.
+/// The pack is built once (at checkpoint load / after Fit) and shared by
+/// every predictor over the model; per-step scratch (int8 activations,
+/// int32 accumulators) comes from the ambient serve Arena, so the
+/// steady-state quantized serve step performs 0 heap allocations
+/// (tests/alloc_guard_test.cc).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/aligned_alloc.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace ealgap {
+namespace nn {
+
+class Linear;
+
+namespace quant {
+
+/// Largest supported reduction dimension: every |product| is at most
+/// 127*127, so k products stay below INT32_MAX while k <= kQuantMaxK.
+/// Packing a Linear with in_features above this fails loudly.
+inline constexpr int64_t kQuantMaxK = (int64_t{1} << 31) / (127 * 127) - 1;
+
+/// Layers narrower than this on either side stay float. Per-tensor
+/// dynamic quantization pays two extra passes over the activations
+/// (absmax + quantize) plus a pair broadcast per reduction step, which
+/// the int32 SIMD kernels only win back when both dimensions carry
+/// enough arithmetic per row. Measured on the serve shapes (AVX2, no
+/// VNNI): (m,16)x(16,16) runs at ~0.6x float and (m,k)x(k,1) at ~0.5x,
+/// while (m,32)x(32,32) reaches 1.1-1.6x and the deep m=1 decoder GEMVs
+/// 1.5-2.8x — so eligibility is min(in, out) >= 32.
+inline constexpr int64_t kQuantMinDim = 32;
+
+/// True when `layer`'s shape profits from the int8 path (both dimensions
+/// at least kQuantMinDim). PackLinears leaves ineligible layers float —
+/// they silently keep the exact float forward in quant mode.
+bool QuantEligible(const Linear& layer);
+
+/// One packed Linear: pair-interleaved int16 weights + per-output-row
+/// scales. Built by PackLinear; owned by the Linear it quantizes.
+struct QuantPack {
+  int64_t in = 0;
+  int64_t out = 0;
+  /// ceil(in/2) * (2 * out) int16, 64-byte aligned.
+  AlignedBuffer<int16_t> wpack;
+  /// out floats: absmax of weight column j / 127 (0 for an all-zero row).
+  AlignedBuffer<float> scales;
+};
+
+/// Thread-local int8 inference mode. When enabled (and gradients are off),
+/// Linear::Forward routes through the quantized kernels for every layer
+/// that has a pack. Scopes nest.
+bool ModeEnabled();
+
+class ScopedQuantMode {
+ public:
+  ScopedQuantMode();
+  ~ScopedQuantMode();
+  ScopedQuantMode(const ScopedQuantMode&) = delete;
+  ScopedQuantMode& operator=(const ScopedQuantMode&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Int8 forward of one packed Linear: x is a contiguous (..., in) tensor,
+/// flattened to (numel/in, in) rows; returns the (rows, out) float result.
+/// Returns an undefined Tensor when the activation absmax is zero or
+/// non-finite — the caller falls back to the float matmul, which handles
+/// both exactly. Scratch comes from the ambient Arena when one is
+/// installed (serve), else from grow-only thread-local buffers. x must be
+/// NaN-free (serve input guards + the finite-params training sentinel
+/// ensure this; an inf intermediate takes the absmax fallback).
+Tensor QuantLinearForward(const QuantPack& pack, const Tensor& x,
+                          const float* bias);
+
+/// Builds (or rebuilds) the int8 pack of every QuantEligible Linear under
+/// `root`; ineligible layers get their pack cleared (they serve float).
+/// Returns the number of layers packed; fails when an eligible layer's
+/// in_features exceeds kQuantMaxK or a weight is non-finite.
+Result<int64_t> PackLinears(Module& root);
+
+/// Drops every pack under `root` (float-only inference again).
+void ClearPacks(Module& root);
+
+/// Number of packed Linears under `root`.
+int64_t PackedLinearCount(const Module& root);
+
+/// Pack-cache serialization. The cache file is keyed to the checkpoint the
+/// packs were derived from via `source_crc` (CRC32 of the checkpoint file
+/// bytes): loading validates the stored key against the caller's and
+/// REJECTS a mismatch with an error — a stale cache is never silently
+/// repacked, the caller must decide (tools repack explicitly).
+Status SavePackCache(const Module& root, const std::string& path,
+                     uint32_t source_crc);
+Status LoadPackCache(Module& root, const std::string& path,
+                     uint32_t expected_source_crc);
+
+}  // namespace quant
+}  // namespace nn
+}  // namespace ealgap
+
+#endif  // EALGAP_NN_QUANT_H_

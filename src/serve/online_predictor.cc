@@ -545,8 +545,9 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
     return Status::ParseError(path + " is not a serve-state file");
   }
   if (version != kStateVersion) {
-    return Status::InvalidArgument("unsupported serve-state version " +
-                                   std::to_string(version) + " in " + path);
+    return Status::InvalidArgument(
+        "unsupported serve-state version " + std::to_string(version) + " in " +
+        path + " (maximum supported: " + std::to_string(kStateVersion) + ")");
   }
   EALGAP_RETURN_IF_ERROR(ExpectTag(in, "model", path));
   std::string model_name;

@@ -4,9 +4,24 @@
 #include <utility>
 
 #include "baselines/neural.h"
+#include "serve/quantized_forecaster.h"
 
 namespace ealgap {
 namespace serve {
+
+namespace {
+
+/// The checkpointable model behind a served Forecaster: a quantized
+/// wrapper checkpoints its inner float model (the packs are derived
+/// state, rebuilt from the checkpoint).
+NeuralForecaster* CheckpointableModel(Forecaster* model) {
+  if (auto* quant = dynamic_cast<QuantizedForecaster*>(model)) {
+    return quant->inner();
+  }
+  return dynamic_cast<NeuralForecaster*>(model);
+}
+
+}  // namespace
 
 const char* RejectCauseName(RejectCause cause) {
   switch (cause) {
@@ -54,7 +69,7 @@ Result<std::unique_ptr<Shard>> Shard::Create(
     // The model checkpoint is written once: parameters never change while
     // serving. Non-neural models have no checkpoint format; their restarts
     // reuse the in-memory object.
-    if (auto* neural = dynamic_cast<NeuralForecaster*>(shard->model_.get())) {
+    if (auto* neural = CheckpointableModel(shard->model_.get())) {
       Status saved = neural->SaveCheckpoint(shard->ModelPath());
       if (!saved.ok()) ++shard->totals_.checkpoint_failures;
     }

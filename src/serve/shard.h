@@ -201,6 +201,9 @@ class Shard {
 
   ResilientPredictor* resilient() { return resilient_.get(); }
   OnlinePredictor* predictor() { return predictor_.get(); }
+  /// The served model (e.g. for quantized-serving telemetry). May be
+  /// replaced by a restart-from-checkpoint; do not hold across ticks.
+  Forecaster* model() { return model_.get(); }
 
  private:
   Shard() = default;

@@ -1,0 +1,350 @@
+// Float-parity harness for the int8 inference path (DESIGN.md §8g).
+//
+// Contracts under test:
+//   - quantized predictions stay within a small relative drift of the
+//     float forward on every test step (the serve-side parity bound);
+//   - quantized predictions are BIT-IDENTICAL across SIMD backends
+//     (scalar/SSE2/AVX2) and thread counts 1/2/8 — int32 accumulation
+//     leaves no room for reassociation;
+//   - the drift guard trips deterministically (threshold or forced via
+//     the nn.quant.drift fault site) and the fallback step itself is
+//     served from the float model, sticky from then on;
+//   - the quantized-pack cache is keyed to its source checkpoint's CRC:
+//     a stale or corrupt cache is rejected with an error, never silently
+//     repacked; version mismatches name found and maximum versions.
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/ealgap.h"
+#include "data/dataset.h"
+#include "nn/quant.h"
+#include "serve/online_predictor.h"
+#include "serve/quantized_forecaster.h"
+#include "tensor/kernels.h"
+
+namespace ealgap {
+namespace {
+
+using kernels::Backend;
+using serve::QuantizedForecaster;
+using serve::QuantOptions;
+
+data::MobilitySeries MakeTestSeries(int regions = 4, int days = 40,
+                                    uint64_t seed = 3) {
+  Rng rng(seed);
+  data::MobilitySeries series;
+  series.num_regions = regions;
+  series.steps_per_day = 24;
+  series.start_date = {2020, 6, 1};
+  series.num_days = days;
+  series.counts = Tensor::Zeros({regions, static_cast<int64_t>(days) * 24});
+  for (int r = 0; r < regions; ++r) {
+    double ar = 0.0;
+    for (int64_t s = 0; s < days * 24; ++s) {
+      const int h = static_cast<int>(s % 24);
+      const double base =
+          20.0 + 15.0 * std::exp(-0.5 * std::pow((h - 8.5) / 2.5, 2)) +
+          18.0 * std::exp(-0.5 * std::pow((h - 17.5) / 2.5, 2));
+      ar = 0.9 * ar + rng.Normal(0.0, 1.5);
+      series.counts.data()[r * days * 24 + s] = static_cast<float>(
+          std::max(0.0, base * (1.0 + 0.1 * r) + ar + rng.Normal(0, 1)));
+    }
+  }
+  return series;
+}
+
+class QuantParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::DatasetOptions options;
+    options.history_length = 5;
+    options.num_windows = 3;
+    options.norm_history = 3;
+    auto ds = data::SlidingWindowDataset::Create(MakeTestSeries(), options);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new data::SlidingWindowDataset(std::move(ds).value());
+    auto split = data::MakeChronoSplit(*dataset_);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    split_ = new data::StepRanges(*split);
+    model_ = new core::EalgapForecaster();
+    TrainConfig train;
+    train.epochs = 2;
+    train.learning_rate = 3e-3f;
+    train.seed = 11;
+    ASSERT_TRUE(model_->Fit(*dataset_, *split_, train).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete split_;
+    delete dataset_;
+    model_ = nullptr;
+    split_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::SlidingWindowDataset* dataset_;
+  static data::StepRanges* split_;
+  static core::EalgapForecaster* model_;
+};
+
+data::SlidingWindowDataset* QuantParityTest::dataset_ = nullptr;
+data::StepRanges* QuantParityTest::split_ = nullptr;
+core::EalgapForecaster* QuantParityTest::model_ = nullptr;
+
+// Per-region relative drift with the same floor the drift guard uses.
+double MaxDrift(const std::vector<double>& q, const std::vector<double>& f,
+                double abs_floor = 1.0) {
+  EXPECT_EQ(q.size(), f.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    worst = std::max(worst,
+                     std::fabs(q[i] - f[i]) / std::max(std::fabs(f[i]),
+                                                       abs_floor));
+  }
+  return worst;
+}
+
+TEST_F(QuantParityTest, DriftVsFloatBoundedOverFullTestRange) {
+  QuantOptions opt;
+  opt.check_every = 0;  // measure drift on every step ourselves
+  auto q = QuantizedForecaster::Create(model_, opt);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  double worst = 0.0;
+  int64_t steps = 0;
+  for (int64_t step = split_->test_begin; step < split_->test_end; ++step) {
+    auto quant = (*q)->Predict(*dataset_, step);
+    ASSERT_TRUE(quant.ok()) << quant.status().ToString();
+    auto flt = model_->Predict(*dataset_, step);
+    ASSERT_TRUE(flt.ok());
+    worst = std::max(worst, MaxDrift(*quant, *flt));
+    ++steps;
+  }
+  EXPECT_GE(steps, 200) << "replay too short to be meaningful";
+  // The serve-side drift-guard default is 0.05; the whole test range must
+  // clear it with margin, or the guard would trip in healthy operation.
+  EXPECT_LT(worst, 0.05) << "int8 drift exceeds the serve threshold";
+  EXPECT_GT((*q)->stats().quant_steps, 0);
+  EXPECT_FALSE((*q)->tripped());
+}
+
+TEST_F(QuantParityTest, BitIdenticalAcrossBackendsAndThreadCounts) {
+  const Backend orig = kernels::ActiveBackend();
+  const int saved_threads = GetNumThreads();
+  const int64_t replay_steps = 60;
+
+  std::vector<double> reference;
+  bool have_reference = false;
+  for (Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2}) {
+    if (!kernels::BackendSupported(b)) continue;
+    kernels::SetBackendForTesting(b);
+    for (int threads : {1, 2, 8}) {
+      SetNumThreads(threads);
+      // A fresh wrapper per run: Create() repacks the weights, so pack
+      // construction is also covered by the identity check.
+      QuantOptions opt;
+      opt.check_every = 8;
+      opt.drift_threshold = 1e9;  // probes run, never trip
+      auto q = QuantizedForecaster::Create(model_, opt);
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      std::vector<double> flat;
+      for (int64_t step = split_->test_begin;
+           step < split_->test_begin + replay_steps; ++step) {
+        auto pred = (*q)->PredictSample(dataset_->MakeSample(step));
+        ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+        flat.insert(flat.end(), pred->begin(), pred->end());
+      }
+      if (!have_reference) {
+        reference = std::move(flat);
+        have_reference = true;
+      } else {
+        ASSERT_EQ(reference, flat)
+            << "quantized replay diverged at backend "
+            << kernels::BackendName(b) << ", " << threads << " threads";
+      }
+    }
+  }
+  SetNumThreads(saved_threads);
+  kernels::SetBackendForTesting(orig);
+  ASSERT_TRUE(have_reference);
+}
+
+TEST_F(QuantParityTest, SlotsUnderOnlinePredictorBitExactly) {
+  QuantOptions opt;
+  opt.check_every = 0;
+  auto q = QuantizedForecaster::Create(model_, opt);
+  ASSERT_TRUE(q.ok());
+  auto predictor = serve::OnlinePredictor::Create(q->get(), *dataset_,
+                                                  split_->test_begin);
+  ASSERT_TRUE(predictor.ok()) << predictor.status().ToString();
+  for (int64_t step = split_->test_begin; step < split_->test_begin + 40;
+       ++step) {
+    auto streamed = predictor->PredictNext();
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    auto direct = (*q)->PredictSample(dataset_->MakeSample(step));
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(*streamed, *direct) << "step " << step;
+    const std::vector<float> row = dataset_->StepCounts(step);
+    ASSERT_TRUE(
+        predictor->Observe(std::vector<double>(row.begin(), row.end())).ok());
+  }
+}
+
+TEST_F(QuantParityTest, DriftTripServesFloatFromTheTrippingStepOn) {
+  QuantOptions opt;
+  opt.check_every = 1;       // probe every step
+  opt.drift_threshold = -1;  // any drift (even 0) trips immediately
+  auto q = QuantizedForecaster::Create(model_, opt);
+  ASSERT_TRUE(q.ok());
+  for (int64_t step = split_->test_begin; step < split_->test_begin + 10;
+       ++step) {
+    auto pred = (*q)->PredictSample(dataset_->MakeSample(step));
+    ASSERT_TRUE(pred.ok());
+    auto flt = model_->Predict(*dataset_, step);
+    ASSERT_TRUE(flt.ok());
+    // Including the tripping step itself: float bits, not quantized bits.
+    ASSERT_EQ(*pred, *flt) << "step " << step;
+  }
+  const serve::QuantStats s = (*q)->stats();
+  EXPECT_TRUE(s.tripped);
+  EXPECT_EQ(s.drift_trips, 1);
+  EXPECT_EQ(s.probes, 1);
+  EXPECT_EQ(s.quant_steps, 0);
+  EXPECT_EQ(s.float_steps, 10);
+}
+
+TEST_F(QuantParityTest, FaultSiteForcesTripDeterministically) {
+  for (int run = 0; run < 2; ++run) {
+    fault::ScopedFaults faults("nn.quant.drift:every=1");
+    QuantOptions opt;
+    opt.check_every = 0;  // no scheduled probes: the fault alone must trip
+    auto q = QuantizedForecaster::Create(model_, opt);
+    ASSERT_TRUE(q.ok());
+    auto pred = (*q)->PredictSample(dataset_->MakeSample(split_->test_begin));
+    ASSERT_TRUE(pred.ok());
+    auto flt = model_->Predict(*dataset_, split_->test_begin);
+    ASSERT_TRUE(flt.ok());
+    ASSERT_EQ(*pred, *flt) << "forced-trip step must serve float";
+    const serve::QuantStats s = (*q)->stats();
+    EXPECT_TRUE(s.tripped);
+    EXPECT_EQ(s.drift_trips, 1);
+    EXPECT_EQ(s.float_steps, 1);
+    EXPECT_EQ(s.quant_steps, 0);
+  }
+}
+
+// --- pack cache --------------------------------------------------------
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteAll(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+TEST_F(QuantParityTest, PackCacheRoundTripsAndIsKeyedToCheckpointCrc) {
+  const std::string ckpt = ::testing::TempDir() + "/quant_model.ckpt";
+  const std::string pack = ::testing::TempDir() + "/quant_model.qpack";
+  ASSERT_TRUE(model_->SaveCheckpoint(ckpt).ok());
+  ASSERT_TRUE(model_->PackQuantized().ok());
+  ASSERT_TRUE(model_->SaveQuantPack(pack, ckpt).ok());
+
+  // Round trip: loading against the same checkpoint succeeds and the
+  // loaded packs predict bit-identically to freshly built ones.
+  ASSERT_TRUE(model_->LoadQuantPack(pack, ckpt).ok());
+  {
+    // Create() would repack; compare the loaded packs directly instead.
+    nn::quant::ScopedQuantMode mode;
+    auto from_cache = model_->PredictSample(dataset_->MakeSample(
+        split_->test_begin));
+    ASSERT_TRUE(from_cache.ok());
+    auto rebuilt_model = model_->PackQuantized();
+    ASSERT_TRUE(rebuilt_model.ok());
+    auto rebuilt = model_->PredictSample(dataset_->MakeSample(
+        split_->test_begin));
+    ASSERT_TRUE(rebuilt.ok());
+    ASSERT_EQ(*from_cache, *rebuilt)
+        << "cached packs diverge from freshly built packs";
+  }
+
+  // A checkpoint whose bytes changed (retrain, different seed, anything)
+  // must invalidate the cache: error, not silent repack.
+  const std::string ckpt2 = ::testing::TempDir() + "/quant_model2.ckpt";
+  WriteAll(ckpt2, ReadAll(ckpt) + "# trailing tamper\n");
+  Status stale = model_->LoadQuantPack(pack, ckpt2);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_NE(stale.message().find("stale"), std::string::npos)
+      << stale.ToString();
+
+  // Corrupt payload bytes under an intact header: the body CRC catches it.
+  const std::string text = ReadAll(pack);
+  const std::string bad = ::testing::TempDir() + "/quant_model_bad.qpack";
+  std::string corrupt = text;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  WriteAll(bad, corrupt);
+  EXPECT_FALSE(model_->LoadQuantPack(bad, ckpt).ok());
+
+  // Truncations at several depths must all be detected.
+  for (double frac : {0.1, 0.5, 0.98}) {
+    WriteAll(bad, text.substr(0, static_cast<size_t>(frac * text.size())));
+    EXPECT_FALSE(model_->LoadQuantPack(bad, ckpt).ok())
+        << "truncation at " << frac << " went undetected";
+  }
+
+  // Version mismatch: the error names the found AND maximum versions.
+  std::string future = text;
+  const std::string hdr = "ealgap-quant-pack 1";
+  const size_t hp = future.find(hdr);
+  ASSERT_NE(hp, std::string::npos);
+  future.replace(hp, hdr.size(), "ealgap-quant-pack 9");
+  WriteAll(bad, future);
+  Status vs = model_->LoadQuantPack(bad, ckpt);
+  EXPECT_FALSE(vs.ok());
+  EXPECT_NE(vs.message().find("9"), std::string::npos) << vs.ToString();
+  EXPECT_NE(vs.message().find("maximum supported: 1"), std::string::npos)
+      << vs.ToString();
+}
+
+TEST_F(QuantParityTest, CheckpointVersionErrorNamesFoundAndMaxVersions) {
+  const std::string good = ::testing::TempDir() + "/ver_model.ckpt";
+  ASSERT_TRUE(model_->SaveCheckpoint(good).ok());
+  std::string text = ReadAll(good);
+  const std::string hdr = "ealgap-checkpoint 1";
+  const size_t hp = text.find(hdr);
+  ASSERT_NE(hp, std::string::npos);
+  text.replace(hp, hdr.size(), "ealgap-checkpoint 7");
+  const std::string bad = ::testing::TempDir() + "/ver_model_bad.ckpt";
+  WriteAll(bad, text);
+  core::EalgapForecaster fresh;
+  Status st = fresh.LoadCheckpoint(bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("version 7"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("maximum supported: 1"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(QuantParityTest, CreateRejectsNullAndUnfittedModels) {
+  EXPECT_FALSE(QuantizedForecaster::Create(nullptr).ok());
+  core::EalgapForecaster unfitted;
+  EXPECT_FALSE(QuantizedForecaster::Create(&unfitted).ok());
+}
+
+}  // namespace
+}  // namespace ealgap

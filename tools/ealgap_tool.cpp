@@ -11,6 +11,7 @@
 //   evaluate  --trips T.csv --stations S.csv --start YYYY-MM-DD --days N
 //             [--regions K] [--scheme EALGAP] [--epochs N] [--save ckpt.txt]
 //             [--train-state path --checkpoint-every K [--resume]]
+//             [--quant]
 //       Runs the full pipeline on a trip feed, trains the scheme, and
 //       reports the test metrics. --save checkpoints the fitted model.
 //       --train-state writes a crash-safe full-training-state snapshot
@@ -31,7 +32,8 @@
 //   serve     --trips T.csv --stations S.csv --start YYYY-MM-DD --days N
 //             --checkpoint ckpt.txt [--regions K] [--seed N]
 //             [--repair reject|hold-last|impute] [--deadline-ms D]
-//             [--recovery K]
+//             [--recovery K] [--quant] [--quant-check-every N]
+//             [--quant-threshold D] [--quant-pack P.qpack]
 //       Loads a checkpointed model, seeds an OnlinePredictor at the start
 //       of the test range, and replays the test feed step by step
 //       (predict, then observe the realized counts) through the
@@ -40,8 +42,15 @@
 //       input-guard policy for bad values and gaps; --deadline-ms bounds
 //       the model's answer time (0 = unbounded); --recovery is the
 //       hysteresis: consecutive healthy model answers needed to promote
-//       back from a fallback. Arm EALGAP_FAULTS (see
-//       src/common/fault_injection.h) to rehearse failures.
+//       back from a fallback. --quant serves through the int8 quantized
+//       forward (DESIGN.md §8g) with a float-parity drift guard:
+//       --quant-check-every sets the shadow-probe cadence (0 = off,
+//       default 64), --quant-threshold the max tolerated per-region
+//       relative drift before the sticky float fallback (default 0.5),
+//       and --quant-pack a pack-cache
+//       file keyed to the checkpoint's CRC (stale caches are a hard
+//       error). Arm EALGAP_FAULTS (see src/common/fault_injection.h) to
+//       rehearse failures.
 //
 //   daemon    [--shards N] [--regions-per-shard R] [--days D] [--epochs E]
 //             [--ticks T] [--seed S] [--threads W] [--state-dir DIR]
@@ -49,6 +58,7 @@
 //             [--ms-per-tick MS] [--model-deadline-ms MS]
 //             [--checkpoint-every K] [--steady-rate X] [--steady-ticks A]
 //             [--burst-rate Y] [--burst-ticks B] [--load-seed S]
+//             [--quant] [--quant-check-every N] [--quant-threshold D]
 //       Overload-safe sharded serving soak (DESIGN.md §8f): builds a
 //       synthetic fleet of N shards (R regions each), fits a small EALGAP
 //       model per shard, and drives T virtual-time ticks of seeded
@@ -59,16 +69,20 @@
 //       attribution, per-region guard quarantines) and the replay digest;
 //       exits non-zero if any request went unattributed. --state-dir
 //       enables on-disk CRC'd checkpoints so restarts rehearse the
-//       recover-from-disk path. Arm EALGAP_FAULTS with daemon.queue.full /
-//       daemon.shard.stall / daemon.shard.crash (plus the nn.* sites) for
-//       chaos soaks.
+//       recover-from-disk path. --quant serves every shard through the
+//       int8 quantized forward with per-shard drift guards (restarts
+//       re-wrap the reloaded checkpoint). Arm EALGAP_FAULTS with
+//       daemon.queue.full / daemon.shard.stall / daemon.shard.crash (plus
+//       the nn.* sites, including nn.quant.drift) for chaos soaks.
 //
 // Exit code 0 on success; errors go to stderr.
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "common/checksum.h"
@@ -85,6 +99,7 @@
 #include "data/trip.h"
 #include "serve/daemon.h"
 #include "serve/online_predictor.h"
+#include "serve/quantized_forecaster.h"
 #include "serve/resilient_predictor.h"
 #include "stats/metrics.h"
 
@@ -236,6 +251,23 @@ void PrintMetrics(const std::string& title, const stats::MetricReport& m) {
   table.Print(std::cout);
 }
 
+serve::QuantOptions QuantOptionsFromFlags(const Flags& flags) {
+  serve::QuantOptions opt;
+  opt.check_every = flags.GetInt("quant-check-every", 64);
+  opt.drift_threshold = flags.GetDouble("quant-threshold", 0.5);
+  return opt;
+}
+
+void PrintQuantStats(const serve::QuantStats& s) {
+  TablePrinter qt("int8 quantized serving (drift guard)",
+                  {"quant-steps", "float-steps", "probes", "trips",
+                   "max-drift", "tripped"});
+  qt.AddRow({std::to_string(s.quant_steps), std::to_string(s.float_steps),
+             std::to_string(s.probes), std::to_string(s.drift_trips),
+             TablePrinter::Num(s.max_drift), s.tripped ? "yes" : "no"});
+  qt.Print(std::cout);
+}
+
 int Evaluate(const Flags& flags) {
   core::PreparedData prepared;
   if (int rc = BuildPrepared(flags, &prepared); rc != 0) return rc;
@@ -289,6 +321,34 @@ int Evaluate(const Flags& flags) {
   if (!ps.ok()) return Fail(ps);
   PrintMetrics("test metrics (" + scheme + ")",
                stats::ComputeMetrics(pred, truth));
+
+  if (flags.GetBool("quant")) {
+    auto* neural = dynamic_cast<NeuralForecaster*>(model->get());
+    if (neural == nullptr) {
+      std::cerr << "error: --quant supports neural schemes only, not "
+                << scheme << "\n";
+      return 1;
+    }
+    auto quant =
+        serve::QuantizedForecaster::Create(neural, QuantOptionsFromFlags(flags));
+    if (!quant.ok()) return Fail(quant.status());
+    std::vector<double> qpred, qtruth;
+    Status qs = (*quant)->PredictRange(prepared.dataset,
+                                       prepared.split.test_begin,
+                                       prepared.split.test_end, &qpred,
+                                       &qtruth);
+    if (!qs.ok()) return Fail(qs);
+    PrintMetrics("test metrics (" + scheme + ", int8)",
+                 stats::ComputeMetrics(qpred, qtruth));
+    double worst = 0.0;
+    for (size_t i = 0; i < pred.size() && i < qpred.size(); ++i) {
+      worst = std::max(worst, std::abs(qpred[i] - pred[i]) /
+                                  std::max(std::abs(pred[i]), 1.0));
+    }
+    std::cout << "int8 vs float: max relative prediction drift "
+              << TablePrinter::Num(worst) << "\n";
+    PrintQuantStats((*quant)->stats());
+  }
   return 0;
 }
 
@@ -402,8 +462,40 @@ int Serve(const Flags& flags) {
 
   auto model = core::LoadForecasterFromCheckpoint(ckpt);
   if (!model.ok()) return Fail(model.status());
+
+  // --quant: serve through the int8 forward with the drift guard. The
+  // optional pack cache is keyed to the checkpoint file's CRC — loading a
+  // cache built from different checkpoint bytes is a hard error, never a
+  // silent repack.
+  Forecaster* serving = model->get();
+  std::unique_ptr<serve::QuantizedForecaster> quant;
+  if (flags.GetBool("quant")) {
+    auto* neural = dynamic_cast<NeuralForecaster*>(model->get());
+    if (neural == nullptr) {
+      std::cerr << "error: --quant requires a neural checkpoint\n";
+      return 1;
+    }
+    auto q = serve::QuantizedForecaster::Create(neural,
+                                                QuantOptionsFromFlags(flags));
+    if (!q.ok()) return Fail(q.status());
+    quant = std::move(q).value();
+    const std::string pack_path = flags.GetString("quant-pack", "");
+    if (!pack_path.empty()) {
+      if (std::ifstream(pack_path).good()) {
+        Status loaded = neural->LoadQuantPack(pack_path, ckpt);
+        if (!loaded.ok()) return Fail(loaded);
+        std::cout << "quantized packs loaded from " << pack_path << "\n";
+      } else {
+        Status saved = neural->SaveQuantPack(pack_path, ckpt);
+        if (!saved.ok()) return Fail(saved);
+        std::cout << "quantized packs written to " << pack_path << "\n";
+      }
+    }
+    serving = quant.get();
+  }
+
   auto predictor = serve::OnlinePredictor::Create(
-      model->get(), prepared.dataset, prepared.split.test_begin);
+      serving, prepared.dataset, prepared.split.test_begin);
   if (!predictor.ok()) return Fail(predictor.status());
 
   auto repair = serve::ParseRepairPolicy(flags.GetString("repair", "reject"));
@@ -496,6 +588,7 @@ int Serve(const Flags& flags) {
   gt.Print(std::cout);
   std::vector<int64_t> quarantine(gs.quarantine.begin(), gs.quarantine.end());
   PrintRegionQuarantines(quarantine);
+  if (quant != nullptr) PrintQuantStats(quant->stats());
   return 0;
 }
 
@@ -529,6 +622,9 @@ int Daemon(const Flags& flags) {
   daemon_config.model_deadline_ms =
       flags.GetDouble("model-deadline-ms", 50.0);
   serve::Daemon daemon(daemon_config);
+
+  const bool quant_enabled = flags.GetBool("quant");
+  const serve::QuantOptions qopt = QuantOptionsFromFlags(flags);
 
   const std::string state_dir = flags.GetString("state-dir", "");
   for (int s = 0; s < shards; ++s) {
@@ -569,11 +665,40 @@ int Daemon(const Flags& flags) {
     shard_config.guard.max_gap_steps = 4096;
     shard_config.resilience.recovery_successes =
         static_cast<int>(flags.GetInt("recovery", 3));
+    // --quant: each shard serves through its own drift-guarded int8
+    // wrapper, and restarts-from-checkpoint re-wrap the reloaded float
+    // model so a restarted shard keeps serving quantized.
+    std::unique_ptr<Forecaster> serving_model;
+    serve::ModelReloader reloader;
+    if (quant_enabled) {
+      auto quant = serve::QuantizedForecaster::Create(
+          std::unique_ptr<NeuralForecaster>(std::move(model)), qopt);
+      if (!quant.ok()) return Fail(quant.status());
+      serving_model = std::move(quant).value();
+      reloader = [qopt](const std::string& path)
+          -> Result<std::unique_ptr<Forecaster>> {
+        auto loaded = core::LoadForecasterFromCheckpoint(path);
+        if (!loaded.ok()) return loaded.status();
+        auto* neural = dynamic_cast<NeuralForecaster*>(loaded->get());
+        if (neural == nullptr) {
+          return Status::InvalidArgument(
+              "reloaded checkpoint is not a neural model; cannot quantize");
+        }
+        loaded->release();
+        auto rewrapped = serve::QuantizedForecaster::Create(
+            std::unique_ptr<NeuralForecaster>(neural), qopt);
+        if (!rewrapped.ok()) return rewrapped.status();
+        return std::unique_ptr<Forecaster>(std::move(rewrapped).value());
+      };
+    } else {
+      serving_model = std::move(model);
+      reloader = [](const std::string& path) {
+        return core::LoadForecasterFromCheckpoint(path);
+      };
+    }
     auto shard = serve::Shard::Create(
-        std::move(*dataset), std::move(model), split->test_begin,
-        shard_config, [](const std::string& path) {
-          return core::LoadForecasterFromCheckpoint(path);
-        });
+        std::move(*dataset), std::move(serving_model), split->test_begin,
+        shard_config, std::move(reloader));
     if (!shard.ok()) return Fail(shard.status());
     daemon.AddShard(std::move(shard).value());
   }
@@ -677,6 +802,25 @@ int Daemon(const Flags& flags) {
   }
   ht.Print(std::cout);
   PrintRegionQuarantines(fleet_quarantine);
+
+  if (quant_enabled) {
+    // Fleet-wide drift-guard telemetry, aggregated over whatever wrapper
+    // each shard is serving right now (restarts replace the model).
+    serve::QuantStats fleet;
+    for (int s = 0; s < daemon.num_shards(); ++s) {
+      auto* quant = dynamic_cast<serve::QuantizedForecaster*>(
+          daemon.shard(s)->model());
+      if (quant == nullptr) continue;
+      const serve::QuantStats qs = quant->stats();
+      fleet.quant_steps += qs.quant_steps;
+      fleet.float_steps += qs.float_steps;
+      fleet.probes += qs.probes;
+      fleet.drift_trips += qs.drift_trips;
+      fleet.max_drift = std::max(fleet.max_drift, qs.max_drift);
+      fleet.tripped = fleet.tripped || qs.tripped;
+    }
+    PrintQuantStats(fleet);
+  }
 
   std::cout << "replay digest: " << Crc32Hex(daemon.digest()) << "\n";
   const int64_t bad_predicts = report.UnattributedPredicts();
