@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: build, run the full test suite, rehearse an interrupted
 # experiment sweep (crash + resume must reproduce the clean run byte for
-# byte), chaos-soak the serving daemon with faults armed, TSan the
-# concurrent serving paths, and ASan the checkpoint/resume parsers.
+# byte), chaos-soak the serving daemon with faults armed (plain, quantized,
+# and adaptive), TSan the concurrent serving paths, ASan the
+# checkpoint/resume parsers, and UBSan the adaptation arithmetic.
 #
 # Usage: scripts/ci.sh
 #   BUILD_DIR=<dir>       main build directory   (default: build)
 #   TSAN_BUILD_DIR=<dir>  TSan build directory   (default: build-tsan)
 #   ASAN_BUILD_DIR=<dir>  ASan build directory   (default: build-asan)
+#   UBSAN_BUILD_DIR=<dir> UBSan build directory  (default: build-ubsan)
 #   EALGAP_CI_BENCH=1     also run the bench stage: re-measure the micro
 #                         suites in Release and fail on >15% cpu_time
 #                         regression vs the committed BENCH_*.json baselines
@@ -124,6 +126,20 @@ EALGAP_FAULTS="daemon.queue.full:p=0.05:seed=11,daemon.shard.crash:p=0.01:seed=1
   --state-dir "$RESUME_TMP/daemon_state_quant" | tail -n 3
 echo "daemon soak: quantized fault-armed run exited clean with full attribution"
 
+# The adaptation soak: test-time adaptation on, with every serve.adapt.*
+# failure site armed (poisoned validation loss, forced rejection, micro-fit
+# infra failure, attempt stall) plus shard crashes — so attempts roll back,
+# the sticky freeze trips and probe-recovers, and crashed shards resume
+# their adapted weights + detector posture from checkpoints. The tool exits
+# 3 if any adaptation attempt ends the run unattributed (attempts !=
+# commits + rollbacks), so exit 0 IS the adaptation-attribution assertion.
+EALGAP_FAULTS="serve.adapt.nan:every=3,serve.adapt.reject:every=4,serve.adapt.error:every=5,serve.adapt.delay:every=7:ms=1,daemon.shard.crash:every=83" \
+  "$TOOL" daemon --shards 2 --ticks 200 --days 40 --epochs 0 --adapt \
+  --adapt-cusum-h 4 --adapt-window 32 --adapt-min-window 12 \
+  --adapt-holdout 4 --adapt-cooldown 8 \
+  --state-dir "$RESUME_TMP/daemon_state_adapt" | tail -n 4
+echo "daemon soak: adaptive fault-armed run exited clean with full attribution"
+
 echo "===== alloc-free stage: zero-allocation serve contract ====="
 # The counting run: alloc_guard_test links a malloc-family interposition
 # hook and asserts 0 heap allocations over 240-step healthy AND
@@ -168,6 +184,24 @@ for t in train_resume_test fault_injection_test experiment_test \
   "./$ASAN_BUILD_DIR/tests/$t"
 done
 
+echo "===== UBSan: adaptation + serving arithmetic paths ====="
+# The adaptation layer leans on arithmetic edge cases by design (CUSUM
+# z-scores over a floored sigma, log2 scoring near zero, int64 step
+# counters): UndefinedBehaviorSanitizer with -fno-sanitize-recover turns
+# any signed overflow, bad shift, or misaligned access in those paths into
+# a test failure. daemon_test drives the full adapt/freeze/restart
+# machinery; robustness_test drives the corrupt-input parsers whose
+# error paths do offset arithmetic on attacker-shaped files.
+UBSAN_BUILD_DIR="${UBSAN_BUILD_DIR:-build-ubsan}"
+cmake -B "$UBSAN_BUILD_DIR" -S . -G Ninja -DEALGAP_SANITIZE=undefined
+cmake --build "$UBSAN_BUILD_DIR" -j --target \
+  daemon_test robustness_test fault_injection_test quant_parity_test
+for t in daemon_test robustness_test fault_injection_test \
+         quant_parity_test; do
+  echo "----- UBSan: $t -----"
+  "./$UBSAN_BUILD_DIR/tests/$t"
+done
+
 if [[ "${EALGAP_CI_BENCH:-0}" == "1" ]]; then
   echo "===== bench stage: regression check vs committed baselines ====="
   # Measure into a scratch directory (never overwrites the committed
@@ -177,7 +211,8 @@ if [[ "${EALGAP_CI_BENCH:-0}" == "1" ]]; then
   for pair in "micro_tensor_ops:BENCH_tensor_ops.json" \
               "micro_serve:BENCH_serve.json" \
               "micro_daemon:BENCH_daemon.json" \
-              "micro_quant:BENCH_quant.json"; do
+              "micro_quant:BENCH_quant.json" \
+              "micro_adapt:BENCH_adapt.json"; do
     target="${pair%%:*}"
     baseline="${pair##*:}"
     if [[ ! -f "$baseline" ]]; then

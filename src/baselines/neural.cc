@@ -117,6 +117,103 @@ Result<double> NeuralForecaster::EvaluateLoss(
   return total / static_cast<double>(steps.size());
 }
 
+Result<std::map<std::string, Tensor>> NeuralForecaster::CaptureParams() {
+  if (!fitted_) {
+    return Status::FailedPrecondition(name() +
+                                      " captured before Fit/LoadCheckpoint");
+  }
+  std::map<std::string, Tensor> out;
+  for (const auto& [pname, p] : module()->NamedParameters()) {
+    out.emplace(pname, p.value().Clone());
+  }
+  return out;
+}
+
+Status NeuralForecaster::RestoreParams(
+    const std::map<std::string, Tensor>& params) {
+  if (!fitted_) {
+    return Status::FailedPrecondition(name() +
+                                      " restored before Fit/LoadCheckpoint");
+  }
+  return nn::ApplyParameters(*module(), params, "parameter snapshot");
+}
+
+Result<double> NeuralForecaster::EvaluateSamplesLoss(
+    const std::vector<data::WindowSample>& samples, int batch_size) {
+  if (!fitted_) {
+    return Status::FailedPrecondition(name() +
+                                      " evaluated before Fit/LoadCheckpoint");
+  }
+  if (samples.empty()) {
+    return Status::InvalidArgument("EvaluateSamplesLoss needs samples");
+  }
+  if (batch_size < 1) {
+    return Status::InvalidArgument("EvaluateSamplesLoss batch_size < 1");
+  }
+  NoGradGuard no_grad;
+  const size_t bs = static_cast<size_t>(batch_size);
+  double total = 0.0;
+  for (size_t begin = 0; begin < samples.size(); begin += bs) {
+    const size_t end = std::min(samples.size(), begin + bs);
+    std::vector<data::WindowSample> batch(samples.begin() + begin,
+                                          samples.begin() + end);
+    Var pred = ForwardBatch(batch);
+    Tensor scaled = ScaleTargets(StackTargets(batch));
+    Var loss = ComputeLoss(pred, scaled);
+    const double l = static_cast<double>(loss.value().data()[0]);
+    if (!std::isfinite(l)) {
+      return Status::Internal("non-finite loss in sample batch " +
+                              std::to_string(begin / bs) + " of " + name());
+    }
+    total += l * static_cast<double>(end - begin);
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+Status NeuralForecaster::MicroFit(
+    const std::vector<data::WindowSample>& samples,
+    const MicroFitConfig& config) {
+  if (!fitted_) {
+    return Status::FailedPrecondition(name() +
+                                      " micro-fit before Fit/LoadCheckpoint");
+  }
+  if (samples.empty()) {
+    return Status::InvalidArgument("MicroFit needs samples");
+  }
+  if (config.steps < 1 || config.batch_size < 1) {
+    return Status::InvalidArgument("MicroFit steps/batch_size must be >= 1");
+  }
+  std::vector<Var> params = module()->Parameters();
+  nn::Sgd optimizer(params, config.learning_rate);
+  const size_t bs = static_cast<size_t>(config.batch_size);
+  size_t cursor = 0;
+  for (int step = 0; step < config.steps; ++step) {
+    std::vector<data::WindowSample> batch;
+    batch.reserve(bs);
+    for (size_t i = 0; i < bs; ++i) {
+      batch.push_back(samples[cursor]);
+      cursor = (cursor + 1) % samples.size();
+    }
+    module()->ZeroGrad();
+    Var pred = ForwardBatch(batch);
+    Tensor scaled = ScaleTargets(StackTargets(batch));
+    Var loss = ComputeLoss(pred, scaled);
+    const double loss_val = static_cast<double>(loss.value().data()[0]);
+    if (!std::isfinite(loss_val)) {
+      return Status::Internal("non-finite micro-fit loss at step " +
+                              std::to_string(step) + " of " + name());
+    }
+    Backward(loss);
+    const float norm = nn::ClipGradNorm(params, config.grad_clip);
+    if (!std::isfinite(norm)) {
+      return Status::Internal("non-finite micro-fit gradient norm at step " +
+                              std::to_string(step) + " of " + name());
+    }
+    optimizer.Step();
+  }
+  return Status::OK();
+}
+
 /// Everything Fit needs to continue from an epoch boundary: parameters,
 /// optimizer moments, the RNG stream, loop counters, the best-validation
 /// snapshot, and the attribution stats. One struct serves both the

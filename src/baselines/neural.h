@@ -76,6 +76,37 @@ class NeuralForecaster : public Forecaster {
   Status LoadQuantPack(const std::string& pack_path,
                        const std::string& checkpoint_path);
 
+  /// Bounded online fine-tune knobs (serve::AdaptivePredictor). Plain SGD,
+  /// deliberately: a micro-fit leaves no optimizer moments behind, so
+  /// RestoreParams alone rolls the model back bit-exactly.
+  struct MicroFitConfig {
+    int steps = 4;             ///< SGD steps per adaptation attempt
+    int batch_size = 8;        ///< samples per step (cycled in order)
+    float learning_rate = 1e-3f;
+    float grad_clip = 1.0f;
+  };
+
+  /// Snapshot of every module parameter (name -> cloned tensor), the same
+  /// capture path Fit's divergence rollback uses. Requires a fitted model.
+  Result<std::map<std::string, Tensor>> CaptureParams();
+
+  /// Bit-exact restore of a CaptureParams snapshot (nn::ApplyParameters:
+  /// names and shapes validated, bytes copied).
+  Status RestoreParams(const std::map<std::string, Tensor>& params);
+
+  /// Mean model-space loss over `samples`, batched serially in order with
+  /// gradients off — deterministic for a fixed parameter state regardless
+  /// of thread count. Requires a fitted model and a non-empty sample set.
+  Result<double> EvaluateSamplesLoss(
+      const std::vector<data::WindowSample>& samples, int batch_size);
+
+  /// Bounded SGD fine-tune on `samples` (cycled in order): the Fit train
+  /// step body — forward, scaled-target loss, backward, clip, step — minus
+  /// Adam, shuffling, and early stopping. Fails (leaving the caller to
+  /// RestoreParams) on a non-finite loss or gradient norm.
+  Status MicroFit(const std::vector<data::WindowSample>& samples,
+                  const MicroFitConfig& config);
+
   /// Mean validation loss of the best epoch (for diagnostics).
   double best_validation_loss() const { return best_val_loss_; }
   /// Wall-clock milliseconds of one average optimization step.

@@ -84,12 +84,14 @@ void Arena::Reserve(std::size_t bytes) {
 Arena* CurrentArena() { return t_current_arena; }
 
 ArenaScope::ArenaScope(Arena* arena)
-    : arena_(arena), prev_(t_current_arena), mark_(arena->Checkpoint()) {
+    : arena_(arena),
+      prev_(t_current_arena),
+      mark_(arena != nullptr ? arena->Checkpoint() : Arena::Mark{}) {
   t_current_arena = arena_;
 }
 
 ArenaScope::~ArenaScope() {
-  arena_->Rewind(mark_);
+  if (arena_ != nullptr) arena_->Rewind(mark_);
   t_current_arena = prev_;
 }
 

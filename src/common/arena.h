@@ -95,7 +95,9 @@ Arena* CurrentArena();
 /// RAII: installs `arena` as the thread's current arena, checkpoints it,
 /// and on destruction rewinds to the checkpoint and restores the previous
 /// current arena. Scopes nest (inner scopes may use the same or another
-/// arena).
+/// arena). `ArenaScope(nullptr)` installs the plain heap — the escape
+/// hatch for code running inside an arena scope that must produce
+/// allocations outliving it (e.g. the adaptive ring's sample clones).
 class ArenaScope {
  public:
   explicit ArenaScope(Arena* arena);

@@ -36,7 +36,19 @@ constexpr const char* kKnownSites[] = {
     "io.write.partial",  "io.dir.fsync.fail", "train.step.nan",
     "train.step.error",  "train.step.delay",  "train.eval.error",
     "daemon.queue.full", "daemon.shard.stall", "daemon.shard.crash",
+    "serve.adapt.nan",   "serve.adapt.error",  "serve.adapt.delay",
+    "serve.adapt.reject",
 };
+
+/// Only delay sites consume an `ms=` option; arming it anywhere else is a
+/// spec bug the harness rejects instead of silently ignoring.
+bool IsDelaySite(const std::string& site) {
+  if (site.rfind("test.", 0) == 0) return true;
+  constexpr const char* kSuffix = ".delay";
+  constexpr size_t kSuffixLen = 6;
+  return site.size() > kSuffixLen &&
+         site.compare(site.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
+}
 
 bool IsKnownSite(const std::string& site) {
   if (site.rfind("test.", 0) == 0) return true;
@@ -193,6 +205,11 @@ class Registry {
         }
         const std::string key = field.substr(0, eq);
         const std::string value = field.substr(eq + 1);
+        if (key == "ms" && !IsDelaySite(site)) {
+          return Status::ParseError(
+              "fault option ms= is only valid on *.delay sites, but site '" +
+              site + "' is not a delay site (clause '" + clause + "')");
+        }
         if (!IsKnownOptionKey(key)) {
           return Status::ParseError("unknown fault option key '" + key +
                                     "' in clause '" + clause +

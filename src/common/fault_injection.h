@@ -48,8 +48,10 @@ namespace fault {
 ///   every=<n>  fire on every n-th eligible call instead of randomly.
 ///   after=<n>  first n calls never fire.
 ///   max=<n>    stop firing after n fires (transient faults).
-///   ms=<n>     free-form numeric parameter, read by the site (latency
-///              sites interpret it as a delay in milliseconds).
+///   ms=<n>     delay in milliseconds; accepted only on latency sites
+///              (*.delay, or anything under test.) — arming it on any
+///              other site is a ParseError naming the site, so a clause
+///              that expects a stall can never silently arm a hard fault.
 ///
 /// Every decision is serialized under one mutex, so concurrent callers are
 /// safe; the *order* in which threads consume a probabilistic site's RNG

@@ -76,8 +76,18 @@ Status ReadParameterBlock(std::istream& in, int64_t count,
     Shape shape(rank);
     int64_t numel = 1;
     for (int64_t i = 0; i < rank; ++i) {
-      if (!(is >> shape[i]) || shape[i] < 0 ||
-          shape[i] > kMaxParameterNumel || numel * shape[i] > kMaxParameterNumel) {
+      if (!(is >> shape[i])) {
+        return Status::ParseError("bad shape for " + name + " in " + context);
+      }
+      // A zero or negative dimension in a corrupt header is named here —
+      // it must never survive into tensor allocation or an OOB copy.
+      if (shape[i] < 1) {
+        return Status::ParseError(
+            "parameter " + name + " dimension " + std::to_string(i) + " is " +
+            std::to_string(shape[i]) + " (must be >= 1) in " + context);
+      }
+      if (shape[i] > kMaxParameterNumel ||
+          numel * shape[i] > kMaxParameterNumel) {
         return Status::ParseError("bad shape for " + name + " in " + context);
       }
       numel *= shape[i];

@@ -293,6 +293,33 @@ void Daemon::Tick(const std::vector<int>& predict_arrivals) {
     }
   }
 
+  // --- adapt: deferred test-time adaptation, single-threaded in shard
+  // index order from the supervisor thread. Runs OUTSIDE the timed serve
+  // fan-out, so a micro-fine-tune never eats a request's deadline budget;
+  // every decision is driven by observed-step counters (virtual time), so
+  // replays make identical adaptation decisions at any thread count. A
+  // shard without an AdaptivePredictor no-ops and adds nothing to the
+  // digest — adaptation off leaves the replay digest bit-identical. ------
+  for (int s = 0; s < n; ++s) {
+    Shard& sh = *shards_[static_cast<size_t>(s)];
+    if (sh.health() == ShardHealth::kQuarantined) continue;
+    Result<AdaptEvent> event = sh.MaybeAdapt();
+    if (!event.ok()) {
+      // Only an unrecoverable snapshot-restore failure lands here: the
+      // shard's parameters can no longer be trusted — fence it and let the
+      // restart path reload the last good checkpoint.
+      Quarantine(s, /*injected_crash=*/false);
+      continue;
+    }
+    if (event->outcome != AdaptOutcome::kNone) {
+      DigestAdd(0xAD000000ull |
+                (static_cast<uint64_t>(event->outcome) << 8) |
+                (event->froze ? 2ull : 0ull) | (event->unfroze ? 1ull : 0ull));
+      DigestAdd(static_cast<uint64_t>(s));
+      DigestAdd(static_cast<uint64_t>(tick_));
+    }
+  }
+
   // --- checkpoint cadence ----------------------------------------------
   for (int s = 0; s < n; ++s) {
     Shard& sh = *shards_[static_cast<size_t>(s)];
@@ -330,6 +357,7 @@ SloReport Daemon::Report() const {
     out.observes_guard_rejected += t.observes_rejected;
     out.checkpoints_written += t.checkpoints_written;
     out.checkpoint_failures += t.checkpoint_failures;
+    out.adapt.Accumulate(t.adapt);
   }
 
   // Queue occupancy is tracked independently (counted at push/pop on the

@@ -58,6 +58,12 @@ struct SloReport {
   int64_t shed_quarantine_observe = 0;
   int64_t queued_observe = 0;
 
+  /// Test-time adaptation attribution, folded from every shard across
+  /// restarts (all-zero when serving without --adapt). Its own
+  /// conservation law — attempts == commits + rollbacks — rides along
+  /// with the request law: adapt.UnattributedAdaptations() must be zero.
+  AdaptStats adapt;
+
   // Supervisor.
   int64_t crashes_injected = 0;
   int64_t stall_ticks_injected = 0;

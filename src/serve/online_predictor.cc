@@ -563,12 +563,29 @@ Result<OnlinePredictor> OnlinePredictor::LoadState(const std::string& path,
   p.model_ = model;
   int64_t l = 0, m = 0, nh = 0;
   EALGAP_RETURN_IF_ERROR(ExpectTag(in, "geometry", path));
-  if (!(in >> p.num_regions_ >> p.steps_per_day_ >> l >> m >> nh) ||
-      p.num_regions_ < 1 || p.num_regions_ > (1 << 20) ||
-      p.steps_per_day_ < 1 || p.steps_per_day_ > 1440 || l < 1 || l > 4096 ||
-      m < 1 || m > 4096 || nh < 1 || nh > 4096) {
+  if (!(in >> p.num_regions_ >> p.steps_per_day_ >> l >> m >> nh)) {
     return Status::ParseError("bad geometry line in " + path);
   }
+  // Each geometry field is validated by name: a zero or negative count from
+  // a corrupt header must die here, not as an OOB index or a giant
+  // allocation when the rings are sized from it.
+  auto field_in_range = [&](const char* field, int64_t v, int64_t lo,
+                            int64_t hi) -> Status {
+    if (v < lo || v > hi) {
+      return Status::ParseError(
+          "geometry field " + std::string(field) + " = " + std::to_string(v) +
+          " out of range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+          "] in " + path);
+    }
+    return Status::OK();
+  };
+  EALGAP_RETURN_IF_ERROR(
+      field_in_range("num_regions", p.num_regions_, 1, 1 << 20));
+  EALGAP_RETURN_IF_ERROR(
+      field_in_range("steps_per_day", p.steps_per_day_, 1, 1440));
+  EALGAP_RETURN_IF_ERROR(field_in_range("history_length", l, 1, 4096));
+  EALGAP_RETURN_IF_ERROR(field_in_range("num_windows", m, 1, 4096));
+  EALGAP_RETURN_IF_ERROR(field_in_range("norm_history", nh, 1, 4096));
   p.options_.history_length = static_cast<int>(l);
   p.options_.num_windows = static_cast<int>(m);
   p.options_.norm_history = static_cast<int>(nh);

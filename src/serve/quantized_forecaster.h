@@ -100,6 +100,16 @@ class QuantizedForecaster : public Forecaster {
   /// Guard state; once true every step serves float.
   bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
 
+  /// Trips the guard from outside the probe path (sticky, attributed in
+  /// drift_trips): AdaptivePredictor calls this when a committed adaptation
+  /// invalidates the int8 packs and the repack fails — serving a stale pack
+  /// is never an option, so the wrapper degrades to float.
+  void TripFloatFallback() {
+    if (!tripped_.exchange(true, std::memory_order_relaxed)) {
+      drift_trips_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   NeuralForecaster* inner() { return inner_; }
   const QuantOptions& options() const { return options_; }
 

@@ -11,10 +11,14 @@ namespace serve {
 
 namespace {
 
-/// The checkpointable model behind a served Forecaster: a quantized
-/// wrapper checkpoints its inner float model (the packs are derived
-/// state, rebuilt from the checkpoint).
+/// The checkpointable model behind a served Forecaster: the adaptive
+/// wrapper checkpoints its trainee (detector state has its own file), a
+/// quantized wrapper its inner float model (the packs are derived state,
+/// rebuilt from the checkpoint).
 NeuralForecaster* CheckpointableModel(Forecaster* model) {
+  if (auto* adaptive = dynamic_cast<AdaptivePredictor*>(model)) {
+    return adaptive->trainee();
+  }
   if (auto* quant = dynamic_cast<QuantizedForecaster*>(model)) {
     return quant->inner();
   }
@@ -66,9 +70,11 @@ Result<std::unique_ptr<Shard>> Shard::Create(
       return Status::IoError("cannot create shard state dir " +
                              shard->config_.state_dir + ": " + ec.message());
     }
-    // The model checkpoint is written once: parameters never change while
-    // serving. Non-neural models have no checkpoint format; their restarts
-    // reuse the in-memory object.
+    // The model checkpoint is written at creation; without adaptation the
+    // parameters never change while serving, and with it MaybeCheckpoint
+    // re-saves the file after committed adaptations. Non-neural models
+    // have no checkpoint format; their restarts reuse the in-memory
+    // object.
     if (auto* neural = CheckpointableModel(shard->model_.get())) {
       Status saved = neural->SaveCheckpoint(shard->ModelPath());
       if (!saved.ok()) ++shard->totals_.checkpoint_failures;
@@ -182,6 +188,7 @@ void Shard::BeginQuarantine(int64_t now_tick, bool injected_crash) {
 }
 
 void Shard::AccumulateIncarnation() {
+  if (auto* ap = adaptive()) totals_.adapt.Accumulate(ap->stats());
   const GuardStats& gs = predictor_->guard_stats();
   totals_.repaired_values += gs.repaired_values;
   totals_.gap_steps_filled += gs.gap_steps_filled;
@@ -222,12 +229,32 @@ Status Shard::Restart() {
     EALGAP_RETURN_IF_ERROR(SeedPredictor());
   }
 
+  // A reloaded adaptive wrapper starts a fresh incarnation (zero stats,
+  // frozen A/B arm rebaselined to the reloaded — possibly adapted —
+  // weights); its drift posture resumes from the persisted adapt state.
+  adapt_commits_checkpointed_ = 0;
+  if (auto* ap = adaptive()) {
+    if (!config_.state_dir.empty() &&
+        std::filesystem::exists(AdaptStatePath())) {
+      // A corrupt adapt state is survivable: the detector restarts cold,
+      // exactly like a missing file. The CRC rejected it, nothing loaded.
+      (void)ap->LoadState(AdaptStatePath());
+    }
+  }
+
   health_ = ShardHealth::kProbation;
   restart_at_tick_ = -1;
   probation_healthy_ = 0;
   observes_since_checkpoint_ = 0;
   ++totals_.restarts;
   return Status::OK();
+}
+
+Result<AdaptEvent> Shard::MaybeAdapt() {
+  if (health_ == ShardHealth::kQuarantined) return AdaptEvent{};
+  auto* ap = adaptive();
+  if (ap == nullptr) return AdaptEvent{};
+  return ap->MaybeAdapt();
 }
 
 void Shard::MaybeCheckpoint() {
@@ -240,10 +267,35 @@ void Shard::MaybeCheckpoint() {
   } else {
     ++totals_.checkpoint_failures;
   }
+  if (auto* ap = adaptive()) {
+    // Committed adaptations changed the weights since the last model save:
+    // without this re-save a quarantine-restart would silently serve the
+    // pre-adaptation parameters.
+    if (ap->stats().commits != adapt_commits_checkpointed_) {
+      if (auto* neural = CheckpointableModel(model_.get())) {
+        const Status model_saved = neural->SaveCheckpoint(ModelPath());
+        if (model_saved.ok()) {
+          adapt_commits_checkpointed_ = ap->stats().commits;
+          ++totals_.checkpoints_written;
+        } else {
+          ++totals_.checkpoint_failures;
+        }
+      }
+    }
+    const Status adapt_saved = ap->SaveState(AdaptStatePath());
+    if (adapt_saved.ok()) {
+      ++totals_.checkpoints_written;
+    } else {
+      ++totals_.checkpoint_failures;
+    }
+  }
 }
 
 ShardTotals Shard::Totals() const {
   ShardTotals out = totals_;
+  if (auto* ap = dynamic_cast<const AdaptivePredictor*>(model_.get())) {
+    out.adapt.Accumulate(ap->stats());
+  }
   const GuardStats& gs = predictor_->guard_stats();
   out.repaired_values += gs.repaired_values;
   out.gap_steps_filled += gs.gap_steps_filled;

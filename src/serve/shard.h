@@ -12,6 +12,7 @@
 #include "common/bounded_queue.h"
 #include "common/result.h"
 #include "data/dataset.h"
+#include "serve/adaptive_predictor.h"
 #include "serve/online_predictor.h"
 #include "serve/resilient_predictor.h"
 
@@ -119,6 +120,9 @@ struct ShardTotals {
   int64_t repaired_values = 0;
   int64_t gap_steps_filled = 0;
   std::vector<int64_t> quarantine_by_region;
+  /// Test-time adaptation attribution folded in from every incarnation
+  /// (all-zero unless the shard serves through an AdaptivePredictor).
+  AdaptStats adapt;
 };
 
 /// One serving shard: a ResilientPredictor chain over an OnlinePredictor,
@@ -193,8 +197,17 @@ class Shard {
 
   /// Writes the periodic predictor-state checkpoint when the cadence says
   /// so. Failures are counted, never fatal (the previous checkpoint
-  /// survives — that is WriteFileAtomic's contract).
+  /// survives — that is WriteFileAtomic's contract). When the shard serves
+  /// through an AdaptivePredictor, committed adaptations also re-save the
+  /// model checkpoint (so a quarantine-restart resumes the adapted
+  /// weights) and the adapt state rides along on the same cadence.
   void MaybeCheckpoint();
+
+  /// Runs at most one deferred adaptation attempt (no-op unless the model
+  /// is an AdaptivePredictor and the shard is healthy). Called by the
+  /// daemon's single-threaded supervisor phase, never during the serve
+  /// fan-out.
+  Result<AdaptEvent> MaybeAdapt();
 
   /// Lifetime totals + the live incarnation's counters folded together.
   ShardTotals Totals() const;
@@ -204,12 +217,20 @@ class Shard {
   /// The served model (e.g. for quantized-serving telemetry). May be
   /// replaced by a restart-from-checkpoint; do not hold across ticks.
   Forecaster* model() { return model_.get(); }
+  /// Non-null when serving through a test-time-adaptation wrapper. Same
+  /// lifetime caveat as model().
+  AdaptivePredictor* adaptive() {
+    return dynamic_cast<AdaptivePredictor*>(model_.get());
+  }
 
  private:
   Shard() = default;
 
   std::string StatePath() const { return config_.state_dir + "/predictor.state"; }
   std::string ModelPath() const { return config_.state_dir + "/model.ckpt"; }
+  std::string AdaptStatePath() const {
+    return config_.state_dir + "/adapt.state";
+  }
 
   /// Builds predictor+chain around `model_` from a fresh dataset seed.
   Status SeedPredictor();
@@ -235,6 +256,9 @@ class Shard {
 
   int64_t next_feed_step_ = 0;
   int64_t observes_since_checkpoint_ = 0;
+  /// Commits already persisted into ModelPath(); a difference at the next
+  /// checkpoint cadence re-saves the model file.
+  int64_t adapt_commits_checkpointed_ = 0;
 
   ServedPrediction last_served_;
   std::vector<double> feed_scratch_;

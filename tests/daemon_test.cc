@@ -19,6 +19,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -34,8 +36,10 @@
 #include "data/aggregate.h"
 #include "data/dataset.h"
 #include "data/synthetic_city.h"
+#include "serve/adaptive_predictor.h"
 #include "serve/daemon.h"
 #include "serve/load_gen.h"
+#include "serve/quantized_forecaster.h"
 #include "serve/shard.h"
 
 namespace ealgap {
@@ -176,7 +180,26 @@ struct FleetOptions {
   int checkpoint_every_steps = 8;
   std::string state_root;  ///< empty => in-memory restarts
   bool with_reloader = false;
+  /// Serve every shard through the int8 wrapper; the reloader (when on)
+  /// re-wraps reloaded checkpoints the same way, like the daemon tool.
+  bool quant = false;
+  serve::QuantOptions qopt;
+  /// Stack the test-time-adaptation wrapper on top (of quant when both).
+  bool adapt = false;
+  serve::AdaptOptions aopt;
 };
+
+/// Adaptation knobs hot enough that an epochs=0 model over a 40-day city
+/// triggers and attempts within a ~100-tick run.
+serve::AdaptOptions HotAdaptOptions() {
+  serve::AdaptOptions aopt;
+  aopt.cusum_h = 4.0;
+  aopt.window = 32;
+  aopt.min_window = 12;
+  aopt.holdout = 4;
+  aopt.cooldown = 8;
+  return aopt;
+}
 
 /// Builds a daemon over contiguous region slices of one synthetic city,
 /// one initialized (epochs=0) EALGAP model per shard — weight values do
@@ -221,14 +244,58 @@ std::unique_ptr<serve::Daemon> MakeFleet(const FleetOptions& opt) {
     config.guard.on_bad_value = serve::RepairPolicy::kImpute;
     config.guard.on_gap = serve::RepairPolicy::kImpute;
     config.guard.max_gap_steps = 4096;
+    std::unique_ptr<Forecaster> serving_model;
     serve::ModelReloader reloader = nullptr;
-    if (opt.with_reloader) {
-      reloader = [](const std::string& path) {
-        return core::LoadForecasterFromCheckpoint(path);
-      };
+    if (opt.quant) {
+      auto quant =
+          serve::QuantizedForecaster::Create(std::move(model), opt.qopt);
+      EXPECT_TRUE(quant.ok()) << quant.status().ToString();
+      serving_model = std::move(quant).value();
+      if (opt.with_reloader) {
+        reloader = [qopt = opt.qopt](const std::string& path)
+            -> Result<std::unique_ptr<Forecaster>> {
+          auto loaded = core::LoadForecasterFromCheckpoint(path);
+          if (!loaded.ok()) return loaded.status();
+          auto* neural = dynamic_cast<NeuralForecaster*>(loaded->get());
+          if (neural == nullptr) {
+            return Status::InvalidArgument("reloaded checkpoint not neural");
+          }
+          loaded->release();
+          auto rewrapped = serve::QuantizedForecaster::Create(
+              std::unique_ptr<NeuralForecaster>(neural), qopt);
+          if (!rewrapped.ok()) return rewrapped.status();
+          return std::unique_ptr<Forecaster>(std::move(rewrapped).value());
+        };
+      }
+    } else {
+      serving_model = std::move(model);
+      if (opt.with_reloader) {
+        reloader = [](const std::string& path) {
+          return core::LoadForecasterFromCheckpoint(path);
+        };
+      }
     }
-    auto shard = serve::Shard::Create(std::move(*dataset), std::move(model),
-                                      split->test_begin, config, reloader);
+    if (opt.adapt) {
+      auto adaptive = serve::AdaptivePredictor::Create(
+          std::move(serving_model), opt.aopt);
+      EXPECT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+      serving_model = std::move(adaptive).value();
+      if (reloader != nullptr) {
+        serve::ModelReloader inner = std::move(reloader);
+        reloader = [inner, aopt = opt.aopt](const std::string& path)
+            -> Result<std::unique_ptr<Forecaster>> {
+          auto loaded = inner(path);
+          if (!loaded.ok()) return loaded.status();
+          auto rewrapped = serve::AdaptivePredictor::Create(
+              std::move(loaded).value(), aopt);
+          if (!rewrapped.ok()) return rewrapped.status();
+          return std::unique_ptr<Forecaster>(std::move(rewrapped).value());
+        };
+      }
+    }
+    auto shard =
+        serve::Shard::Create(std::move(*dataset), std::move(serving_model),
+                             split->test_begin, config, reloader);
     EXPECT_TRUE(shard.ok()) << shard.status().ToString();
     daemon->AddShard(std::move(shard).value());
   }
@@ -494,6 +561,186 @@ TEST(DaemonTest, VirtualTimeFaultReplayIsBitIdentical) {
     ExpectFullyAttributed(report);
   }
   EXPECT_EQ(digests[0], digests[1]);
+}
+
+// --- test-time adaptation ----------------------------------------------------
+
+void ExpectAdaptAttributed(const serve::AdaptStats& adapt) {
+  EXPECT_EQ(adapt.UnattributedAdaptations(), 0)
+      << "attempts " << adapt.attempts << " commits " << adapt.commits
+      << " rollbacks " << adapt.Rollbacks();
+}
+
+/// Byte-exact equality of two parameter snapshots (name set, shapes, and
+/// every float bit).
+void ExpectParamsBitIdentical(const std::map<std::string, Tensor>& a,
+                              const std::map<std::string, Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [name, ta] : a) {
+    auto it = b.find(name);
+    ASSERT_NE(it, b.end()) << name;
+    const Tensor& tb = it->second;
+    ASSERT_EQ(ta.numel(), tb.numel()) << name;
+    EXPECT_EQ(std::memcmp(ta.data(), tb.data(),
+                          static_cast<size_t>(ta.numel()) * sizeof(float)),
+              0)
+        << "parameter " << name << " differs";
+  }
+}
+
+// Adaptation is driven entirely by the observed stream (virtual time): an
+// adapt-on, no-fault run commits real weight updates and STILL replays
+// bit-identically across repeats and thread counts.
+TEST(DaemonAdaptTest, AdaptOnReplayIsBitIdenticalAcrossRunsAndThreadCounts) {
+  fault::ScopedFaults off("");
+  FleetOptions opt;
+  opt.shards = 2;
+  opt.adapt = true;
+  opt.aopt = HotAdaptOptions();
+  uint32_t digests[3];
+  int64_t commits[3];
+  const int threads[3] = {1, 4, 4};
+  for (int i = 0; i < 3; ++i) {
+    ScopedThreads scoped(threads[i]);
+    auto daemon = MakeFleet(opt);
+    const serve::SloReport report = RunLoad(daemon.get(), 120, 3.0, 20.0);
+    digests[i] = daemon->digest();
+    commits[i] = report.adapt.commits;
+    ExpectFullyAttributed(report);
+    ExpectAdaptAttributed(report.adapt);
+  }
+  // The run must actually adapt — a zero-commit run would make this test
+  // vacuously pass on the pre-adaptation digest.
+  EXPECT_GT(commits[0], 0);
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[1], digests[2]);
+  EXPECT_EQ(commits[0], commits[1]);
+  EXPECT_EQ(commits[1], commits[2]);
+}
+
+// Every rejected attempt must restore the snapshot bit-exactly: with
+// serve.adapt.reject forcing rejection on every attempt, the weights after
+// the run are byte-identical to the weights before it.
+TEST(DaemonAdaptTest, RejectedAttemptsRollBackBitExactly) {
+  FleetOptions opt;
+  opt.shards = 1;
+  opt.adapt = true;
+  opt.aopt = HotAdaptOptions();
+  opt.aopt.freeze_after = 1000;  // keep attempting; freeze tested separately
+  auto daemon = MakeFleet(opt);
+  auto* adaptive = daemon->shard(0)->adaptive();
+  ASSERT_NE(adaptive, nullptr);
+  auto before = adaptive->trainee()->CaptureParams();
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  fault::ScopedFaults faults("serve.adapt.reject:every=1");
+  const serve::SloReport report = RunLoad(daemon.get(), 120, 3.0, 3.0);
+  EXPECT_GT(report.adapt.attempts, 0);
+  EXPECT_EQ(report.adapt.commits, 0);
+  EXPECT_EQ(report.adapt.rollbacks_reject, report.adapt.attempts);
+  ExpectAdaptAttributed(report.adapt);
+
+  auto after = adaptive->trainee()->CaptureParams();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ExpectParamsBitIdentical(*before, *after);
+}
+
+// Consecutive failed attempts trip the sticky freeze; once the injected
+// failures stop, the hysteresis probe attempts again and a committed probe
+// unfreezes the wrapper.
+TEST(DaemonAdaptTest, FreezeTripsAndProbeRecovers) {
+  FleetOptions opt;
+  opt.shards = 1;
+  opt.adapt = true;
+  opt.aopt = HotAdaptOptions();
+  opt.aopt.freeze_after = 2;
+  opt.aopt.frozen_probe_after = 16;
+  auto daemon = MakeFleet(opt);
+  {
+    // Exactly two attempts fail, then the site disarms: the second failure
+    // trips the freeze. 28 ticks is past both attempts (~ring fill + one
+    // cooldown) but short of the probe horizon, so the run ends frozen.
+    fault::ScopedFaults faults("serve.adapt.nan:every=1:max=2");
+    const serve::SloReport mid = RunLoad(daemon.get(), 28, 3.0, 3.0);
+    EXPECT_EQ(mid.adapt.rollbacks_nan, 2);
+    EXPECT_EQ(mid.adapt.freezes, 1);
+    EXPECT_TRUE(mid.adapt.frozen);
+    ExpectAdaptAttributed(mid.adapt);
+  }
+  {
+    // Fault gone: after frozen_probe_after observed steps a probe runs,
+    // commits, and lifts the freeze. (The wrapper may legitimately freeze
+    // and recover again later in the stream, so the sticky counters are
+    // lower bounds.)
+    fault::ScopedFaults off("");
+    const serve::SloReport report = RunLoad(daemon.get(), 120, 3.0, 3.0);
+    EXPECT_GT(report.adapt.attempts, 2);
+    EXPECT_GT(report.adapt.commits, 0);
+    EXPECT_GE(report.adapt.unfreezes, 1);
+    EXPECT_GE(report.adapt.freezes, 1);
+    ExpectAdaptAttributed(report.adapt);
+  }
+}
+
+// The adaptation chaos soak: every adapt fault plus shard crashes, over a
+// checkpointing fleet whose reloader re-wraps restarts. No crash, every
+// attempt attributed to a commit or exactly one rollback kind, and the
+// A/B harness keeps scoring across restarts.
+TEST(DaemonAdaptTest, AdaptFaultSoakAttributesEveryAttempt) {
+  const std::string state_root = ::testing::TempDir() + "/daemon_adapt_soak";
+  FleetOptions opt;
+  opt.shards = 2;
+  opt.adapt = true;
+  opt.aopt = HotAdaptOptions();
+  opt.aopt.freeze_after = 3;
+  opt.aopt.frozen_probe_after = 24;
+  opt.state_root = state_root;
+  opt.with_reloader = true;
+  auto daemon = MakeFleet(opt);
+  fault::ScopedFaults faults(
+      "serve.adapt.nan:every=3,serve.adapt.reject:every=4,"
+      "serve.adapt.error:every=5,serve.adapt.delay:every=7:ms=1,"
+      "daemon.shard.crash:every=83");
+  const serve::SloReport report = RunLoad(daemon.get(), 300, 3.0, 10.0);
+  EXPECT_GT(report.adapt.attempts, 0);
+  EXPECT_GT(report.adapt.Rollbacks(), 0);
+  EXPECT_GT(report.adapt.rollbacks_nan, 0);
+  EXPECT_GT(report.crashes_injected, 0);
+  EXPECT_GT(report.restarts_from_checkpoint, 0);
+  EXPECT_GT(report.adapt.pairs, 0);
+  ExpectFullyAttributed(report);
+  ExpectAdaptAttributed(report.adapt);
+}
+
+// Satellite: daemon restart + quant re-wrap under an armed drift fault.
+// The crash forces a restart-from-checkpoint whose reloader re-wraps the
+// model in a FRESH int8 wrapper; the still-armed nn.quant.drift fault then
+// trips the new wrapper's guard, which falls back to float serving —
+// fully attributed, never a stale or silently-drifting pack.
+TEST(DaemonAdaptTest, RestartRewrapsQuantAndDriftTripsFloatFallback) {
+  const std::string state_root = ::testing::TempDir() + "/daemon_quant_rewrap";
+  FleetOptions opt;
+  opt.shards = 1;
+  opt.quant = true;
+  opt.qopt.check_every = 8;  // probe often so the trip lands quickly
+  opt.state_root = state_root;
+  opt.with_reloader = true;
+  auto daemon = MakeFleet(opt);
+  fault::ScopedFaults faults(
+      "daemon.shard.crash:every=1:after=20:max=1,nn.quant.drift:every=1");
+  const serve::SloReport report = RunLoad(daemon.get(), 160, 3.0, 3.0);
+  EXPECT_EQ(report.crashes_injected, 1);
+  EXPECT_EQ(report.restarts_from_checkpoint, 1);
+  ExpectFullyAttributed(report);
+
+  // The post-restart wrapper is a new object (the reloader re-wrapped the
+  // reloaded checkpoint) and its guard tripped to float.
+  auto* quant = dynamic_cast<serve::QuantizedForecaster*>(
+      daemon->shard(0)->model());
+  ASSERT_NE(quant, nullptr);
+  EXPECT_TRUE(quant->stats().tripped);
+  EXPECT_GT(quant->stats().float_steps, 0);
+  EXPECT_GT(quant->stats().drift_trips, 0);
 }
 
 }  // namespace

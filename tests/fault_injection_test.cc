@@ -174,6 +174,22 @@ TEST(FaultHarnessTest, UnknownOptionKeyIsRejectedNamingTheBadToken) {
       << st.ToString();
 }
 
+TEST(FaultHarnessTest, MsOptionRejectedOnNonDelaySitesNamingTheSite) {
+  fault::ScopedFaults guard("");
+  // ms= configures a stall; on a hard-fault site it would silently mean
+  // nothing. Rejected at arm time, naming the offending site.
+  Status st = fault::ArmFromSpec("serve.adapt.nan:every=3:ms=40");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("serve.adapt.nan"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("ms="), std::string::npos) << st.ToString();
+  // Delay sites and the free-form test.* namespace still accept it.
+  EXPECT_TRUE(fault::ArmFromSpec("serve.adapt.delay:every=3:ms=40").ok());
+  EXPECT_TRUE(fault::ArmFromSpec("nn.predict.delay:every=3:ms=40").ok());
+  EXPECT_TRUE(fault::ArmFromSpec("test.x:every=3:ms=40").ok());
+}
+
 TEST(FaultHarnessTest, ScopedFaultsRestoresOuterConfiguration) {
   fault::ScopedFaults outer("test.outer:every=1");
   {

@@ -3,11 +3,16 @@
 
 #include <cmath>
 #include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "baselines/recurrent.h"
 #include "core/ealgap.h"
+#include "core/experiment.h"
 #include "core/extreme_degree.h"
 #include "data/aggregate.h"
 #include "data/cleaning.h"
@@ -16,6 +21,8 @@
 #include "data/synthetic_city.h"
 #include "data/trip.h"
 #include "nn/loss.h"
+#include "serve/adaptive_predictor.h"
+#include "serve/online_predictor.h"
 
 namespace ealgap {
 namespace {
@@ -266,6 +273,189 @@ TEST(RobustnessTest, PredictOutOfRangeStepFails) {
   // so use the documented valid range and verify the boundary inputs work.
   EXPECT_TRUE(gru.Predict(*ds, ds->MinTargetStep()).ok());
   EXPECT_TRUE(gru.Predict(*ds, ds->series().total_steps() - 1).ok());
+}
+
+
+// --- corrupt state/checkpoint headers ----------------------------------------
+//
+// Loaders must reject zero/negative counts in headers with a hard error
+// NAMING the bad field — a corrupt geometry must never survive into ring
+// sizing, tensor allocation, or an OOB copy.
+
+namespace corrupt {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteAll(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+/// Replaces token `index` (0-based) of the first line starting with
+/// `line_tag` by `value`.
+void PatchLineToken(const std::string& path, const std::string& line_tag,
+                    size_t index, const std::string& value) {
+  std::istringstream in(ReadAll(path));
+  std::ostringstream out;
+  std::string line;
+  bool patched = false;
+  while (std::getline(in, line)) {
+    if (!patched && line.rfind(line_tag, 0) == 0) {
+      std::istringstream tokens(line);
+      std::vector<std::string> tok;
+      std::string t;
+      while (tokens >> t) tok.push_back(t);
+      ASSERT_GT(tok.size(), index);
+      tok[index] = value;
+      line.clear();
+      for (size_t i = 0; i < tok.size(); ++i) {
+        if (i > 0) line += ' ';
+        line += tok[i];
+      }
+      patched = true;
+    }
+    out << line << "\n";
+  }
+  ASSERT_TRUE(patched) << "no line tagged '" << line_tag << "' in " << path;
+  WriteAll(path, out.str());
+}
+
+/// A minimal fitted model + predictor over a synthetic city, for
+/// exercising the serve-state and checkpoint loaders.
+struct ServeFixture {
+  data::SlidingWindowDataset dataset;
+  data::StepRanges split;
+  std::unique_ptr<core::EalgapForecaster> model;
+
+  static ServeFixture Make() {
+    data::RegionSeriesConfig cfg;
+    cfg.num_regions = 4;
+    cfg.num_days = 30;
+    cfg.seed = 3;
+    auto dataset = data::SlidingWindowDataset::Create(
+        data::GenerateRegionSeries(cfg), data::DatasetOptions{});
+    EXPECT_TRUE(dataset.ok()) << dataset.status().ToString();
+    auto split = data::MakeChronoSplit(*dataset);
+    EXPECT_TRUE(split.ok()) << split.status().ToString();
+    ServeFixture f{std::move(dataset).value(), *split,
+                   std::make_unique<core::EalgapForecaster>()};
+    TrainConfig train;
+    train.epochs = 0;
+    train.seed = 5;
+    EXPECT_TRUE(f.model->Fit(f.dataset, f.split, train).ok());
+    return f;
+  }
+};
+
+}  // namespace corrupt
+
+TEST(RobustnessTest, ServeStateZeroRegionsRejectedByFieldName) {
+  corrupt::ServeFixture f = corrupt::ServeFixture::Make();
+  auto predictor =
+      serve::OnlinePredictor::Create(f.model.get(), f.dataset, f.split.test_begin);
+  ASSERT_TRUE(predictor.ok()) << predictor.status().ToString();
+  const std::string path = ::testing::TempDir() + "/zero_regions.state";
+  ASSERT_TRUE(predictor->SaveState(path).ok());
+
+  // geometry <num_regions> <steps_per_day> <L> <M> <NH>
+  corrupt::PatchLineToken(path, "geometry ", 1, "0");
+  auto loaded = serve::OnlinePredictor::LoadState(path, f.model.get());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("num_regions"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(RobustnessTest, ServeStateNegativeStepsPerDayRejectedByFieldName) {
+  corrupt::ServeFixture f = corrupt::ServeFixture::Make();
+  auto predictor =
+      serve::OnlinePredictor::Create(f.model.get(), f.dataset, f.split.test_begin);
+  ASSERT_TRUE(predictor.ok()) << predictor.status().ToString();
+  const std::string path = ::testing::TempDir() + "/neg_steps.state";
+  ASSERT_TRUE(predictor->SaveState(path).ok());
+
+  corrupt::PatchLineToken(path, "geometry ", 2, "-24");
+  auto loaded = serve::OnlinePredictor::LoadState(path, f.model.get());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("steps_per_day"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(RobustnessTest, CheckpointZeroDimensionRejectedByParameterName) {
+  corrupt::ServeFixture f = corrupt::ServeFixture::Make();
+  const std::string path = ::testing::TempDir() + "/zero_dim.ckpt";
+  ASSERT_TRUE(f.model->SaveCheckpoint(path).ok());
+
+  // Find the first parameter line (after "params N"; format is
+  // "<name> <rank> <dims...> <values...>") and zero its first dimension.
+  {
+    std::istringstream in(corrupt::ReadAll(path));
+    std::ostringstream out;
+    std::string line;
+    bool in_params = false, patched = false;
+    std::string victim;
+    while (std::getline(in, line)) {
+      if (!patched && in_params && !line.empty()) {
+        std::istringstream tokens(line);
+        std::vector<std::string> tok;
+        std::string t;
+        while (tokens >> t && tok.size() < 4) tok.push_back(t);
+        ASSERT_GE(tok.size(), 3u);
+        victim = tok[0];
+        const size_t name_end = line.find(' ');
+        const size_t rank_end = line.find(' ', name_end + 1);
+        const size_t dim_end = line.find(' ', rank_end + 1);
+        line = line.substr(0, rank_end + 1) + "0" + line.substr(dim_end);
+        patched = true;
+      }
+      if (line.rfind("params ", 0) == 0) in_params = true;
+      out << line << "\n";
+    }
+    ASSERT_TRUE(patched);
+    corrupt::WriteAll(path, out.str());
+    auto loaded = core::LoadForecasterFromCheckpoint(path);
+    ASSERT_FALSE(loaded.ok());
+    const std::string msg = loaded.status().ToString();
+    EXPECT_NE(msg.find(victim), std::string::npos) << msg;
+    EXPECT_NE(msg.find("must be >= 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(RobustnessTest, AdaptStateNegativeRegionsRejectedByFieldName) {
+  corrupt::ServeFixture f = corrupt::ServeFixture::Make();
+  auto adaptive = serve::AdaptivePredictor::Create(f.model.get());
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+  const std::string path = ::testing::TempDir() + "/neg_regions.adapt";
+  ASSERT_TRUE((*adaptive)->SaveState(path).ok());
+
+  corrupt::PatchLineToken(path, "regions ", 1, "-1");
+  Status loaded = (*adaptive)->LoadState(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.ToString().find("regions count"), std::string::npos)
+      << loaded.ToString();
+}
+
+TEST(RobustnessTest, AdaptStateBitFlipFailsChecksum) {
+  corrupt::ServeFixture f = corrupt::ServeFixture::Make();
+  auto adaptive = serve::AdaptivePredictor::Create(f.model.get());
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+  const std::string path = ::testing::TempDir() + "/bitflip.adapt";
+  ASSERT_TRUE((*adaptive)->SaveState(path).ok());
+
+  // Flip the guard line's frozen bit: still parses, but the body bytes no
+  // longer match the CRC — the loader must reject, never half-load.
+  corrupt::PatchLineToken(path, "guard ", 1, "1");
+  Status loaded = (*adaptive)->LoadState(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.ToString().find("checksum mismatch"), std::string::npos)
+      << loaded.ToString();
+  // The failed load left the in-memory posture untouched.
+  EXPECT_FALSE((*adaptive)->frozen());
 }
 
 }  // namespace

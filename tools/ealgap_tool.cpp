@@ -49,8 +49,21 @@
 //       relative drift before the sticky float fallback (default 0.5),
 //       and --quant-pack a pack-cache
 //       file keyed to the checkpoint's CRC (stale caches are a hard
-//       error). Arm EALGAP_FAULTS (see src/common/fault_injection.h) to
-//       rehearse failures.
+//       error). --adapt serves through the test-time-adaptation wrapper
+//       (DESIGN.md §8h): a per-region CUSUM drift detector over
+//       matched-stat residuals triggers bounded micro-fine-tunes on the
+//       recent window, committed only when held-out validation improves
+//       (otherwise rolled back bit-exactly), with a sticky freeze after
+//       --adapt-freeze-after consecutive failures and probe-based
+//       recovery after --adapt-probe-after observed steps. Knobs:
+//       --adapt-cusum-k/-h (detector allowance/threshold),
+//       --adapt-window/-holdout/-min-window (ring sizing),
+//       --adapt-cooldown, --adapt-steps/--adapt-lr (micro-fit), and
+//       --adapt-shadow-every (frozen-arm A/B cadence). The report adds
+//       adaptation attribution and the adapted-vs-frozen ER/MSLE A/B
+//       table; exit 3 if any attempt goes unattributed. Arm EALGAP_FAULTS
+//       (see src/common/fault_injection.h) to rehearse failures,
+//       including serve.adapt.{nan,error,delay,reject}.
 //
 //   daemon    [--shards N] [--regions-per-shard R] [--days D] [--epochs E]
 //             [--ticks T] [--seed S] [--threads W] [--state-dir DIR]
@@ -71,9 +84,18 @@
 //       enables on-disk CRC'd checkpoints so restarts rehearse the
 //       recover-from-disk path. --quant serves every shard through the
 //       int8 quantized forward with per-shard drift guards (restarts
-//       re-wrap the reloaded checkpoint). Arm EALGAP_FAULTS with
+//       re-wrap the reloaded checkpoint). --adapt (same knobs as serve)
+//       adds per-shard test-time adaptation, run single-threaded from the
+//       supervisor phase; committed adaptations re-save the shard's model
+//       checkpoint and persist the detector state, so quarantine-restarts
+//       resume the adapted weights and drift posture — and with --quant
+//       the int8 packs are rebuilt after every commit (a failed repack
+//       trips the float fallback, never a stale pack). The SLO report
+//       folds adaptation attribution across restarts; exit 3 if any
+//       attempt goes unattributed. Arm EALGAP_FAULTS with
 //       daemon.queue.full / daemon.shard.stall / daemon.shard.crash (plus
-//       the nn.* sites, including nn.quant.drift) for chaos soaks.
+//       the nn.* sites, including nn.quant.drift, and the
+//       serve.adapt.* sites) for chaos soaks.
 //
 // Exit code 0 on success; errors go to stderr.
 
@@ -97,6 +119,7 @@
 #include "data/partition.h"
 #include "data/synthetic_city.h"
 #include "data/trip.h"
+#include "serve/adaptive_predictor.h"
 #include "serve/daemon.h"
 #include "serve/online_predictor.h"
 #include "serve/quantized_forecaster.h"
@@ -266,6 +289,76 @@ void PrintQuantStats(const serve::QuantStats& s) {
              std::to_string(s.probes), std::to_string(s.drift_trips),
              TablePrinter::Num(s.max_drift), s.tripped ? "yes" : "no"});
   qt.Print(std::cout);
+}
+
+serve::AdaptOptions AdaptOptionsFromFlags(const Flags& flags) {
+  serve::AdaptOptions opt;
+  opt.cusum_k = flags.GetDouble("adapt-cusum-k", opt.cusum_k);
+  opt.cusum_h = flags.GetDouble("adapt-cusum-h", opt.cusum_h);
+  opt.window = static_cast<int>(flags.GetInt("adapt-window", opt.window));
+  opt.holdout = static_cast<int>(flags.GetInt("adapt-holdout", opt.holdout));
+  opt.min_window =
+      static_cast<int>(flags.GetInt("adapt-min-window", opt.min_window));
+  opt.cooldown = static_cast<int>(flags.GetInt("adapt-cooldown", opt.cooldown));
+  opt.micro.steps =
+      static_cast<int>(flags.GetInt("adapt-steps", opt.micro.steps));
+  opt.micro.learning_rate = static_cast<float>(
+      flags.GetDouble("adapt-lr", opt.micro.learning_rate));
+  opt.freeze_after =
+      static_cast<int>(flags.GetInt("adapt-freeze-after", opt.freeze_after));
+  opt.frozen_probe_after = static_cast<int>(
+      flags.GetInt("adapt-probe-after", opt.frozen_probe_after));
+  opt.shadow_every =
+      static_cast<int>(flags.GetInt("adapt-shadow-every", opt.shadow_every));
+  return opt;
+}
+
+/// Adaptation attribution + the shadow A/B scoreboard. Returns non-zero
+/// when the adaptation conservation law is broken (every attempt must be
+/// a commit or exactly one kind of rollback).
+int PrintAdaptStats(const serve::AdaptStats& s) {
+  TablePrinter at("test-time adaptation (" + std::to_string(s.observed) +
+                      " observed steps)",
+                  {"triggers", "attempts", "commits", "rb-reject", "rb-nan",
+                   "rb-error", "freezes", "unfreezes", "frozen"});
+  at.AddRow({std::to_string(s.triggers), std::to_string(s.attempts),
+             std::to_string(s.commits), std::to_string(s.rollbacks_reject),
+             std::to_string(s.rollbacks_nan),
+             std::to_string(s.rollbacks_error), std::to_string(s.freezes),
+             std::to_string(s.unfreezes), s.frozen ? "yes" : "no"});
+  at.Print(std::cout);
+  TablePrinter dt("adaptation detail",
+                  {"max-cusum", "val-before", "val-after", "repacks",
+                   "repack-fail", "shadow-fwd", "shadow-fail"});
+  dt.AddRow({TablePrinter::Num(s.max_cusum),
+             TablePrinter::Num(s.last_val_before),
+             TablePrinter::Num(s.last_val_after), std::to_string(s.repacks),
+             std::to_string(s.repack_failures),
+             std::to_string(s.shadow_forwards),
+             std::to_string(s.shadow_failures)});
+  dt.Print(std::cout);
+  if (s.pairs > 0) {
+    TablePrinter ab("adapted vs frozen (shadow A/B, " +
+                        std::to_string(s.pairs) + " paired steps)",
+                    {"arm", "ER", "MSLE"});
+    ab.AddRow({"adapted", TablePrinter::Num(s.AdaptedEr()),
+               TablePrinter::Num(s.AdaptedMsle())});
+    ab.AddRow({"frozen", TablePrinter::Num(s.FrozenEr()),
+               TablePrinter::Num(s.FrozenMsle())});
+    ab.Print(std::cout);
+    std::cout << "A/B delta (adapted - frozen): ER "
+              << TablePrinter::Num(s.AdaptedEr() - s.FrozenEr()) << ", MSLE "
+              << TablePrinter::Num(s.AdaptedMsle() - s.FrozenMsle()) << "\n";
+  } else {
+    std::cout << "shadow A/B: no paired steps scored\n";
+  }
+  const int64_t bad = s.UnattributedAdaptations();
+  if (bad != 0) {
+    std::cerr << "error: adaptation attribution broken — " << bad
+              << " attempts neither committed nor rolled back\n";
+    return 3;
+  }
+  return 0;
 }
 
 int Evaluate(const Flags& flags) {
@@ -494,6 +587,19 @@ int Serve(const Flags& flags) {
     serving = quant.get();
   }
 
+  // --adapt: test-time adaptation between the predictor and the model
+  // (stacks on top of --quant). The replay loop runs MaybeAdapt after
+  // every observe — outside the timed predict path, like the daemon's
+  // supervisor phase.
+  std::unique_ptr<serve::AdaptivePredictor> adaptive;
+  if (flags.GetBool("adapt")) {
+    auto a = serve::AdaptivePredictor::Create(serving,
+                                              AdaptOptionsFromFlags(flags));
+    if (!a.ok()) return Fail(a.status());
+    adaptive = std::move(a).value();
+    serving = adaptive.get();
+  }
+
   auto predictor = serve::OnlinePredictor::Create(
       serving, prepared.dataset, prepared.split.test_begin);
   if (!predictor.ok()) return Fail(predictor.status());
@@ -532,6 +638,10 @@ int Serve(const Flags& flags) {
     }
     Status obs = resilient.Observe(observed);
     if (!obs.ok()) return Fail(obs);
+    if (adaptive != nullptr) {
+      auto event = adaptive->MaybeAdapt();
+      if (!event.ok()) return Fail(event.status());
+    }
   }
 
   PrintMetrics("replay metrics (" + (*model)->name() + ")",
@@ -589,6 +699,7 @@ int Serve(const Flags& flags) {
   std::vector<int64_t> quarantine(gs.quarantine.begin(), gs.quarantine.end());
   PrintRegionQuarantines(quarantine);
   if (quant != nullptr) PrintQuantStats(quant->stats());
+  if (adaptive != nullptr) return PrintAdaptStats(adaptive->stats());
   return 0;
 }
 
@@ -625,6 +736,8 @@ int Daemon(const Flags& flags) {
 
   const bool quant_enabled = flags.GetBool("quant");
   const serve::QuantOptions qopt = QuantOptionsFromFlags(flags);
+  const bool adapt_enabled = flags.GetBool("adapt");
+  const serve::AdaptOptions aopt = AdaptOptionsFromFlags(flags);
 
   const std::string state_dir = flags.GetString("state-dir", "");
   for (int s = 0; s < shards; ++s) {
@@ -694,6 +807,26 @@ int Daemon(const Flags& flags) {
       serving_model = std::move(model);
       reloader = [](const std::string& path) {
         return core::LoadForecasterFromCheckpoint(path);
+      };
+    }
+    // --adapt: stack the test-time-adaptation wrapper on top (of the quant
+    // wrapper when both are on). Restarts re-wrap the reloaded checkpoint
+    // the same way, so a restarted shard resumes adapting — and, with
+    // --quant, repacks from the reloaded (possibly adapted) weights.
+    if (adapt_enabled) {
+      auto adaptive =
+          serve::AdaptivePredictor::Create(std::move(serving_model), aopt);
+      if (!adaptive.ok()) return Fail(adaptive.status());
+      serving_model = std::move(adaptive).value();
+      serve::ModelReloader inner = std::move(reloader);
+      reloader = [inner, aopt](const std::string& path)
+          -> Result<std::unique_ptr<Forecaster>> {
+        auto loaded = inner(path);
+        if (!loaded.ok()) return loaded.status();
+        auto rewrapped = serve::AdaptivePredictor::Create(
+            std::move(loaded).value(), aopt);
+        if (!rewrapped.ok()) return rewrapped.status();
+        return std::unique_ptr<Forecaster>(std::move(rewrapped).value());
       };
     }
     auto shard = serve::Shard::Create(
@@ -808,8 +941,11 @@ int Daemon(const Flags& flags) {
     // each shard is serving right now (restarts replace the model).
     serve::QuantStats fleet;
     for (int s = 0; s < daemon.num_shards(); ++s) {
-      auto* quant = dynamic_cast<serve::QuantizedForecaster*>(
-          daemon.shard(s)->model());
+      Forecaster* model = daemon.shard(s)->model();
+      if (auto* adaptive = dynamic_cast<serve::AdaptivePredictor*>(model)) {
+        model = adaptive->serving();  // quant wrapper lives underneath
+      }
+      auto* quant = dynamic_cast<serve::QuantizedForecaster*>(model);
       if (quant == nullptr) continue;
       const serve::QuantStats qs = quant->stats();
       fleet.quant_steps += qs.quant_steps;
@@ -822,6 +958,9 @@ int Daemon(const Flags& flags) {
     PrintQuantStats(fleet);
   }
 
+  int adapt_rc = 0;
+  if (adapt_enabled) adapt_rc = PrintAdaptStats(report.adapt);
+
   std::cout << "replay digest: " << Crc32Hex(daemon.digest()) << "\n";
   const int64_t bad_predicts = report.UnattributedPredicts();
   const int64_t bad_observes = report.UnattributedObserves();
@@ -832,6 +971,7 @@ int Daemon(const Flags& flags) {
               << bad_causes << " degraded-cause mismatch\n";
     return 3;
   }
+  if (adapt_rc != 0) return adapt_rc;
   std::cout << "attribution: every request accounted for\n";
   return 0;
 }
